@@ -1,0 +1,333 @@
+package xtalk
+
+// Benchmark harness: one testing.B target per table/figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record). Each benchmark regenerates its figure's data at
+// reduced shot counts; run `go run ./cmd/xtalkexp -exp all` for full-size
+// reproductions.
+
+import (
+	"testing"
+	"time"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+	"xtalk/internal/experiments"
+	"xtalk/internal/rb"
+	"xtalk/internal/workloads"
+)
+
+func init() {
+	// Keep per-schedule SMT budgets small during benchmarking so the
+	// heavyweight figure benches (QAOA / Hidden Shift omega sweeps) finish
+	// in one iteration each.
+	experiments.SchedulerBudget = 2 * time.Second
+}
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Shots: 256, Threshold: 3}
+}
+
+func benchRB() rb.Config {
+	return rb.Config{Lengths: []int{1, 6, 14, 26}, Sequences: 4, Shots: 48, Seed: 1}
+}
+
+// BenchmarkFig3Characterization regenerates the crosstalk maps (Figure 3):
+// SRB over 1-hop pairs plus a long-range sample on one device per iteration.
+func BenchmarkFig3Characterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(device.Johannesburg, benchOpts(), benchRB())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllHighAtOneHop {
+			b.Fatal("long-range crosstalk detected")
+		}
+	}
+}
+
+// BenchmarkFig4DailyVariation regenerates the daily drift series (Figure 4).
+func BenchmarkFig4DailyVariation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(benchOpts(), benchRB(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.PairSetStable {
+			b.Fatal("pair set drifted")
+		}
+	}
+}
+
+// BenchmarkFig5SwapErrorRates regenerates the SWAP-circuit error comparison
+// (Figures 5a-5c) on Johannesburg (the smallest benchmark set).
+func BenchmarkFig5SwapErrorRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(device.Johannesburg, 0.5, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.GeomeanImprovement < 1 {
+			b.Fatalf("XtalkSched lost to ParSched: %v", res.GeomeanImprovement)
+		}
+	}
+}
+
+// BenchmarkFig5dDurations regenerates the program-duration comparison
+// (Figure 5d): pure scheduling, no simulation.
+func BenchmarkFig5dDurations(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	cfg := core.DefaultXtalkConfig()
+	pairs := workloads.SwapBenchmarkPairs[device.Poughkeepsie]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pair := range pairs {
+			c, err := workloads.SwapCircuit(dev.Topo, pair[0], pair[1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, sched := range []core.Scheduler{core.SerialSched{}, core.ParSched{}, core.NewXtalkSched(nd, cfg)} {
+				if _, err := sched.Schedule(c, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig6ExampleSchedules regenerates the Figure 6 schedule renders.
+func BenchmarkFig6ExampleSchedules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Optimality regenerates the near-optimality comparison
+// (Figure 7).
+func BenchmarkFig7Optimality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8QAOA regenerates the QAOA cross-entropy omega sweep
+// (Figure 8).
+func BenchmarkFig8QAOA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9HiddenShift regenerates the Hidden Shift omega-sensitivity
+// study (Figure 9, redundant-CNOT variant).
+func BenchmarkFig9HiddenShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(true, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10CharacterizationCost regenerates the characterization cost
+// table (Figure 10): planning only, no RB simulation.
+func BenchmarkFig10CharacterizationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 12 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkScalability regenerates the Section 9.4 compile-time scaling
+// study (the smallest instance per iteration; the full sweep runs via
+// `xtalkexp -exp scalability`).
+func BenchmarkScalability(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	c, err := workloads.SupremacyCircuit(dev.Topo, 6, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultXtalkConfig()
+	cfg.CompactErrorEncoding = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewXtalkSched(nd, cfg).Schedule(c, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMaxVsCompactEncoding compares the paper-faithful powerset
+// error encoding (Eq. 7-8) against the linear compact encoding on the same
+// circuit (a DESIGN.md ablation).
+func BenchmarkAblationMaxVsCompactEncoding(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	c, err := workloads.SwapCircuit(dev.Topo, 0, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, compact := range []bool{false, true} {
+		name := "powerset"
+		if compact {
+			name = "compact"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultXtalkConfig()
+			cfg.CompactErrorEncoding = compact
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewXtalkSched(nd, cfg).Schedule(c, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMaxVsSumComposition compares the paper's max rule for
+// conditional-error composition (Eq. 6) against additive composition (a
+// DESIGN.md ablation).
+func BenchmarkAblationMaxVsSumComposition(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	c, err := workloads.SwapCircuit(dev.Topo, 0, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sum := range []bool{false, true} {
+		name := "max-rule"
+		if sum {
+			name = "sum-rule"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultXtalkConfig()
+			cfg.SumErrorComposition = sum
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewXtalkSched(nd, cfg).Schedule(c, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAlignmentConstraints measures the cost of the IBMQ
+// no-partial-overlap constraints (Eq. 11-13) on solve time.
+func BenchmarkAblationAlignmentConstraints(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	c, err := workloads.SwapCircuit(dev.Topo, 0, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, disable := range []bool{false, true} {
+		name := "aligned"
+		if disable {
+			name = "unconstrained"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultXtalkConfig()
+			cfg.DisableAlignment = disable
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewXtalkSched(nd, cfg).Schedule(c, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeuristicVsExact compares the greedy heuristic scheduler
+// against the exact SMT scheduler.
+func BenchmarkAblationHeuristicVsExact(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	c, err := workloads.SwapCircuit(dev.Topo, 0, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("heuristic", func(b *testing.B) {
+		h := &core.HeuristicXtalkSched{Noise: nd, Omega: 0.5}
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Schedule(c, dev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("smt", func(b *testing.B) {
+		x := core.NewXtalkSched(nd, core.DefaultXtalkConfig())
+		for i := 0; i < b.N; i++ {
+			if _, err := x.Schedule(c, dev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRBExperiment measures one simultaneous-RB measurement, the unit
+// of characterization cost.
+func BenchmarkRBExperiment(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	gi, gj := device.NewEdge(10, 15), device.NewEdge(11, 12)
+	cfg := benchRB()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rb.MeasureSimultaneous(dev, gi, gj, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNoiseExecutor measures Monte-Carlo execution throughput for a
+// SWAP circuit.
+func BenchmarkNoiseExecutor(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	c, err := workloads.SwapCircuit(dev.Topo, 0, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.ParSched{}.Schedule(c, dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(dev, s, 64, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSMTSchedulerSolve isolates the SMT solve on the Figure 6 circuit.
+func BenchmarkSMTSchedulerSolve(b *testing.B) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	c := circuit.New(20)
+	c.SWAP(0, 5)
+	c.SWAP(13, 12)
+	c.SWAP(5, 10)
+	c.SWAP(12, 11)
+	c.CNOT(10, 11)
+	c.Measure(10)
+	c.Measure(11)
+	dc := c.DecomposeSwaps()
+	x := core.NewXtalkSched(nd, core.DefaultXtalkConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Schedule(dc, dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

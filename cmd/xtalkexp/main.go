@@ -1,0 +1,124 @@
+// Command xtalkexp regenerates the paper's tables and figures against the
+// simulated devices. Each experiment prints the rows/series of the
+// corresponding figure (see EXPERIMENTS.md for the paper-vs-measured
+// comparison).
+//
+// Usage:
+//
+//	xtalkexp -exp fig5 -system poughkeepsie -shots 2048
+//	xtalkexp -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xtalk/internal/device"
+	"xtalk/internal/experiments"
+	"xtalk/internal/rb"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|scalability|all")
+		system    = flag.String("system", "", "system for fig3/fig5 (default: all three)")
+		shots     = flag.Int("shots", 2048, "trials per circuit execution")
+		seed      = flag.Int64("seed", 1, "master seed")
+		omega     = flag.Float64("omega", 0.5, "crosstalk weight factor for fig5")
+		threshold = flag.Float64("threshold", 3, "high-crosstalk detection ratio")
+		budget    = flag.Duration("budget", 10*time.Second, "per-schedule SMT anytime budget")
+	)
+	flag.Parse()
+	experiments.SchedulerBudget = *budget
+	opts := experiments.Options{Seed: *seed, Shots: *shots, Threshold: *threshold}
+	systems := device.AllSystems
+	if *system != "" {
+		systems = []device.SystemName{device.SystemName(*system)}
+	}
+	if err := run(*exp, systems, *omega, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "xtalkexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, systems []device.SystemName, omega float64, opts experiments.Options) error {
+	rbCfg := rb.DefaultConfig()
+	rbCfg.Seed = opts.Seed
+	all := exp == "all"
+	if all || exp == "fig3" {
+		for _, name := range systems {
+			res, err := experiments.Fig3(name, opts, rbCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+	}
+	if all || exp == "fig4" {
+		res, err := experiments.Fig4(opts, rbCfg, 6)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if all || exp == "fig5" {
+		for _, name := range systems {
+			res, err := experiments.Fig5(name, omega, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+	}
+	if all || exp == "fig6" {
+		res, err := experiments.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if all || exp == "fig7" {
+		res, err := experiments.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if all || exp == "fig8" {
+		res, err := experiments.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if all || exp == "fig9" {
+		for _, redundant := range []bool{false, true} {
+			res, err := experiments.Fig9(redundant, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+		}
+	}
+	if all || exp == "fig10" {
+		res, err := experiments.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if all || exp == "scalability" {
+		res, err := experiments.Scalability(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	switch exp {
+	case "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "scalability":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

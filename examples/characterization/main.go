@@ -1,0 +1,61 @@
+// Characterization cost study (the paper's Section 5 / Figure 10 flow):
+// compare the four measurement policies' experiment counts and machine time
+// on all three devices, then run the cheapest campaign end to end and show
+// that it recovers the device's ground-truth crosstalk map.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xtalk"
+	"xtalk/internal/characterize"
+	"xtalk/internal/device"
+	"xtalk/internal/rb"
+)
+
+func main() {
+	for _, name := range []xtalk.SystemName{xtalk.Poughkeepsie, xtalk.Johannesburg, xtalk.Boeblingen} {
+		dev, err := xtalk.NewDevice(name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		high := dev.Cal.HighCrosstalkPairs(3)
+		fmt.Printf("%s:\n", dev.Topo.Name)
+		for _, pol := range []characterize.Policy{
+			characterize.AllPairs, characterize.OneHop,
+			characterize.OneHopBinPacked, characterize.HighCrosstalkOnly,
+		} {
+			plan := characterize.BuildPlan(dev, pol, high, 1)
+			fmt.Printf("  %-22s %4d experiments  %3d pairs  ~%s\n",
+				pol, plan.NumExperiments(), plan.NumPairs(),
+				plan.MachineTime(rb.PaperConfig()).Round(60e9))
+		}
+	}
+
+	// Run the bin-packed one-hop campaign for real on Johannesburg and
+	// verify detection against ground truth.
+	dev, err := xtalk.NewDevice(xtalk.Johannesburg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := xtalk.Characterize(dev, xtalk.CharOneHopBinPacked)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detected := rep.HighCrosstalkPairs(3)
+	truth := dev.Cal.HighCrosstalkPairs(3)
+	fmt.Printf("\nJohannesburg campaign: detected %d high-crosstalk pairs (ground truth %d)\n",
+		len(detected), len(truth))
+	match := map[device.EdgePair]bool{}
+	for _, p := range truth {
+		match[p] = true
+	}
+	for _, p := range detected {
+		ok := "FALSE POSITIVE"
+		if match[p] {
+			ok = "correct"
+		}
+		fmt.Printf("  %-12s %s\n", p, ok)
+	}
+}

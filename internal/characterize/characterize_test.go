@@ -1,0 +1,192 @@
+package characterize
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xtalk/internal/device"
+	"xtalk/internal/rb"
+)
+
+func fastCfg() rb.Config {
+	return rb.Config{Lengths: []int{1, 2, 4, 8, 16, 28}, Sequences: 8, Shots: 96, Seed: 1}
+}
+
+func TestBuildPlanAllPairsCount(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	plan := BuildPlan(dev, AllPairs, nil, 1)
+	// Paper Section 4.2: 221 pairs on Poughkeepsie, one per experiment.
+	if plan.NumExperiments() != 221 || plan.NumPairs() != 221 {
+		t.Fatalf("all-pairs plan: %d experiments, %d pairs", plan.NumExperiments(), plan.NumPairs())
+	}
+}
+
+func TestBuildPlanOneHopIsSubset(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	all := BuildPlan(dev, AllPairs, nil, 1)
+	oneHop := BuildPlan(dev, OneHop, nil, 1)
+	if oneHop.NumPairs() >= all.NumPairs() {
+		t.Fatal("one-hop must measure fewer pairs")
+	}
+	for _, b := range oneHop.Batches {
+		for _, p := range b {
+			if d := dev.Topo.GateDistance(p.First, p.Second); d != 1 {
+				t.Fatalf("one-hop plan contains %d-hop pair %s", d, p)
+			}
+		}
+	}
+}
+
+func TestBinPackingValidAndEffective(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	oneHop := BuildPlan(dev, OneHop, nil, 1)
+	packed := BuildPlan(dev, OneHopBinPacked, nil, 1)
+	if packed.NumPairs() != oneHop.NumPairs() {
+		t.Fatalf("packing changed pair count: %d vs %d", packed.NumPairs(), oneHop.NumPairs())
+	}
+	// Paper: ~2x reduction from packing.
+	if packed.NumExperiments() > oneHop.NumExperiments()*2/3 {
+		t.Fatalf("packing ineffective: %d vs %d experiments", packed.NumExperiments(), oneHop.NumExperiments())
+	}
+	// Every batch must be internally >= 2 hops separated with no shared
+	// qubits.
+	for _, batch := range packed.Batches {
+		for i := 0; i < len(batch); i++ {
+			for j := i + 1; j < len(batch); j++ {
+				for _, e1 := range []device.Edge{batch[i].First, batch[i].Second} {
+					for _, e2 := range []device.Edge{batch[j].First, batch[j].Second} {
+						if e1.SharesQubit(e2) {
+							t.Fatalf("batch shares qubit: %s / %s", batch[i], batch[j])
+						}
+						if d := dev.Topo.GateDistance(e1, e2); d >= 0 && d < 2 {
+							t.Fatalf("batch pairs too close: %s / %s (%d hops)", batch[i], batch[j], d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: bin packing never loses or duplicates pairs, for random pair
+// subsets.
+func TestBinPackingPreservesPairsProperty(t *testing.T) {
+	dev := device.MustNew(device.Boeblingen, 2)
+	oneHop := dev.Topo.PairsAtDistance(1)
+	check := func(seed int64, mask uint16) bool {
+		var subset []device.EdgePair
+		for i, p := range oneHop {
+			if mask>>(uint(i)%16)&1 == 1 {
+				subset = append(subset, p)
+			}
+		}
+		bins := BinPack(dev.Topo, subset, 2, 10, seed)
+		seen := map[device.EdgePair]int{}
+		total := 0
+		for _, b := range bins {
+			for _, p := range b {
+				seen[p]++
+				total++
+			}
+		}
+		if total != len(subset) {
+			return false
+		}
+		for _, p := range subset {
+			seen[p]--
+		}
+		for _, v := range seen {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineTimeModel(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	all := BuildPlan(dev, AllPairs, nil, 1)
+	// Paper: over 8 hours for the all-pairs policy at full experiment size.
+	if h := all.MachineTime(rb.PaperConfig()).Hours(); h < 8 || h > 12 {
+		t.Fatalf("all-pairs machine time %.1fh, want ~8-12h", h)
+	}
+	high := dev.Cal.HighCrosstalkPairs(3)
+	opt := BuildPlan(dev, HighCrosstalkOnly, high, 1)
+	if opt.MachineTime(rb.PaperConfig()) >= all.MachineTime(rb.PaperConfig())/10 {
+		t.Fatal("optimized policy should be >= 10x cheaper")
+	}
+}
+
+func TestCampaignDetectsGroundTruth(t *testing.T) {
+	dev := device.MustNew(device.Johannesburg, 1)
+	rep, err := Run(dev, OneHopBinPacked, nil, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.HighCrosstalkPairs(3)
+	want := dev.Cal.HighCrosstalkPairs(3)
+	if len(got) != len(want) {
+		t.Fatalf("detected %d pairs, truth has %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHighOnlyPolicyRefreshesKnownPairs(t *testing.T) {
+	dev := device.MustNew(device.Johannesburg, 1)
+	high := dev.Cal.HighCrosstalkPairs(3)
+	rep, err := Run(dev, HighCrosstalkOnly, high, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Measurements) != len(high) {
+		t.Fatalf("measured %d pairs, want %d", len(rep.Measurements), len(high))
+	}
+}
+
+func TestNoiseDataFromCampaign(t *testing.T) {
+	dev := device.MustNew(device.Johannesburg, 1)
+	rep, err := Run(dev, OneHopBinPacked, nil, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := rep.NoiseData(dev, 3)
+	if len(nd.Independent) != len(dev.Topo.Edges) {
+		t.Fatalf("independent rates for %d edges, want %d", len(nd.Independent), len(dev.Topo.Edges))
+	}
+	// Every ground-truth pair must be flagged in the scheduler input, in at
+	// least one direction.
+	for _, p := range dev.Cal.HighCrosstalkPairs(3) {
+		if !nd.IsHighCrosstalkPair(p.First, p.Second) {
+			t.Fatalf("campaign noise data missing pair %s", p)
+		}
+	}
+	// Measured conditional rates should be in the right ballpark of truth
+	// (within 3x either way — RB on a drifting simulated device is noisy).
+	for gi, m := range nd.Conditional {
+		for gj, est := range m {
+			truth := dev.Cal.ConditionalError(gi, gj)
+			if est < truth/3 || est > truth*3 {
+				t.Fatalf("conditional %s|%s estimate %v too far from truth %v", gi, gj, est, truth)
+			}
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		AllPairs: "all-pairs", OneHop: "one-hop",
+		OneHopBinPacked: "one-hop+binpack", HighCrosstalkOnly: "high-crosstalk-only",
+	} {
+		if p.String() != want {
+			t.Fatalf("policy %d renders %q", int(p), p.String())
+		}
+	}
+}

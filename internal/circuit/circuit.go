@@ -1,0 +1,309 @@
+// Package circuit defines the quantum program intermediate representation
+// used throughout the reproduction: a flat gate list with derived dependency
+// (DAG) structure, mirroring the hardware-compliant IR the paper's scheduler
+// consumes after Qiskit's mapping and SWAP-insertion passes.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the operation type of a Gate.
+type Kind int
+
+// Gate kinds. Single-qubit gates come first, then two-qubit gates, then
+// the pseudo-operations (barrier, measure).
+const (
+	KindU1 Kind = iota
+	KindU2
+	KindU3
+	KindH
+	KindX
+	KindRZ
+	KindRX
+	KindRY
+	KindCNOT
+	KindSWAP
+	KindBarrier
+	KindMeasure
+)
+
+var kindNames = map[Kind]string{
+	KindU1: "u1", KindU2: "u2", KindU3: "u3", KindH: "h", KindX: "x",
+	KindRZ: "rz", KindRX: "rx", KindRY: "ry",
+	KindCNOT: "cx", KindSWAP: "swap", KindBarrier: "barrier", KindMeasure: "measure",
+}
+
+// String returns the lowercase OpenQASM-style mnemonic.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsTwoQubit reports whether the kind is a two-qubit unitary.
+func (k Kind) IsTwoQubit() bool { return k == KindCNOT || k == KindSWAP }
+
+// IsUnitary reports whether the kind is a unitary gate (not barrier/measure).
+func (k Kind) IsUnitary() bool { return k != KindBarrier && k != KindMeasure }
+
+// Gate is a single operation in the IR. ID is the index of the gate in its
+// circuit's gate list and is stable across scheduling.
+type Gate struct {
+	ID     int
+	Kind   Kind
+	Qubits []int // control first for CNOT
+	Params []float64
+}
+
+// String renders the gate in OpenQASM-like syntax.
+func (g Gate) String() string {
+	var sb strings.Builder
+	sb.WriteString(g.Kind.String())
+	if len(g.Params) > 0 {
+		sb.WriteString("(")
+		for i, p := range g.Params {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "%.4g", p)
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteString(" ")
+	for i, q := range g.Qubits {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "q%d", q)
+	}
+	return sb.String()
+}
+
+// Circuit is an ordered gate list over NQubits qubits. The order of Gates is
+// a valid topological order of the dependency DAG by construction.
+type Circuit struct {
+	NQubits int
+	Gates   []Gate
+}
+
+// New returns an empty circuit over n qubits.
+func New(n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("circuit: invalid qubit count %d", n))
+	}
+	return &Circuit{NQubits: n}
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{NQubits: c.NQubits, Gates: make([]Gate, len(c.Gates))}
+	for i, g := range c.Gates {
+		out.Gates[i] = Gate{
+			ID:     g.ID,
+			Kind:   g.Kind,
+			Qubits: append([]int(nil), g.Qubits...),
+			Params: append([]float64(nil), g.Params...),
+		}
+	}
+	return out
+}
+
+// Add appends a gate and returns its ID.
+func (c *Circuit) Add(kind Kind, qubits []int, params ...float64) int {
+	for _, q := range qubits {
+		if q < 0 || q >= c.NQubits {
+			panic(fmt.Sprintf("circuit: qubit %d out of range [0,%d)", q, c.NQubits))
+		}
+	}
+	seen := map[int]bool{}
+	for _, q := range qubits {
+		if seen[q] {
+			panic(fmt.Sprintf("circuit: duplicate qubit %d in gate", q))
+		}
+		seen[q] = true
+	}
+	id := len(c.Gates)
+	c.Gates = append(c.Gates, Gate{
+		ID:     id,
+		Kind:   kind,
+		Qubits: append([]int(nil), qubits...),
+		Params: append([]float64(nil), params...),
+	})
+	return id
+}
+
+// Convenience builders.
+
+// H appends a Hadamard gate.
+func (c *Circuit) H(q int) int { return c.Add(KindH, []int{q}) }
+
+// X appends a Pauli-X gate.
+func (c *Circuit) X(q int) int { return c.Add(KindX, []int{q}) }
+
+// U1 appends a U1 phase gate.
+func (c *Circuit) U1(q int, lambda float64) int { return c.Add(KindU1, []int{q}, lambda) }
+
+// U2 appends a U2 gate.
+func (c *Circuit) U2(q int, phi, lambda float64) int { return c.Add(KindU2, []int{q}, phi, lambda) }
+
+// U3 appends a U3 gate.
+func (c *Circuit) U3(q int, theta, phi, lambda float64) int {
+	return c.Add(KindU3, []int{q}, theta, phi, lambda)
+}
+
+// RZ appends an RZ rotation.
+func (c *Circuit) RZ(q int, theta float64) int { return c.Add(KindRZ, []int{q}, theta) }
+
+// RX appends an RX rotation.
+func (c *Circuit) RX(q int, theta float64) int { return c.Add(KindRX, []int{q}, theta) }
+
+// RY appends an RY rotation.
+func (c *Circuit) RY(q int, theta float64) int { return c.Add(KindRY, []int{q}, theta) }
+
+// CNOT appends a controlled-NOT with the given control and target.
+func (c *Circuit) CNOT(control, target int) int { return c.Add(KindCNOT, []int{control, target}) }
+
+// SWAP appends a SWAP gate.
+func (c *Circuit) SWAP(a, b int) int { return c.Add(KindSWAP, []int{a, b}) }
+
+// Barrier appends a barrier over the given qubits (all qubits if none given).
+func (c *Circuit) Barrier(qubits ...int) int {
+	if len(qubits) == 0 {
+		qubits = make([]int, c.NQubits)
+		for i := range qubits {
+			qubits[i] = i
+		}
+	}
+	return c.Add(KindBarrier, qubits)
+}
+
+// Measure appends a readout operation on qubit q.
+func (c *Circuit) Measure(q int) int { return c.Add(KindMeasure, []int{q}) }
+
+// MeasureAll appends a readout on every qubit.
+func (c *Circuit) MeasureAll() {
+	for q := 0; q < c.NQubits; q++ {
+		c.Measure(q)
+	}
+}
+
+// TwoQubitGates returns the IDs of all CNOT/SWAP gates.
+func (c *Circuit) TwoQubitGates() []int {
+	var out []int
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() {
+			out = append(out, g.ID)
+		}
+	}
+	return out
+}
+
+// CountKind returns the number of gates of the given kind.
+func (c *Circuit) CountKind(k Kind) int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// DecomposeSwaps returns an equivalent circuit with every SWAP gate lowered
+// to its standard 3-CNOT implementation (CNOT a,b; CNOT b,a; CNOT a,b).
+func (c *Circuit) DecomposeSwaps() *Circuit {
+	out := New(c.NQubits)
+	for _, g := range c.Gates {
+		if g.Kind == KindSWAP {
+			a, b := g.Qubits[0], g.Qubits[1]
+			out.CNOT(a, b)
+			out.CNOT(b, a)
+			out.CNOT(a, b)
+			continue
+		}
+		out.Add(g.Kind, g.Qubits, g.Params...)
+	}
+	return out
+}
+
+// String renders the circuit one gate per line.
+func (c *Circuit) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "circuit(%d qubits, %d gates)\n", c.NQubits, len(c.Gates))
+	for _, g := range c.Gates {
+		fmt.Fprintf(&sb, "  %s\n", g.String())
+	}
+	return sb.String()
+}
+
+// Depth returns the number of layers in a greedy as-soon-as-possible
+// layering of the circuit (barriers occupy a layer boundary on their qubits).
+func (c *Circuit) Depth() int {
+	level := make([]int, c.NQubits)
+	depth := 0
+	for _, g := range c.Gates {
+		l := 0
+		for _, q := range g.Qubits {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		l++
+		for _, q := range g.Qubits {
+			level[q] = l
+		}
+		if g.Kind != KindBarrier && l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// ActiveQubits returns the sorted list of qubits touched by any gate.
+func (c *Circuit) ActiveQubits() []int {
+	used := make([]bool, c.NQubits)
+	for _, g := range c.Gates {
+		if g.Kind == KindBarrier {
+			continue
+		}
+		for _, q := range g.Qubits {
+			used[q] = true
+		}
+	}
+	var out []int
+	for q, u := range used {
+		if u {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Compact returns a new circuit over only the active qubits of c, plus the
+// mapping from old qubit index to new (dense) index. Barriers are restricted
+// to active qubits. Useful for simulating a 20-qubit-device circuit that only
+// touches a handful of qubits.
+func (c *Circuit) Compact() (*Circuit, map[int]int) {
+	active := c.ActiveQubits()
+	remap := make(map[int]int, len(active))
+	for i, q := range active {
+		remap[q] = i
+	}
+	out := New(max(1, len(active)))
+	for _, g := range c.Gates {
+		var qs []int
+		for _, q := range g.Qubits {
+			if nq, ok := remap[q]; ok {
+				qs = append(qs, nq)
+			}
+		}
+		if len(qs) == 0 {
+			continue
+		}
+		out.Add(g.Kind, qs, g.Params...)
+	}
+	return out, remap
+}

@@ -1,0 +1,235 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderAndString(t *testing.T) {
+	c := New(3)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.U3(2, 0.1, 0.2, 0.3)
+	c.Barrier()
+	c.MeasureAll()
+	if len(c.Gates) != 7 {
+		t.Fatalf("expected 7 gates, got %d", len(c.Gates))
+	}
+	s := c.String()
+	for _, want := range []string{"h q0", "cx q0,q1", "u3(0.1,0.2,0.3) q2", "barrier q0,q1,q2", "measure q0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := New(2)
+	mustPanic(t, func() { c.CNOT(0, 0) })
+	mustPanic(t, func() { c.H(5) })
+	mustPanic(t, func() { c.H(-1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestDecomposeSwaps(t *testing.T) {
+	c := New(2)
+	c.SWAP(0, 1)
+	d := c.DecomposeSwaps()
+	if d.CountKind(KindSWAP) != 0 {
+		t.Fatal("SWAP survived decomposition")
+	}
+	if d.CountKind(KindCNOT) != 3 {
+		t.Fatalf("expected 3 CNOTs, got %d", d.CountKind(KindCNOT))
+	}
+	// CNOT a,b; CNOT b,a; CNOT a,b
+	if d.Gates[0].Qubits[0] != 0 || d.Gates[1].Qubits[0] != 1 || d.Gates[2].Qubits[0] != 0 {
+		t.Fatalf("wrong decomposition order: %s", d)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := New(3)
+	c.H(0)       // layer 1
+	c.H(1)       // layer 1
+	c.CNOT(0, 1) // layer 2
+	c.H(2)       // layer 1
+	c.CNOT(1, 2) // layer 3
+	if got := c.Depth(); got != 3 {
+		t.Fatalf("depth %d, want 3", got)
+	}
+}
+
+func TestActiveQubitsAndCompact(t *testing.T) {
+	c := New(10)
+	c.H(3)
+	c.CNOT(3, 7)
+	c.Measure(7)
+	active := c.ActiveQubits()
+	if len(active) != 2 || active[0] != 3 || active[1] != 7 {
+		t.Fatalf("active = %v", active)
+	}
+	cc, remap := c.Compact()
+	if cc.NQubits != 2 {
+		t.Fatalf("compact qubits = %d", cc.NQubits)
+	}
+	if remap[3] != 0 || remap[7] != 1 {
+		t.Fatalf("remap = %v", remap)
+	}
+	if len(cc.Gates) != 3 {
+		t.Fatalf("compact gates = %d", len(cc.Gates))
+	}
+}
+
+func TestDAGDependencies(t *testing.T) {
+	c := New(3)
+	g0 := c.H(0)
+	g1 := c.CNOT(0, 1)
+	g2 := c.CNOT(1, 2)
+	g3 := c.H(2)
+	d := BuildDAG(c)
+	if len(d.Pred[g1]) != 1 || d.Pred[g1][0] != g0 {
+		t.Fatalf("pred(g1) = %v", d.Pred[g1])
+	}
+	if !d.IsAncestor(g0, g2) {
+		t.Fatal("g0 should be a transitive ancestor of g2")
+	}
+	if d.IsAncestor(g3, g0) {
+		t.Fatal("g3 is not an ancestor of g0")
+	}
+	if !d.IsAncestor(g2, g3) {
+		t.Fatal("g2 precedes g3 on qubit 2")
+	}
+}
+
+func TestDAGCanOverlap(t *testing.T) {
+	c := New(4)
+	a := c.CNOT(0, 1)
+	b := c.CNOT(2, 3)
+	d := BuildDAG(c)
+	if !d.CanOverlap(a, b) {
+		t.Fatal("disjoint independent CNOTs must be overlappable")
+	}
+	if d.CanOverlap(a, a) {
+		t.Fatal("a gate cannot overlap itself")
+	}
+	// Sharing a qubit forbids overlap.
+	c2 := New(3)
+	x := c2.CNOT(0, 1)
+	y := c2.CNOT(1, 2)
+	d2 := BuildDAG(c2)
+	if d2.CanOverlap(x, y) {
+		t.Fatal("qubit-sharing gates cannot overlap")
+	}
+}
+
+func TestBarrierOrdersAcrossQubits(t *testing.T) {
+	c := New(2)
+	a := c.H(0)
+	c.Barrier(0, 1)
+	b := c.H(1)
+	d := BuildDAG(c)
+	if !d.IsAncestor(a, b) {
+		t.Fatal("barrier must order H(0) before H(1)")
+	}
+	if d.CanOverlap(a, b) {
+		t.Fatal("barrier-separated gates cannot overlap")
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	c := New(2)
+	c.H(0)
+	c.H(0)
+	c.H(0)
+	c.H(1)
+	d := BuildDAG(c)
+	if got := d.LongestPathLen(); got != 3 {
+		t.Fatalf("longest path %d, want 3", got)
+	}
+}
+
+func TestRootsLeaves(t *testing.T) {
+	c := New(2)
+	a := c.H(0)
+	b := c.H(1)
+	cx := c.CNOT(0, 1)
+	d := BuildDAG(c)
+	roots := d.Roots()
+	if len(roots) != 2 || roots[0] != a || roots[1] != b {
+		t.Fatalf("roots = %v", roots)
+	}
+	leaves := d.Leaves()
+	if len(leaves) != 1 || leaves[0] != cx {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := New(2)
+	c.CNOT(0, 1)
+	d := c.Clone()
+	d.Gates[0].Qubits[0] = 1
+	d.Gates[0].Qubits[1] = 0
+	if c.Gates[0].Qubits[0] != 0 {
+		t.Fatal("clone shares qubit storage")
+	}
+}
+
+// Property: DAG predecessor lists always reference earlier gate IDs, and
+// every gate pair sharing a qubit is ordered (one is an ancestor).
+func TestDAGOrderingProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := newRand(seed)
+		c := New(4)
+		for i := 0; i < 15; i++ {
+			a, b := rng.Intn(4), rng.Intn(4)
+			if a == b {
+				c.H(a)
+			} else {
+				c.CNOT(a, b)
+			}
+		}
+		d := BuildDAG(c)
+		for id, preds := range d.Pred {
+			for _, p := range preds {
+				if p >= id {
+					return false
+				}
+			}
+		}
+		for i := range c.Gates {
+			for j := i + 1; j < len(c.Gates); j++ {
+				shares := false
+				for _, qa := range c.Gates[i].Qubits {
+					for _, qb := range c.Gates[j].Qubits {
+						if qa == qb {
+							shares = true
+						}
+					}
+				}
+				if shares && !d.IsAncestor(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newRand is a tiny deterministic PRNG wrapper to avoid importing math/rand
+// in multiple test helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,138 @@
+package circuit
+
+// DAG is the dependency graph of a circuit: edges run from each gate to the
+// gates that must wait for it. Barriers induce dependencies on their qubits
+// in both directions (everything before the barrier on a qubit precedes
+// everything after it).
+type DAG struct {
+	Circ *Circuit
+	// Succ[i] lists the direct successors of gate i; Pred[i] the direct
+	// predecessors.
+	Succ, Pred [][]int
+	// ancestors[i] is a bitset of all (transitive) ancestors of gate i.
+	ancestors []bitset
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+func (b bitset) or(other bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+// BuildDAG computes the dependency structure of c. Two gates conflict (have
+// an edge through the last-writer chain) iff they share a qubit; the circuit
+// order is the authoritative topological order.
+func BuildDAG(c *Circuit) *DAG {
+	n := len(c.Gates)
+	d := &DAG{
+		Circ: c,
+		Succ: make([][]int, n),
+		Pred: make([][]int, n),
+	}
+	last := make([]int, c.NQubits) // last gate ID to touch each qubit, -1 if none
+	for i := range last {
+		last[i] = -1
+	}
+	for _, g := range c.Gates {
+		seen := map[int]bool{}
+		for _, q := range g.Qubits {
+			if p := last[q]; p >= 0 && !seen[p] {
+				seen[p] = true
+				d.Pred[g.ID] = append(d.Pred[g.ID], p)
+				d.Succ[p] = append(d.Succ[p], g.ID)
+			}
+			last[q] = g.ID
+		}
+	}
+	// Transitive ancestor bitsets (gates are already topologically ordered).
+	d.ancestors = make([]bitset, n)
+	for i := 0; i < n; i++ {
+		b := newBitset(n)
+		for _, p := range d.Pred[i] {
+			b.set(p)
+			b.or(d.ancestors[p])
+		}
+		d.ancestors[i] = b
+	}
+	return d
+}
+
+// IsAncestor reports whether gate a is a (transitive) ancestor of gate b.
+func (d *DAG) IsAncestor(a, b int) bool { return d.ancestors[b].get(a) }
+
+// CanOverlap reports whether gates a and b are concurrency-compatible: they
+// are distinct, share no qubit, and neither is an ancestor of the other.
+// This is the paper's CanOlp relation (Section 7.2) before error-rate
+// pruning.
+func (d *DAG) CanOverlap(a, b int) bool {
+	if a == b {
+		return false
+	}
+	ga, gb := d.Circ.Gates[a], d.Circ.Gates[b]
+	for _, qa := range ga.Qubits {
+		for _, qb := range gb.Qubits {
+			if qa == qb {
+				return false
+			}
+		}
+	}
+	return !d.IsAncestor(a, b) && !d.IsAncestor(b, a)
+}
+
+// Roots returns gates with no predecessors.
+func (d *DAG) Roots() []int {
+	var out []int
+	for i, p := range d.Pred {
+		if len(p) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Leaves returns gates with no successors.
+func (d *DAG) Leaves() []int {
+	var out []int
+	for i, s := range d.Succ {
+		if len(s) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TopologicalOrder returns a valid topological order (the circuit order).
+func (d *DAG) TopologicalOrder() []int {
+	out := make([]int, len(d.Circ.Gates))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// LongestPathLen returns the length (in gates) of the longest dependency
+// chain, i.e. the critical-path depth of the DAG.
+func (d *DAG) LongestPathLen() int {
+	n := len(d.Circ.Gates)
+	depth := make([]int, n)
+	best := 0
+	for i := 0; i < n; i++ {
+		dv := 1
+		for _, p := range d.Pred[i] {
+			if depth[p]+1 > dv {
+				dv = depth[p] + 1
+			}
+		}
+		depth[i] = dv
+		if dv > best {
+			best = dv
+		}
+	}
+	return best
+}

@@ -1,0 +1,140 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses the simple OpenQASM-like text format produced by
+// Circuit.String / Gate.String: one gate per line, e.g.
+//
+//	h q0
+//	cx q0,q1
+//	u3(0.1,0.2,0.3) q2
+//	barrier q0,q1
+//	measure q0
+//
+// Blank lines and lines starting with '#' or '//' are ignored. A leading
+// "qubits N" directive sets the register size; otherwise it is inferred from
+// the highest qubit index used.
+func ParseText(src string, defaultQubits int) (*Circuit, error) {
+	type parsed struct {
+		kind   Kind
+		qubits []int
+		params []float64
+	}
+	var gates []parsed
+	nQubits := defaultQubits
+	maxQ := -1
+	scanner := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if strings.HasPrefix(line, "qubits ") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "qubits ")))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("circuit: line %d: bad qubits directive %q", lineNo, line)
+			}
+			nQubits = n
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("circuit: line %d: expected 'gate qubits', got %q", lineNo, line)
+		}
+		head, qubitPart := fields[0], fields[1]
+		name := head
+		var params []float64
+		if i := strings.IndexByte(head, '('); i >= 0 {
+			if !strings.HasSuffix(head, ")") {
+				return nil, fmt.Errorf("circuit: line %d: unterminated parameter list", lineNo)
+			}
+			name = head[:i]
+			for _, p := range strings.Split(head[i+1:len(head)-1], ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+				if err != nil {
+					return nil, fmt.Errorf("circuit: line %d: bad parameter %q", lineNo, p)
+				}
+				params = append(params, v)
+			}
+		}
+		kind, ok := kindByName(name)
+		if !ok {
+			return nil, fmt.Errorf("circuit: line %d: unknown gate %q", lineNo, name)
+		}
+		var qubits []int
+		for _, qs := range strings.Split(qubitPart, ",") {
+			qs = strings.TrimSpace(qs)
+			if !strings.HasPrefix(qs, "q") {
+				return nil, fmt.Errorf("circuit: line %d: bad qubit %q", lineNo, qs)
+			}
+			q, err := strconv.Atoi(qs[1:])
+			if err != nil || q < 0 {
+				return nil, fmt.Errorf("circuit: line %d: bad qubit %q", lineNo, qs)
+			}
+			qubits = append(qubits, q)
+			if q > maxQ {
+				maxQ = q
+			}
+		}
+		if err := validateArity(kind, len(qubits), len(params)); err != nil {
+			return nil, fmt.Errorf("circuit: line %d: %v", lineNo, err)
+		}
+		gates = append(gates, parsed{kind: kind, qubits: qubits, params: params})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if nQubits <= maxQ {
+		nQubits = maxQ + 1
+	}
+	if nQubits <= 0 {
+		return nil, fmt.Errorf("circuit: empty circuit with no qubits")
+	}
+	c := New(nQubits)
+	for _, g := range gates {
+		c.Add(g.kind, g.qubits, g.params...)
+	}
+	return c, nil
+}
+
+func kindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func validateArity(kind Kind, nQubits, nParams int) error {
+	wantQ, wantP := 1, 0
+	switch kind {
+	case KindCNOT, KindSWAP:
+		wantQ = 2
+	case KindBarrier:
+		if nQubits < 1 {
+			return fmt.Errorf("barrier needs at least one qubit")
+		}
+		return nil
+	case KindU1, KindRZ, KindRX, KindRY:
+		wantP = 1
+	case KindU2:
+		wantP = 2
+	case KindU3:
+		wantP = 3
+	}
+	if nQubits != wantQ {
+		return fmt.Errorf("%s expects %d qubit(s), got %d", kind, wantQ, nQubits)
+	}
+	if nParams != wantP {
+		return fmt.Errorf("%s expects %d parameter(s), got %d", kind, wantP, nParams)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTextRoundTrip(t *testing.T) {
+	c := New(4)
+	c.H(0)
+	c.U3(1, 0.5, 1.5, 2.5)
+	c.CNOT(0, 1)
+	c.SWAP(2, 3)
+	c.RZ(2, 0.25)
+	c.Barrier(0, 1)
+	c.Measure(0)
+	// Render, parse back, compare.
+	var src strings.Builder
+	src.WriteString("qubits 4\n")
+	for _, g := range c.Gates {
+		src.WriteString(g.String() + "\n")
+	}
+	parsed, err := ParseText(src.String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NQubits != 4 || len(parsed.Gates) != len(c.Gates) {
+		t.Fatalf("parsed %d qubits %d gates", parsed.NQubits, len(parsed.Gates))
+	}
+	for i, g := range parsed.Gates {
+		if g.Kind != c.Gates[i].Kind {
+			t.Fatalf("gate %d: kind %v vs %v", i, g.Kind, c.Gates[i].Kind)
+		}
+		for j, q := range g.Qubits {
+			if q != c.Gates[i].Qubits[j] {
+				t.Fatalf("gate %d qubits %v vs %v", i, g.Qubits, c.Gates[i].Qubits)
+			}
+		}
+	}
+}
+
+func TestParseTextInfersQubits(t *testing.T) {
+	c, err := ParseText("h q7\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NQubits != 8 {
+		t.Fatalf("inferred %d qubits, want 8", c.NQubits)
+	}
+}
+
+func TestParseTextCommentsAndBlanks(t *testing.T) {
+	src := `
+# comment
+// another comment
+
+h q0
+`
+	c, err := ParseText(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 1 {
+		t.Fatalf("gates %d", len(c.Gates))
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus q0\n",          // unknown gate
+		"h q0 q1\n",           // too many fields
+		"cx q0\n",             // wrong arity
+		"u1 q0\n",             // missing parameter
+		"u1(0.5,0.6) q0\n",    // too many parameters
+		"h 0\n",               // missing q prefix
+		"h q-1\n",             // negative qubit
+		"u3(0.1,0.2 q0\n",     // unterminated params
+		"u1(abc) q0\n",        // bad float
+		"qubits zero\nh q0\n", // bad directive
+	} {
+		if _, err := ParseText(bad, 4); err == nil {
+			t.Fatalf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestParseTextSwapDecomposesLater(t *testing.T) {
+	c, err := ParseText("swap q0,q1\nmeasure q0\n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.DecomposeSwaps()
+	if d.CountKind(KindCNOT) != 3 {
+		t.Fatalf("decomposed CNOTs %d", d.CountKind(KindCNOT))
+	}
+}

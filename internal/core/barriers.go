@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+
+	"xtalk/internal/circuit"
+)
+
+// InsertBarriers materializes a schedule as an executable circuit: gates are
+// re-emitted in start-time order and a barrier is inserted wherever the
+// schedule serializes two concurrency-compatible gates that a maximally
+// parallel executor would otherwise overlap (the paper's post-processing
+// step, Section 6). The result enforces the schedule's orderings using only
+// circuit-level control instructions.
+func InsertBarriers(s *Schedule) *circuit.Circuit {
+	type timed struct {
+		g     circuit.Gate
+		start float64
+	}
+	var gates []timed
+	for _, g := range s.Circ.Gates {
+		if g.Kind == circuit.KindBarrier {
+			continue // re-derived below
+		}
+		gates = append(gates, timed{g: g, start: s.Start[g.ID]})
+	}
+	sort.SliceStable(gates, func(i, j int) bool { return gates[i].start < gates[j].start })
+
+	dag := circuit.BuildDAG(s.Circ)
+	out := circuit.New(s.Circ.NQubits)
+	for i, tg := range gates {
+		// If some earlier-finishing gate must precede this one but has no
+		// dependency path to it, a barrier over both gates' qubits enforces
+		// the ordering.
+		var barrierQubits []int
+		for j := 0; j < i; j++ {
+			prev := gates[j]
+			if prev.start+s.Duration[prev.g.ID] > tg.start+1e-9 {
+				continue // overlapping in schedule: no ordering to enforce
+			}
+			if !dag.CanOverlap(prev.g.ID, tg.g.ID) {
+				continue // already ordered by data dependency
+			}
+			barrierQubits = appendUnique(barrierQubits, prev.g.Qubits...)
+			barrierQubits = appendUnique(barrierQubits, tg.g.Qubits...)
+		}
+		if len(barrierQubits) > 1 {
+			sort.Ints(barrierQubits)
+			out.Barrier(barrierQubits...)
+		}
+		out.Add(tg.g.Kind, tg.g.Qubits, tg.g.Params...)
+	}
+	return out
+}
+
+func appendUnique(dst []int, vals ...int) []int {
+	for _, v := range vals {
+		found := false
+		for _, d := range dst {
+			if d == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}

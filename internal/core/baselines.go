@@ -1,0 +1,103 @@
+package core
+
+import (
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+// Scheduler maps a hardware-compliant circuit to a timed schedule on a
+// device.
+type Scheduler interface {
+	Name() string
+	Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error)
+}
+
+// SerialSched schedules every instruction sequentially (Table 1): maximal
+// crosstalk avoidance, maximal decoherence exposure.
+type SerialSched struct{}
+
+// Name implements Scheduler.
+func (SerialSched) Name() string { return "SerialSched" }
+
+// Schedule implements Scheduler.
+func (SerialSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	s := newSchedule(c, dev, "SerialSched")
+	t := 0.0
+	for _, g := range c.Gates {
+		if g.Kind == circuit.KindMeasure {
+			continue
+		}
+		s.Start[g.ID] = t
+		t += s.Duration[g.ID] // barriers have zero duration
+	}
+	placeMeasures(s, t)
+	return s, nil
+}
+
+// ParSched is the IBM-default scheduler (Table 1): as-late-as-possible with
+// maximum parallelism, with all readouts forced to a single simultaneous
+// slot at the end (the hardware right-aligns gates, Fig. 1c).
+type ParSched struct{}
+
+// Name implements Scheduler.
+func (ParSched) Name() string { return "ParSched" }
+
+// Schedule implements Scheduler.
+func (ParSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	s := newSchedule(c, dev, "ParSched")
+	// Pass 1 (ASAP) to find the minimal makespan of the unitary portion.
+	avail := make([]float64, c.NQubits)
+	makespan := 0.0
+	for _, g := range c.Gates {
+		if g.Kind == circuit.KindMeasure {
+			continue
+		}
+		t := 0.0
+		for _, q := range g.Qubits {
+			if avail[q] > t {
+				t = avail[q]
+			}
+		}
+		f := t + s.Duration[g.ID]
+		for _, q := range g.Qubits {
+			avail[q] = f
+		}
+		if f > makespan {
+			makespan = f
+		}
+	}
+	// Pass 2 (ALAP with deadline = makespan): right-align every gate.
+	deadline := make([]float64, c.NQubits)
+	for q := range deadline {
+		deadline[q] = makespan
+	}
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		if g.Kind == circuit.KindMeasure {
+			continue
+		}
+		t := makespan
+		for _, q := range g.Qubits {
+			if deadline[q] < t {
+				t = deadline[q]
+			}
+		}
+		start := t - s.Duration[g.ID]
+		s.Start[g.ID] = start
+		for _, q := range g.Qubits {
+			deadline[q] = start
+		}
+	}
+	placeMeasures(s, makespan)
+	return s, nil
+}
+
+// placeMeasures pins every readout to the common simultaneous slot starting
+// at t (IBMQ hardware constraint: all readouts happen together at the end).
+func placeMeasures(s *Schedule, t float64) {
+	for _, g := range s.Circ.Gates {
+		if g.Kind == circuit.KindMeasure {
+			s.Start[g.ID] = t
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+// HeuristicXtalkSched is a greedy list-scheduling approximation of
+// XtalkSched, used as an ablation and as a fallback for circuits too large
+// for exact SMT optimization. Gates are placed ASAP; when placing a
+// two-qubit gate would overlap an already-placed high-crosstalk partner, the
+// gate is delayed past the partner iff the modeled crosstalk cost of
+// overlapping exceeds the modeled decoherence cost of waiting.
+type HeuristicXtalkSched struct {
+	Noise *NoiseData
+	Omega float64
+}
+
+// Name implements Scheduler.
+func (h *HeuristicXtalkSched) Name() string { return "HeuristicXtalkSched" }
+
+// Schedule implements Scheduler.
+func (h *HeuristicXtalkSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	s := newSchedule(c, dev, h.Name())
+	avail := make([]float64, c.NQubits)
+	type placed struct {
+		id   int
+		edge device.Edge
+	}
+	var placedTwo []placed
+	makespan := 0.0
+	for _, g := range c.Gates {
+		if g.Kind == circuit.KindMeasure {
+			continue
+		}
+		t := 0.0
+		for _, q := range g.Qubits {
+			if avail[q] > t {
+				t = avail[q]
+			}
+		}
+		if g.Kind.IsTwoQubit() {
+			e := device.NewEdge(g.Qubits[0], g.Qubits[1])
+			// Delay past overlapping high-crosstalk partners when the
+			// crosstalk penalty outweighs the decoherence penalty.
+			for changed := true; changed; {
+				changed = false
+				for _, p := range placedTwo {
+					if !h.Noise.IsHighCrosstalkPair(e, p.edge) {
+						continue
+					}
+					pStart, pFin := s.Start[p.id], s.Finish(p.id)
+					if t >= pFin-1e-9 || t+s.Duration[g.ID] <= pStart+1e-9 {
+						continue // no overlap
+					}
+					condCost := errCost(h.Noise.ConditionalError(e, p.edge)) +
+						errCost(h.Noise.ConditionalError(p.edge, e)) -
+						errCost(h.Noise.Independent[e]) -
+						errCost(h.Noise.Independent[p.edge])
+					delay := pFin - t
+					var decoCost float64
+					for _, q := range g.Qubits {
+						decoCost += delay / h.Noise.Coherence[q]
+					}
+					if h.Omega*condCost > (1-h.Omega)*decoCost {
+						t = pFin
+						changed = true
+					}
+				}
+			}
+			placedTwo = append(placedTwo, placed{id: g.ID, edge: e})
+		}
+		s.Start[g.ID] = t
+		f := t + s.Duration[g.ID]
+		for _, q := range g.Qubits {
+			avail[q] = f
+		}
+		if f > makespan {
+			makespan = f
+		}
+	}
+	placeMeasures(s, makespan)
+	return s, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+// TestXtalkSchedOptimalVsBruteForce validates the SMT scheduler's optimality
+// claim end to end: enumerate every assignment of the overlap indicators
+// (via ForceOverlaps pinning), take the best achievable schedule cost, and
+// require the free optimization to match it.
+func TestXtalkSchedOptimalVsBruteForce(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	// Two high-crosstalk CNOT pairs, two gates each: 4 overlap booleans,
+	// 16 cells.
+	c := circuit.New(20)
+	c.CNOT(5, 10)
+	c.CNOT(5, 10)
+	c.CNOT(11, 12)
+	c.CNOT(11, 12)
+	c.Measure(10)
+	c.Measure(11)
+
+	for _, omega := range []float64{0.2, 0.5, 0.8} {
+		cfg := DefaultXtalkConfig()
+		cfg.Omega = omega
+		x := NewXtalkSched(nd, cfg)
+		free, err := x.Schedule(c, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := x.OverlapPairKeys(c)
+		if len(keys) != 4 {
+			t.Fatalf("expected 4 overlap pairs, got %d", len(keys))
+		}
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<len(keys); mask++ {
+			cfg2 := cfg
+			cfg2.ForceOverlaps = map[[2]int]bool{}
+			for i, k := range keys {
+				cfg2.ForceOverlaps[k] = mask>>i&1 == 1
+			}
+			s2, err := NewXtalkSched(nd, cfg2).Schedule(c, dev)
+			if err != nil {
+				continue // pinned combination infeasible
+			}
+			if cost := s2.Cost(nd, omega); cost < best {
+				best = cost
+			}
+		}
+		got := free.Cost(nd, omega)
+		if got > best+1e-4 {
+			t.Fatalf("omega=%v: free optimization cost %v worse than brute force %v", omega, got, best)
+		}
+	}
+}
+
+// TestXtalkSchedUsesCharacterizationEstimates verifies that the scheduler
+// behaves the same whether driven by ground truth or by (noisy) SRB
+// estimates: the estimated data must still serialize the crosstalk pair.
+func TestXtalkSchedUsesCharacterizationEstimates(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	truthND := NoiseDataFromDevice(dev, 3)
+	// Estimated data: perturb the truth by 30% (worst-case RB noise).
+	estND := &NoiseData{
+		Independent: map[device.Edge]float64{},
+		Conditional: map[device.Edge]map[device.Edge]float64{},
+		Coherence:   truthND.Coherence,
+	}
+	for e, v := range truthND.Independent {
+		estND.Independent[e] = v * 1.3
+	}
+	for gi, m := range truthND.Conditional {
+		estND.Conditional[gi] = map[device.Edge]float64{}
+		for gj, v := range m {
+			estND.Conditional[gi][gj] = v * 0.7
+		}
+	}
+	c := circuit.New(20)
+	c.CNOT(5, 10)
+	c.CNOT(11, 12)
+	c.Measure(10)
+	c.Measure(11)
+	s, err := NewXtalkSched(estND, DefaultXtalkConfig()).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CrosstalkOverlapCount(truthND) != 0 {
+		t.Fatal("estimated noise data should still serialize the crosstalk pair")
+	}
+}
+
+func TestSchedulePropertiesUnderAllSchedulers(t *testing.T) {
+	dev := device.MustNew(device.Boeblingen, 4)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := circuit.New(20)
+	c.H(5)
+	c.CNOT(5, 10)
+	c.CNOT(11, 12)
+	c.CNOT(5, 10)
+	c.Measure(5)
+	c.Measure(10)
+	c.Measure(11)
+	c.Measure(12)
+	for _, sched := range []Scheduler{
+		SerialSched{}, ParSched{},
+		NewXtalkSched(nd, DefaultXtalkConfig()),
+		&HeuristicXtalkSched{Noise: nd, Omega: 0.5},
+	} {
+		s, err := sched.Schedule(c, dev)
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		// All measures simultaneous.
+		var mt []float64
+		for _, g := range c.Gates {
+			if g.Kind == circuit.KindMeasure {
+				mt = append(mt, s.Start[g.ID])
+			}
+		}
+		for _, v := range mt[1:] {
+			if math.Abs(v-mt[0]) > 1e-6 {
+				t.Fatalf("%s: measures not aligned: %v", sched.Name(), mt)
+			}
+		}
+		// Makespan bounded by the serial schedule.
+		ser, _ := SerialSched{}.Schedule(c, dev)
+		if s.Makespan() > ser.Makespan()+1e-6 {
+			t.Fatalf("%s: makespan %v exceeds serial %v", sched.Name(), s.Makespan(), ser.Makespan())
+		}
+	}
+}
+
+func TestXtalkSchedTimeoutFallback(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := circuit.New(20)
+	for i := 0; i < 5; i++ {
+		c.CNOT(5, 10)
+		c.CNOT(11, 12)
+	}
+	c.Measure(10)
+	c.Measure(11)
+	cfg := DefaultXtalkConfig()
+	cfg.Timeout = 1 // 1ns: guaranteed to expire before the first incumbent
+	s, err := NewXtalkSched(nd, cfg).Schedule(c, dev)
+	if err != nil {
+		t.Fatalf("timeout should fall back to heuristic, got error: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.CrosstalkOverlapCount(nd) != 0 {
+		t.Fatal("heuristic fallback should still serialize high-crosstalk pairs at omega=0.5")
+	}
+}
+
+func TestNoiseDataAccessors(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	gi, gj := device.NewEdge(10, 15), device.NewEdge(11, 12)
+	if !nd.IsHighCrosstalkPair(gi, gj) || !nd.IsHighCrosstalkPair(gj, gi) {
+		t.Fatal("pair symmetry broken")
+	}
+	if nd.ConditionalError(gi, gj) <= nd.Independent[gi] {
+		t.Fatal("conditional must exceed independent for a crosstalk pair")
+	}
+	far := device.NewEdge(0, 1)
+	if nd.IsHighCrosstalkPair(far, device.NewEdge(18, 19)) {
+		t.Fatal("distant pair misflagged")
+	}
+	if nd.ConditionalError(far, gj) != nd.Independent[far] {
+		t.Fatal("non-crosstalk conditional must equal independent")
+	}
+}
+
+// TestSumCompositionAblation checks the additive composition rule: it is at
+// least as conservative as the max rule (never schedules more crosstalk
+// overlap), and still produces valid schedules.
+func TestSumCompositionAblation(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := circuit.New(20)
+	c.CNOT(5, 10)
+	c.CNOT(11, 12)
+	c.CNOT(10, 15)
+	c.Measure(10)
+	c.Measure(11)
+	c.Measure(15)
+	cfgMax := DefaultXtalkConfig()
+	cfgSum := DefaultXtalkConfig()
+	cfgSum.SumErrorComposition = true
+	sMax, err := NewXtalkSched(nd, cfgMax).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSum, err := NewXtalkSched(nd, cfgSum).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sSum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sSum.CrosstalkOverlapCount(nd) > sMax.CrosstalkOverlapCount(nd) {
+		t.Fatalf("sum rule allowed more crosstalk overlap (%d) than max rule (%d)",
+			sSum.CrosstalkOverlapCount(nd), sMax.CrosstalkOverlapCount(nd))
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+// swapPathCircuit builds the paper's Fig. 6 workload: the meet-in-the-middle
+// SWAP path for CNOT 0,13 on Poughkeepsie, decomposed to CNOTs, with
+// measures on the endpoints.
+func swapPathCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New(20)
+	c.U2(0, 0, math.Pi)
+	c.SWAP(0, 5)
+	c.SWAP(12, 13)
+	c.SWAP(5, 10)
+	c.SWAP(11, 12)
+	c.CNOT(10, 11)
+	c.Measure(10)
+	c.Measure(11)
+	return c.DecomposeSwaps()
+}
+
+func testDevice(t *testing.T) *device.Device {
+	t.Helper()
+	return device.MustNew(device.Poughkeepsie, 1)
+}
+
+func TestSerialSchedIsSequential(t *testing.T) {
+	dev := testDevice(t)
+	c := swapPathCircuit(t)
+	s, err := SerialSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No two unitary gates may overlap.
+	for i := range c.Gates {
+		for j := i + 1; j < len(c.Gates); j++ {
+			gi, gj := c.Gates[i], c.Gates[j]
+			if gi.Kind == circuit.KindMeasure || gj.Kind == circuit.KindMeasure {
+				continue
+			}
+			if gi.Kind == circuit.KindBarrier || gj.Kind == circuit.KindBarrier {
+				continue
+			}
+			if s.Overlaps(i, j) {
+				t.Fatalf("SerialSched overlaps gates %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestParSchedParallelizesIndependentSwaps(t *testing.T) {
+	dev := testDevice(t)
+	c := swapPathCircuit(t)
+	s, err := ParSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := SerialSched{}.Schedule(c, dev)
+	if s.Makespan() >= serial.Makespan() {
+		t.Fatalf("ParSched makespan %v not shorter than SerialSched %v", s.Makespan(), serial.Makespan())
+	}
+	// The two independent halves of the path must overlap somewhere.
+	nd := NoiseDataFromDevice(dev, 3)
+	if s.CrosstalkOverlapCount(nd) == 0 {
+		t.Fatal("expected ParSched to overlap the high-crosstalk SWAP pair on this path")
+	}
+}
+
+func TestParSchedMeasuresSimultaneous(t *testing.T) {
+	dev := testDevice(t)
+	c := swapPathCircuit(t)
+	s, err := ParSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mt []float64
+	for _, g := range c.Gates {
+		if g.Kind == circuit.KindMeasure {
+			mt = append(mt, s.Start[g.ID])
+		}
+	}
+	if len(mt) != 2 {
+		t.Fatalf("expected 2 measures, got %d", len(mt))
+	}
+	if mt[0] != mt[1] {
+		t.Fatalf("measures not simultaneous: %v vs %v", mt[0], mt[1])
+	}
+}
+
+func TestXtalkSchedAvoidsCrosstalkOverlap(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	x := NewXtalkSched(nd, DefaultXtalkConfig())
+	s, err := x.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CrosstalkOverlapCount(nd); got != 0 {
+		t.Fatalf("XtalkSched left %d high-crosstalk overlaps\n%s", got, s.Render())
+	}
+}
+
+func TestXtalkSchedBeatsBaselinesOnObjective(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	const omega = 0.5
+	x := NewXtalkSched(nd, DefaultXtalkConfig())
+	xs, err := x.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, _ := SerialSched{}.Schedule(c, dev)
+	par, _ := ParSched{}.Schedule(c, dev)
+	cx, cs, cp := xs.Cost(nd, omega), ser.Cost(nd, omega), par.Cost(nd, omega)
+	if cx > cs+1e-6 {
+		t.Fatalf("XtalkSched cost %v worse than SerialSched %v", cx, cs)
+	}
+	if cx > cp+1e-6 {
+		t.Fatalf("XtalkSched cost %v worse than ParSched %v", cx, cp)
+	}
+}
+
+func TestXtalkSchedDurationCloseToParSched(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	x := NewXtalkSched(nd, DefaultXtalkConfig())
+	xs, err := x.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _ := ParSched{}.Schedule(c, dev)
+	ser, _ := SerialSched{}.Schedule(c, dev)
+	if xs.Makespan() > ser.Makespan()+1e-6 {
+		t.Fatalf("XtalkSched makespan %v exceeds SerialSched %v", xs.Makespan(), ser.Makespan())
+	}
+	// Paper: XtalkSched duration is a modest increase over ParSched
+	// (mean 1.16x, worst 1.7x). Allow 2x here.
+	if xs.Makespan() > 2*par.Makespan() {
+		t.Fatalf("XtalkSched makespan %v more than 2x ParSched %v", xs.Makespan(), par.Makespan())
+	}
+}
+
+func TestXtalkSchedOmegaZeroMatchesParallelCost(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	cfg := DefaultXtalkConfig()
+	cfg.Omega = 0
+	// ParSched's ALAP schedule uses partial overlaps, which the IBMQ
+	// alignment constraints (Eq. 11-13) forbid for XtalkSched because
+	// barriers cannot express them. Disable alignment for an apples-to-
+	// apples decoherence comparison.
+	cfg.DisableAlignment = true
+	x := NewXtalkSched(nd, cfg)
+	xs, err := x.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _ := ParSched{}.Schedule(c, dev)
+	// With omega=0 only decoherence matters; the solver should match (or
+	// beat) ParSched's decoherence cost.
+	if xs.Cost(nd, 0) > par.Cost(nd, 0)+1e-4 {
+		t.Fatalf("omega=0 cost %v worse than ParSched %v", xs.Cost(nd, 0), par.Cost(nd, 0))
+	}
+}
+
+// TestXtalkSchedAlignmentCostSmall verifies the alignment-constraint
+// ablation: requiring barrier-expressible (disjoint-or-nested) overlap
+// costs a little decoherence but not much.
+func TestXtalkSchedAlignmentCostSmall(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	cfg := DefaultXtalkConfig()
+	cfg.Omega = 0
+	aligned, err := NewXtalkSched(nd, cfg).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableAlignment = true
+	freeform, err := NewXtalkSched(nd, cfg).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cf := aligned.Cost(nd, 0), freeform.Cost(nd, 0)
+	if ca < cf-1e-6 {
+		t.Fatalf("aligned cost %v cannot beat unconstrained cost %v", ca, cf)
+	}
+	if ca > 1.25*cf {
+		t.Fatalf("alignment constraints cost too much: %v vs %v", ca, cf)
+	}
+}
+
+func TestXtalkSchedOmegaOneSerializesCrosstalk(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	cfg := DefaultXtalkConfig()
+	cfg.Omega = 1
+	x := NewXtalkSched(nd, cfg)
+	xs, err := x.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := xs.CrosstalkOverlapCount(nd); got != 0 {
+		t.Fatalf("omega=1 left %d crosstalk overlaps", got)
+	}
+}
+
+func TestXtalkSchedCompactEncodingEquivalent(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	cfgP := DefaultXtalkConfig()
+	cfgC := DefaultXtalkConfig()
+	cfgC.CompactErrorEncoding = true
+	sp, err := NewXtalkSched(nd, cfgP).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewXtalkSched(nd, cfgC).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Cost(nd, 0.5)-sc.Cost(nd, 0.5)) > 1e-3 {
+		t.Fatalf("powerset cost %v != compact cost %v", sp.Cost(nd, 0.5), sc.Cost(nd, 0.5))
+	}
+}
+
+func TestHeuristicXtalkSched(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	h := &HeuristicXtalkSched{Noise: nd, Omega: 0.5}
+	s, err := h.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	par, _ := ParSched{}.Schedule(c, dev)
+	if s.Cost(nd, 0.5) > par.Cost(nd, 0.5)+1e-6 {
+		t.Fatalf("heuristic cost %v worse than ParSched %v", s.Cost(nd, 0.5), par.Cost(nd, 0.5))
+	}
+}
+
+func TestInsertBarriersEnforcesOrdering(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	x := NewXtalkSched(nd, DefaultXtalkConfig())
+	s, err := x.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := InsertBarriers(s)
+	// Every serialized high-crosstalk pair must be ordered (ancestor
+	// relation) in the barriered circuit.
+	dag := circuit.BuildDAG(out)
+	two := out.TwoQubitGates()
+	for i := 0; i < len(two); i++ {
+		for j := i + 1; j < len(two); j++ {
+			gi, gj := out.Gates[two[i]], out.Gates[two[j]]
+			ei := device.NewEdge(gi.Qubits[0], gi.Qubits[1])
+			ej := device.NewEdge(gj.Qubits[0], gj.Qubits[1])
+			if nd.IsHighCrosstalkPair(ei, ej) && dag.CanOverlap(two[i], two[j]) {
+				t.Fatalf("high-crosstalk pair %s/%s not ordered by barriers", ei, ej)
+			}
+		}
+	}
+}
+
+func TestScheduleLifetime(t *testing.T) {
+	dev := testDevice(t)
+	c := circuit.New(20)
+	c.CNOT(0, 1)
+	c.CNOT(0, 1)
+	c.Measure(0)
+	s, err := ParSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Duration[0]
+	wantQ0 := 2*d + device.DefaultMeasureDuration
+	if got := s.QubitLifetime(0); math.Abs(got-wantQ0) > 1e-6 {
+		t.Fatalf("qubit 0 lifetime %v, want %v", got, wantQ0)
+	}
+	if got := s.QubitLifetime(1); math.Abs(got-2*d) > 1e-6 {
+		t.Fatalf("qubit 1 lifetime %v, want %v", got, 2*d)
+	}
+	if got := s.QubitLifetime(5); got != 0 {
+		t.Fatalf("untouched qubit lifetime %v, want 0", got)
+	}
+}
+
+// TestXtalkSchedLowCoherenceOrdering reproduces the Fig. 6 discussion:
+// when two SWAPs must serialize and one touches the low-coherence qubit 10,
+// the solver orders them so qubit 10's lifetime is minimized (its SWAP goes
+// last).
+func TestXtalkSchedLowCoherenceOrdering(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	// Two high-crosstalk SWAPs: 5-10 and 11-12 (ground-truth pair), then
+	// readout everywhere relevant.
+	c := circuit.New(20)
+	c.SWAP(5, 10)
+	c.SWAP(11, 12)
+	c.Measure(5)
+	c.Measure(10)
+	c.Measure(11)
+	c.Measure(12)
+	dc := c.DecomposeSwaps()
+	x := NewXtalkSched(nd, DefaultXtalkConfig())
+	s, err := x.Schedule(dc, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CrosstalkOverlapCount(nd) != 0 {
+		t.Fatalf("expected serialization of the crosstalk pair\n%s", s.Render())
+	}
+	// The paper's point (Section 9.1): when serializing, the solver picks
+	// the best ORDER of the two SWAPs given per-qubit coherence. Verify
+	// optimality directly: the solver's cost must not exceed either manual
+	// ordering (each realized by SerialSched on a reordered circuit).
+	build := func(firstLow bool) *circuit.Circuit {
+		c2 := circuit.New(20)
+		if firstLow {
+			c2.SWAP(5, 10)
+			c2.SWAP(11, 12)
+		} else {
+			c2.SWAP(11, 12)
+			c2.SWAP(5, 10)
+		}
+		c2.Measure(5)
+		c2.Measure(10)
+		c2.Measure(11)
+		c2.Measure(12)
+		return c2.DecomposeSwaps()
+	}
+	const omega = 0.5
+	best := math.Inf(1)
+	for _, firstLow := range []bool{true, false} {
+		alt, err := SerialSched{}.Schedule(build(firstLow), dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := alt.Cost(nd, omega); c < best {
+			best = c
+		}
+	}
+	if got := s.Cost(nd, omega); got > best+1e-4 {
+		t.Fatalf("XtalkSched cost %v worse than best manual ordering %v\n%s", got, best, s.Render())
+	}
+}

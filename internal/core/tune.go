@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+// TuneOmega selects a crosstalk weight factor for a specific application
+// circuit by scheduling it at each candidate omega and scoring the resulting
+// schedules with the analytic success-probability model (gate errors under
+// the max rule + per-qubit decoherence). The paper's Section 9.3 shows the
+// best omega is application-dependent — crosstalk-susceptible circuits
+// tolerate a wide omega band while insensitive ones need omega near the
+// extremes; this automates that choice without hardware executions.
+//
+// Candidates defaults to the paper's sweep {0, 0.05, 0.1, 0.2, 0.3, 0.5,
+// 0.7, 1} when empty. Returns the chosen omega and its schedule.
+func TuneOmega(c *circuit.Circuit, dev *device.Device, nd *NoiseData, candidates []float64) (float64, *Schedule, error) {
+	if len(candidates) == 0 {
+		candidates = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1}
+	}
+	bestOmega := candidates[0]
+	var bestSched *Schedule
+	bestSuccess := -1.0
+	for _, omega := range candidates {
+		cfg := DefaultXtalkConfig()
+		cfg.Omega = omega
+		s, err := NewXtalkSched(nd, cfg).Schedule(c, dev)
+		if err != nil {
+			return 0, nil, fmt.Errorf("tune: omega=%v: %w", omega, err)
+		}
+		if p := s.SuccessEstimate(nd); p > bestSuccess {
+			bestSuccess, bestOmega, bestSched = p, omega, s
+		}
+	}
+	return bestOmega, bestSched, nil
+}

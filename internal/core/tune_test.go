@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+func TestTuneOmegaPrefersSerializationForCrosstalkHeavyCircuit(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	// Heavy repeated crosstalk exposure: serializing should win.
+	c := circuit.New(20)
+	for i := 0; i < 4; i++ {
+		c.CNOT(5, 10)
+		c.CNOT(11, 12)
+	}
+	c.Measure(10)
+	c.Measure(11)
+	omega, s, err := TuneOmega(c, dev, nd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil {
+		t.Fatal("no schedule returned")
+	}
+	if omega == 0 {
+		t.Fatal("crosstalk-heavy circuit should not tune to omega=0")
+	}
+	if s.CrosstalkOverlapCount(nd) != 0 {
+		t.Fatal("tuned schedule should serialize the crosstalk pairs")
+	}
+}
+
+func TestTuneOmegaNeutralForCrosstalkFreeCircuit(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	// Gates on a crosstalk-free row: all omegas give the same schedule
+	// quality; tuning must not fail and must return a valid schedule.
+	c := circuit.New(20)
+	c.CNOT(0, 1)
+	c.CNOT(2, 3)
+	c.Measure(1)
+	c.Measure(2)
+	omega, s, err := TuneOmega(c, dev, nd, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = omega // any choice is acceptable here
+}
+
+func TestTuneOmegaRespectsCandidates(t *testing.T) {
+	dev := device.MustNew(device.Johannesburg, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := circuit.New(20)
+	c.CNOT(5, 10)
+	c.CNOT(11, 12)
+	c.Measure(10)
+	c.Measure(11)
+	candidates := []float64{0.3, 0.7}
+	omega, _, err := TuneOmega(c, dev, nd, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if omega != 0.3 && omega != 0.7 {
+		t.Fatalf("tuned omega %v not among candidates", omega)
+	}
+}

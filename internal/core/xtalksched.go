@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+	"xtalk/internal/smt"
+)
+
+// XtalkConfig configures XtalkSched.
+type XtalkConfig struct {
+	// Omega is the crosstalk weight factor of Eq. 17: 1 = only crosstalk
+	// matters (serialize-like), 0 = only decoherence matters (ParSched-like).
+	Omega float64
+	// CompactErrorEncoding replaces the paper's powerset error constraints
+	// (Eq. 7-8, exponential in |CanOlp|) with an equivalent linear encoding
+	// using per-partner lower bounds (sound under minimization because the
+	// objective pushes each gate-cost variable down to the max binding
+	// bound). Used automatically when |CanOlp(g)| > PowersetCap.
+	CompactErrorEncoding bool
+	// PowersetCap bounds the powerset size; gates with more overlap
+	// candidates fall back to the compact encoding. Default 6.
+	PowersetCap int
+	// DisableAlignment drops the IBMQ-specific no-partial-overlap
+	// constraints (Eq. 11-13), for ablation.
+	DisableAlignment bool
+	// TieBreak adds a tiny per-ns cost on every start time so the optimum is
+	// left-compacted. Default 1e-9.
+	TieBreak float64
+	// MaxConflicts bounds SMT search effort (0 = unlimited).
+	MaxConflicts int64
+	// Timeout makes the optimization anytime: when it expires the best
+	// incumbent schedule found so far is returned (0 = run to optimality).
+	Timeout time.Duration
+	// SumErrorComposition replaces the paper's max rule (Eq. 6: a gate
+	// overlapping several crosstalk partners pays only the worst conditional
+	// rate) with additive composition (each overlapping partner contributes
+	// its excess cost). An ablation of the design choice the paper justifies
+	// by "we have not observed significant worsening from triplets". Implies
+	// the compact encoding.
+	SumErrorComposition bool
+	// ForceOverlaps pins overlap indicators to fixed values (keyed by the
+	// gate-ID pair, smaller ID first). Test-only: used to brute-force the
+	// boolean search space when validating optimality.
+	ForceOverlaps map[[2]int]bool
+}
+
+// DefaultXtalkConfig returns the paper's default configuration (omega=0.5).
+func DefaultXtalkConfig() XtalkConfig {
+	return XtalkConfig{Omega: 0.5, PowersetCap: 6, TieBreak: 1e-9}
+}
+
+// XtalkSched is the paper's crosstalk-adaptive scheduler: it encodes gate
+// start times, overlap indicators, crosstalk-dependent gate error costs and
+// per-qubit decoherence lifetimes as an SMT optimization (Section 7) and
+// extracts the optimal schedule.
+type XtalkSched struct {
+	Noise  *NoiseData
+	Config XtalkConfig
+}
+
+// NewXtalkSched builds an XtalkSched over the given characterization data.
+func NewXtalkSched(nd *NoiseData, cfg XtalkConfig) *XtalkSched {
+	if cfg.PowersetCap <= 0 {
+		cfg.PowersetCap = 6
+	}
+	if cfg.TieBreak == 0 {
+		cfg.TieBreak = 1e-9
+	}
+	return &XtalkSched{Noise: nd, Config: cfg}
+}
+
+// Name implements Scheduler.
+func (x *XtalkSched) Name() string { return fmt.Sprintf("XtalkSched(w=%.2g)", x.Config.Omega) }
+
+// OverlapPairKeys returns the gate-ID pairs that receive overlap indicators
+// for this circuit (the pruned CanOlp pairs), smaller ID first.
+func (x *XtalkSched) OverlapPairKeys(c *circuit.Circuit) [][2]int {
+	dag := circuit.BuildDAG(c)
+	two := c.TwoQubitGates()
+	var keys [][2]int
+	for i := 0; i < len(two); i++ {
+		for j := i + 1; j < len(two); j++ {
+			a, b := two[i], two[j]
+			ga, gb := c.Gates[a], c.Gates[b]
+			ea := device.NewEdge(ga.Qubits[0], ga.Qubits[1])
+			eb := device.NewEdge(gb.Qubits[0], gb.Qubits[1])
+			if dag.CanOverlap(a, b) && x.Noise.IsHighCrosstalkPair(ea, eb) {
+				keys = append(keys, [2]int{a, b})
+			}
+		}
+	}
+	return keys
+}
+
+// Schedule implements Scheduler.
+func (x *XtalkSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	sched := newSchedule(c, dev, x.Name())
+	dag := circuit.BuildDAG(c)
+	sol := smt.NewSolver()
+	if os.Getenv("SMT_DEBUG_AUDIT") != "" {
+		sol.EnableDebugModelAudit()
+		sol.EnableDebugStrict()
+	}
+
+	n := len(c.Gates)
+	// Horizon: the fully serial duration is an upper bound on any useful
+	// start time; bounding tau keeps the optimization polytope compact.
+	horizon := device.DefaultMeasureDuration
+	for i := range c.Gates {
+		horizon += sched.Duration[i]
+	}
+	tau := make([]smt.Var, n)
+	for i := 0; i < n; i++ {
+		tau[i] = sol.Real()
+		sol.Assert(smt.Ge(smt.V(tau[i]), smt.Const(0)))
+		sol.Assert(smt.Le(smt.V(tau[i]), smt.Const(horizon)))
+	}
+
+	// Data dependency constraints (Eq. 1).
+	for i := 0; i < n; i++ {
+		for _, p := range dag.Pred[i] {
+			sol.Assert(smt.Ge(smt.V(tau[i]), smt.V(tau[p]).AddConst(sched.Duration[p])))
+		}
+	}
+
+	// IBMQ constraint: all readouts simultaneous.
+	var firstMeasure = -1
+	for _, g := range c.Gates {
+		if g.Kind != circuit.KindMeasure {
+			continue
+		}
+		if firstMeasure < 0 {
+			firstMeasure = g.ID
+			continue
+		}
+		sol.Assert(smt.Eq(smt.V(tau[g.ID]), smt.V(tau[firstMeasure])))
+	}
+
+	// Overlap candidates: for each two-qubit gate, the concurrency-compatible
+	// two-qubit gates whose hardware edge forms a high-crosstalk pair with
+	// its own (the pruned CanOlp of Section 7.2).
+	two := c.TwoQubitGates()
+	edgeOf := func(id int) device.Edge {
+		g := c.Gates[id]
+		return device.NewEdge(g.Qubits[0], g.Qubits[1])
+	}
+	canOlp := map[int][]int{}
+	for i := 0; i < len(two); i++ {
+		for j := i + 1; j < len(two); j++ {
+			a, b := two[i], two[j]
+			if !dag.CanOverlap(a, b) {
+				continue
+			}
+			if !x.Noise.IsHighCrosstalkPair(edgeOf(a), edgeOf(b)) {
+				continue
+			}
+			canOlp[a] = append(canOlp[a], b)
+			canOlp[b] = append(canOlp[b], a)
+		}
+	}
+
+	// Overlap indicators o_ij (Eq. 2), one per unordered pair.
+	overlapVar := map[[2]int]smt.BoolV{}
+	overlapOf := func(a, b int) smt.BoolV {
+		key := [2]int{min(a, b), max(a, b)}
+		if v, ok := overlapVar[key]; ok {
+			return v
+		}
+		o := sol.Bool()
+		overlapVar[key] = o
+		fa := smt.V(tau[a]).AddConst(sched.Duration[a])
+		fb := smt.V(tau[b]).AddConst(sched.Duration[b])
+		sol.Assert(smt.Iff(smt.BoolLit(o), smt.And(
+			smt.Le(smt.V(tau[b]), fa),
+			smt.Le(smt.V(tau[a]), fb),
+		)))
+		if pin, ok := x.Config.ForceOverlaps[key]; ok {
+			if pin {
+				sol.Assert(smt.BoolLit(o))
+			} else {
+				sol.Assert(smt.Not(smt.BoolLit(o)))
+			}
+		}
+		if !x.Config.DisableAlignment {
+			// Eq. 11-13: gates either disjoint or fully nested (no partial
+			// overlap, since circuit-level barriers cannot express it).
+			sol.Assert(smt.Or(
+				smt.Lt(fa, smt.V(tau[b])),
+				smt.Lt(fb, smt.V(tau[a])),
+				smt.And(smt.Le(fa, fb), smt.Ge(smt.V(tau[a]), smt.V(tau[b]))),
+				smt.And(smt.Le(fb, fa), smt.Ge(smt.V(tau[b]), smt.V(tau[a]))),
+			))
+		}
+		return o
+	}
+
+	// Gate error cost variables and overlap-scenario constraints (Eq. 3-8).
+	// costVar[g] = -log(1 - eps_g); fixed-cost gates contribute a constant.
+	objective := smt.Const(0)
+	constCost := 0.0
+	for _, id := range two {
+		e := edgeOf(id)
+		partners := canOlp[id]
+		if len(partners) == 0 {
+			constCost += errCost(x.Noise.Independent[e])
+			continue
+		}
+		cg := sol.Real()
+		indep := errCost(x.Noise.Independent[e])
+		// Unconditional sanity bounds: the cost is at least the independent
+		// cost and at most the worst representable error. Without these the
+		// objective would be unbounded below under boolean assignments that
+		// leave cg's scenario equations unasserted.
+		sol.Assert(smt.Ge(smt.V(cg), smt.Const(indep)))
+		sol.Assert(smt.Le(smt.V(cg), smt.Const(errCost(0.999))))
+		if x.Config.SumErrorComposition {
+			// Ablation: additive composition. cg >= indep + sum over
+			// overlapping partners of their excess cost, via one
+			// non-negative contribution variable per partner.
+			excess := smt.Const(indep)
+			for _, p := range partners {
+				delta := errCost(x.Noise.ConditionalError(e, edgeOf(p))) - indep
+				if delta <= 0 {
+					continue
+				}
+				z := sol.Real()
+				sol.Assert(smt.Ge(smt.V(z), smt.Const(0)))
+				sol.Assert(smt.Le(smt.V(z), smt.Const(delta)))
+				sol.Assert(smt.Implies(smt.BoolLit(overlapOf(id, p)),
+					smt.Ge(smt.V(z), smt.Const(delta))))
+				excess = excess.Add(smt.V(z))
+			}
+			sol.Assert(smt.Ge(smt.V(cg), excess))
+		} else if x.Config.CompactErrorEncoding || len(partners) > x.Config.PowersetCap {
+			// Linear encoding: each overlapping partner imposes its
+			// conditional cost as a lower bound. Minimization drives cost to
+			// the max active bound = Eq. 7's max rule.
+			for _, p := range partners {
+				cond := errCost(x.Noise.ConditionalError(e, edgeOf(p)))
+				sol.Assert(smt.Implies(smt.BoolLit(overlapOf(id, p)),
+					smt.Ge(smt.V(cg), smt.Const(cond))))
+			}
+		} else {
+			// Paper-faithful powerset encoding: one implication per subset
+			// of CanOlp(g) (Eq. 7), plus the empty-set case (Eq. 8).
+			for mask := 0; mask < 1<<len(partners); mask++ {
+				var lits []smt.Formula
+				worst := indep
+				for pi, p := range partners {
+					o := smt.BoolLit(overlapOf(id, p))
+					if mask>>pi&1 == 1 {
+						lits = append(lits, o)
+						if c := errCost(x.Noise.ConditionalError(e, edgeOf(p))); c > worst {
+							worst = c
+						}
+					} else {
+						lits = append(lits, smt.Not(o))
+					}
+				}
+				sol.Assert(smt.Implies(smt.And(lits...),
+					smt.Eq(smt.V(cg), smt.Const(worst))))
+			}
+		}
+		objective = objective.Add(smt.Term(cg, x.Config.Omega))
+	}
+
+	// Decoherence lifetime constraints (Eq. 9-10 linearized): per active
+	// qubit, F_q <= every gate start, L_q >= every gate finish, objective
+	// term (1-omega) * (L_q - F_q) / T_q.
+	for _, q := range c.ActiveQubits() {
+		var gates []int
+		for _, g := range c.Gates {
+			if g.Kind == circuit.KindBarrier {
+				continue
+			}
+			for _, gq := range g.Qubits {
+				if gq == q {
+					gates = append(gates, g.ID)
+				}
+			}
+		}
+		if len(gates) == 0 {
+			continue
+		}
+		fq, lq := sol.Real(), sol.Real()
+		for _, id := range gates {
+			sol.Assert(smt.Le(smt.V(fq), smt.V(tau[id])))
+			sol.Assert(smt.Ge(smt.V(lq), smt.V(tau[id]).AddConst(sched.Duration[id])))
+		}
+		sol.Assert(smt.Ge(smt.V(lq), smt.V(fq)))
+		coh := x.Noise.Coherence[q]
+		if coh <= 0 {
+			coh = 1
+		}
+		w := (1 - x.Config.Omega) / coh
+		objective = objective.Add(smt.Term(lq, w)).Add(smt.Term(fq, -w))
+	}
+
+	// Tie-break: prefer earlier start times so the optimum is compact.
+	for i := 0; i < n; i++ {
+		objective = objective.Add(smt.Term(tau[i], x.Config.TieBreak))
+	}
+
+	model, ok, err := sol.Minimize(objective, smt.MinimizeOpts{
+		MaxConflicts: x.Config.MaxConflicts,
+		Deadline:     x.Config.Timeout,
+	})
+	if err != nil {
+		if x.Config.Timeout > 0 || x.Config.MaxConflicts > 0 {
+			// Anytime budget expired before the first incumbent: fall back
+			// to the greedy crosstalk-aware heuristic so callers still get
+			// a valid, crosstalk-serialized schedule.
+			h := &HeuristicXtalkSched{Noise: x.Noise, Omega: x.Config.Omega}
+			hs, herr := h.Schedule(c, dev)
+			if herr != nil {
+				return nil, fmt.Errorf("xtalksched: %w (heuristic fallback also failed: %v)", err, herr)
+			}
+			hs.Scheduler = x.Name() + "+fallback"
+			return hs, nil
+		}
+		return nil, fmt.Errorf("xtalksched: %w", err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("xtalksched: scheduling constraints unsatisfiable")
+	}
+	for i := 0; i < n; i++ {
+		sched.Start[i] = math.Max(0, model.Real(tau[i]))
+	}
+	sched.SolverObjective = model.Objective + x.Config.Omega*constCost
+	return sched, nil
+}

@@ -1,0 +1,248 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Durations are in nanoseconds, matching IBMQ backend conventions.
+const (
+	// Default1QDuration is the duration of a single-qubit gate.
+	Default1QDuration = 50.0
+	// DefaultMeasureDuration is the duration of a readout operation.
+	DefaultMeasureDuration = 3500.0
+)
+
+// QubitCal holds per-qubit calibration data, measured daily on real systems.
+type QubitCal struct {
+	T1 float64 // relaxation time, ns
+	T2 float64 // dephasing time, ns
+	// ReadoutError is the probability that readout reports the wrong bit.
+	ReadoutError float64
+	// Error1Q is the single-qubit gate error rate.
+	Error1Q float64
+}
+
+// CoherenceLimit returns min(T1, T2), the effective decoherence time used by
+// the scheduler (paper Section 7.2, decoherence constraints).
+func (q QubitCal) CoherenceLimit() float64 { return math.Min(q.T1, q.T2) }
+
+// GateCal holds per-CNOT calibration data.
+type GateCal struct {
+	// Error is the independent (isolated) CNOT error rate E(g).
+	Error float64
+	// Duration is the CNOT duration in ns.
+	Duration float64
+}
+
+// Calibration is one day's calibration snapshot for a device.
+type Calibration struct {
+	Qubits []QubitCal
+	Gates  map[Edge]GateCal
+	// Conditional[gi][gj] is the ground-truth conditional error rate
+	// E(gi|gj) when gi is driven simultaneously with gj. Pairs absent from
+	// the map have no measurable crosstalk: E(gi|gj) ~= E(gi).
+	Conditional map[Edge]map[Edge]float64
+}
+
+// IndependentError returns E(g) for the CNOT on edge e.
+func (c *Calibration) IndependentError(e Edge) float64 { return c.Gates[e].Error }
+
+// ConditionalError returns the ground-truth E(gi|gj): the elevated rate if
+// the pair is a crosstalk pair, otherwise the independent rate.
+func (c *Calibration) ConditionalError(gi, gj Edge) float64 {
+	if m, ok := c.Conditional[gi]; ok {
+		if v, ok := m[gj]; ok {
+			return v
+		}
+	}
+	return c.IndependentError(gi)
+}
+
+// HighCrosstalkPairs returns all edge pairs where either direction's
+// conditional error exceeds threshold times the independent error
+// (the paper uses threshold = 3).
+func (c *Calibration) HighCrosstalkPairs(threshold float64) []EdgePair {
+	seen := map[EdgePair]bool{}
+	var out []EdgePair
+	for gi, m := range c.Conditional {
+		for gj, cond := range m {
+			if cond > threshold*c.IndependentError(gi) {
+				p := NewEdgePair(gi, gj)
+				if !seen[p] {
+					seen[p] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Device bundles a topology with its current calibration. It is the full
+// hardware model handed to the characterizer, scheduler and simulator.
+type Device struct {
+	Name SystemName
+	Topo *Topology
+	Cal  *Calibration
+	// Seed used to synthesize the calibration (for reproducibility).
+	Seed int64
+	// Day is the calibration day index (0 = first day). Crosstalk factors
+	// and error rates drift day to day, the pair set stays stable (Fig. 4).
+	Day int
+}
+
+// New synthesizes a device for the given system on calibration day 0.
+func New(name SystemName, seed int64) (*Device, error) {
+	return NewForDay(name, seed, 0)
+}
+
+// MustNew is New but panics on error; for tests and examples with known
+// system names.
+func MustNew(name SystemName, seed int64) *Device {
+	d, err := New(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewForDay synthesizes the calibration snapshot of the given day.
+// Base characteristics (which qubits are good or bad, which pairs have
+// crosstalk) depend only on (name, seed); daily drift perturbs the rates.
+func NewForDay(name SystemName, seed int64, day int) (*Device, error) {
+	topo, err := TopologyFor(name)
+	if err != nil {
+		return nil, err
+	}
+	base := rand.New(rand.NewSource(seed ^ int64(hashString(string(name)))))
+	cal := &Calibration{
+		Qubits:      make([]QubitCal, topo.NQubits),
+		Gates:       make(map[Edge]GateCal, len(topo.Edges)),
+		Conditional: map[Edge]map[Edge]float64{},
+	}
+	// Per-qubit base values: T1, T2 in 10-100us (ns units), readout ~4.8%.
+	for q := 0; q < topo.NQubits; q++ {
+		t1 := (20 + 80*base.Float64()) * 1000 // 20-100 us
+		t2 := t1 * (0.5 + base.Float64())     // 0.5x - 1.5x of T1
+		if t2 > 2*t1 {
+			t2 = 2 * t1
+		}
+		cal.Qubits[q] = QubitCal{
+			T1:           t1,
+			T2:           t2,
+			ReadoutError: clampProb(0.048 + 0.02*base.NormFloat64()*0.5),
+			Error1Q:      clampProb(0.0005 + 0.0004*base.Float64()),
+		}
+	}
+	// The paper's Fig. 6 discussion: Poughkeepsie qubit 10 has very low
+	// coherence (< 6us, ~10x below average). Reproduce that outlier so the
+	// serialization-ordering behaviour is observable.
+	if name == Poughkeepsie {
+		cal.Qubits[10].T1 = 9000
+		cal.Qubits[10].T2 = 5500
+	}
+	// Per-gate base values: CNOT error 0.5-6.5%, mean ~1.8% (log-uniform
+	// skews mass toward the low end), duration 250-550ns.
+	for _, e := range topo.Edges {
+		lo, hi := 0.005, 0.065
+		u := base.Float64()
+		err := lo * math.Exp(u*math.Log(hi/lo)) * (0.9 + 0.2*base.Float64())
+		cal.Gates[e] = GateCal{
+			Error:    clampProb(err),
+			Duration: 250 + 300*base.Float64(),
+		}
+	}
+	// Ground-truth crosstalk pairs with degradation factors in [4x, 11x].
+	type dirFactor struct {
+		gi, gj Edge
+		f      float64
+	}
+	var factors []dirFactor
+	for _, pair := range groundTruthCrosstalkPairs[name] {
+		gi, gj := pair[0], pair[1]
+		if gi.SharesQubit(gj) {
+			panic(fmt.Sprintf("device: ground-truth crosstalk pair %v shares a qubit", pair))
+		}
+		if topo.GateDistance(gi, gj) != 1 {
+			panic(fmt.Sprintf("device: ground-truth crosstalk pair (%s,%s) is not 1-hop", gi, gj))
+		}
+		factors = append(factors,
+			dirFactor{gi, gj, 4 + 7*base.Float64()},
+			dirFactor{gj, gi, 4 + 7*base.Float64()})
+	}
+	// Daily drift: rates move by a per-day multiplicative factor bounded to
+	// keep conditional errors within the paper's observed 2-3x band, while
+	// the pair set itself stays fixed.
+	drift := rand.New(rand.NewSource(seed ^ int64(hashString(string(name)))<<1 ^ int64(day)*0x9e3779b9))
+	driftFactor := func(spread float64) float64 {
+		if day == 0 {
+			return 1
+		}
+		return math.Exp((drift.Float64()*2 - 1) * math.Log(spread))
+	}
+	for e, gc := range cal.Gates {
+		gc.Error = clampProb(gc.Error * driftFactor(1.25))
+		cal.Gates[e] = gc
+	}
+	for _, df := range factors {
+		cond := cal.Gates[df.gi].Error * df.f * driftFactor(1.6)
+		if cond > 0.45 {
+			cond = 0.45
+		}
+		if cal.Conditional[df.gi] == nil {
+			cal.Conditional[df.gi] = map[Edge]float64{}
+		}
+		cal.Conditional[df.gi][df.gj] = cond
+	}
+	return &Device{Name: name, Topo: topo, Cal: cal, Seed: seed, Day: day}, nil
+}
+
+// GateDuration returns the duration (ns) of the given gate kind on the
+// device: CNOTs use per-edge calibration, SWAPs cost 3 CNOTs, measures and
+// single-qubit gates use device-wide defaults.
+func (d *Device) GateDuration(isTwoQubit bool, isMeasure bool, qubits []int) float64 {
+	switch {
+	case isMeasure:
+		return DefaultMeasureDuration
+	case isTwoQubit:
+		e := NewEdge(qubits[0], qubits[1])
+		if gc, ok := d.Cal.Gates[e]; ok {
+			return gc.Duration
+		}
+		return 400
+	default:
+		return Default1QDuration
+	}
+}
+
+// AverageCoherence returns the mean over qubits of min(T1, T2).
+func (d *Device) AverageCoherence() float64 {
+	var s float64
+	for _, q := range d.Cal.Qubits {
+		s += q.CoherenceLimit()
+	}
+	return s / float64(len(d.Cal.Qubits))
+}
+
+func clampProb(p float64) float64 {
+	if p < 1e-5 {
+		return 1e-5
+	}
+	if p > 0.5 {
+		return 0.5
+	}
+	return p
+}
+
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

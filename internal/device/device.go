@@ -1,0 +1,202 @@
+// Package device models the NISQ hardware targeted by the paper: the
+// coupling topologies of the three 20-qubit IBMQ systems (Poughkeepsie,
+// Johannesburg, Boeblingen), their daily calibration data (gate error rates,
+// gate durations, T1/T2 coherence times, readout error), and a ground-truth
+// crosstalk map. Real hardware is unavailable, so calibration values are
+// synthesized from seeded RNGs with the distributions the paper reports
+// (CNOT error 0.5-6.5% mean 1.8%, readout ~4.8%, T1/T2 10-100us, crosstalk
+// degradation up to 11x on 1-hop pairs, daily drift up to 2-3x).
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected coupling between two physical qubits, normalized so
+// that A < B.
+type Edge struct {
+	A, B int
+}
+
+// NewEdge returns the normalized edge {min, max}.
+func NewEdge(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// Contains reports whether q is an endpoint of e.
+func (e Edge) Contains(q int) bool { return e.A == q || e.B == q }
+
+// SharesQubit reports whether the two edges share an endpoint.
+func (e Edge) SharesQubit(other Edge) bool {
+	return e.Contains(other.A) || e.Contains(other.B)
+}
+
+// String renders the edge as "a-b".
+func (e Edge) String() string { return fmt.Sprintf("%d-%d", e.A, e.B) }
+
+// EdgePair is an unordered pair of edges, normalized so First < Second in
+// (A,B) lexicographic order. It identifies a simultaneous-CNOT combination.
+type EdgePair struct {
+	First, Second Edge
+}
+
+// NewEdgePair returns the normalized pair.
+func NewEdgePair(e1, e2 Edge) EdgePair {
+	if e2.A < e1.A || (e2.A == e1.A && e2.B < e1.B) {
+		e1, e2 = e2, e1
+	}
+	return EdgePair{First: e1, Second: e2}
+}
+
+// String renders the pair as "(a-b,c-d)".
+func (p EdgePair) String() string { return fmt.Sprintf("(%s,%s)", p.First, p.Second) }
+
+// Topology is a named, undirected coupling graph over NQubits qubits.
+type Topology struct {
+	Name    string
+	NQubits int
+	Edges   []Edge
+
+	adj  [][]int
+	dist [][]int // all-pairs hop distances
+}
+
+// NewTopology builds a topology and precomputes adjacency and all-pairs
+// shortest-path hop distances.
+func NewTopology(name string, nQubits int, edges []Edge) *Topology {
+	t := &Topology{Name: name, NQubits: nQubits}
+	seen := map[Edge]bool{}
+	for _, e := range edges {
+		e = NewEdge(e.A, e.B)
+		if e.A < 0 || e.B >= nQubits || e.A == e.B {
+			panic(fmt.Sprintf("device: invalid edge %s for %d qubits", e, nQubits))
+		}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		t.Edges = append(t.Edges, e)
+	}
+	sort.Slice(t.Edges, func(i, j int) bool {
+		if t.Edges[i].A != t.Edges[j].A {
+			return t.Edges[i].A < t.Edges[j].A
+		}
+		return t.Edges[i].B < t.Edges[j].B
+	})
+	t.adj = make([][]int, nQubits)
+	for _, e := range t.Edges {
+		t.adj[e.A] = append(t.adj[e.A], e.B)
+		t.adj[e.B] = append(t.adj[e.B], e.A)
+	}
+	t.dist = make([][]int, nQubits)
+	for s := 0; s < nQubits; s++ {
+		t.dist[s] = t.bfs(s)
+	}
+	return t
+}
+
+func (t *Topology) bfs(src int) []int {
+	dist := make([]int, t.NQubits)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Neighbors returns the adjacency list of qubit q.
+func (t *Topology) Neighbors(q int) []int { return t.adj[q] }
+
+// HasEdge reports whether (a, b) is a coupling.
+func (t *Topology) HasEdge(a, b int) bool {
+	e := NewEdge(a, b)
+	for _, x := range t.Edges {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Distance returns the hop distance between qubits a and b (-1 if
+// disconnected).
+func (t *Topology) Distance(a, b int) int { return t.dist[a][b] }
+
+// ShortestPath returns one shortest qubit path from a to b, inclusive.
+func (t *Topology) ShortestPath(a, b int) []int {
+	if t.dist[a][b] < 0 {
+		return nil
+	}
+	path := []int{a}
+	cur := a
+	for cur != b {
+		for _, nb := range t.adj[cur] {
+			if t.dist[nb][b] == t.dist[cur][b]-1 {
+				cur = nb
+				break
+			}
+		}
+		path = append(path, cur)
+	}
+	return path
+}
+
+// GateDistance returns the hop separation between two CNOT edges: 0 if they
+// share a qubit, otherwise the minimum pairwise qubit distance between their
+// endpoints. The paper's "1-hop" crosstalk pairs have GateDistance == 1.
+func (t *Topology) GateDistance(e1, e2 Edge) int {
+	if e1.SharesQubit(e2) {
+		return 0
+	}
+	best := -1
+	for _, a := range []int{e1.A, e1.B} {
+		for _, b := range []int{e2.A, e2.B} {
+			d := t.dist[a][b]
+			if d >= 0 && (best < 0 || d < best) {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// SimultaneousPairs returns every unordered pair of edges that can be driven
+// in parallel (i.e. that do not share a qubit). This is the paper's
+// "all pairs" characterization set (221 pairs on Poughkeepsie).
+func (t *Topology) SimultaneousPairs() []EdgePair {
+	var out []EdgePair
+	for i := 0; i < len(t.Edges); i++ {
+		for j := i + 1; j < len(t.Edges); j++ {
+			if !t.Edges[i].SharesQubit(t.Edges[j]) {
+				out = append(out, NewEdgePair(t.Edges[i], t.Edges[j]))
+			}
+		}
+	}
+	return out
+}
+
+// PairsAtDistance returns simultaneous pairs whose GateDistance equals d.
+func (t *Topology) PairsAtDistance(d int) []EdgePair {
+	var out []EdgePair
+	for _, p := range t.SimultaneousPairs() {
+		if t.GateDistance(p.First, p.Second) == d {
+			out = append(out, p)
+		}
+	}
+	return out
+}

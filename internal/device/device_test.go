@@ -1,0 +1,255 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologiesWellFormed(t *testing.T) {
+	for _, name := range AllSystems {
+		topo, err := TopologyFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.NQubits != 20 {
+			t.Fatalf("%s: %d qubits, want 20", name, topo.NQubits)
+		}
+		// All three devices are connected.
+		for q := 1; q < topo.NQubits; q++ {
+			if topo.Distance(0, q) < 0 {
+				t.Fatalf("%s: qubit %d unreachable from 0", name, q)
+			}
+		}
+		// Sparser than the full 2D grid (paper Fig. 3 caption).
+		if len(topo.Edges) >= 31 {
+			t.Fatalf("%s: %d edges, expected fewer than a 4x5 grid's 31", name, len(topo.Edges))
+		}
+	}
+}
+
+func TestPoughkeepsiePaperPaths(t *testing.T) {
+	topo := PoughkeepsieTopology()
+	// Paper: CNOT 0,13 routes as 0-5-10-11-12-13 (path length 5).
+	if d := topo.Distance(0, 13); d != 5 {
+		t.Fatalf("distance(0,13) = %d, want 5", d)
+	}
+	// Shortest-path distances on the coupling ring (the paper's Fig. 7
+	// "path length" column reflects their chosen crosstalk-prone SWAP
+	// paths, which are not always the shortest routes).
+	for _, tc := range []struct{ a, b, want int }{
+		{5, 12, 3}, {11, 14, 3}, {12, 15, 3}, {13, 18, 3},
+		{0, 12, 4}, {7, 15, 4}, {10, 14, 4}, {13, 15, 4},
+		{0, 13, 5}, {7, 16, 5}, {9, 10, 5}, {13, 16, 5}, {8, 17, 5},
+		{1, 13, 6}, {6, 18, 6}, {8, 16, 6}, {4, 16, 6},
+	} {
+		if d := topo.Distance(tc.a, tc.b); d != tc.want {
+			t.Fatalf("distance(%d,%d) = %d, want %d", tc.a, tc.b, d, tc.want)
+		}
+	}
+}
+
+func TestShortestPathValid(t *testing.T) {
+	topo := PoughkeepsieTopology()
+	path := topo.ShortestPath(0, 13)
+	if len(path) != 6 {
+		t.Fatalf("path length %d, want 6 nodes", len(path))
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !topo.HasEdge(path[i], path[i+1]) {
+			t.Fatalf("path step %d-%d is not an edge", path[i], path[i+1])
+		}
+	}
+}
+
+func TestGateDistance(t *testing.T) {
+	topo := PoughkeepsieTopology()
+	if d := topo.GateDistance(NewEdge(0, 1), NewEdge(1, 2)); d != 0 {
+		t.Fatalf("shared-qubit distance = %d, want 0", d)
+	}
+	if d := topo.GateDistance(NewEdge(10, 15), NewEdge(11, 12)); d != 1 {
+		t.Fatalf("(10-15, 11-12) distance = %d, want 1", d)
+	}
+	if d := topo.GateDistance(NewEdge(0, 1), NewEdge(18, 19)); d < 2 {
+		t.Fatalf("far pair distance = %d, want >= 2", d)
+	}
+}
+
+func TestSimultaneousPairsCount(t *testing.T) {
+	// Paper Section 4.2: 221 simultaneous pairs on Poughkeepsie.
+	topo := PoughkeepsieTopology()
+	if got := len(topo.SimultaneousPairs()); got != 221 {
+		t.Fatalf("Poughkeepsie simultaneous pairs = %d, want 221", got)
+	}
+}
+
+func TestCalibrationRanges(t *testing.T) {
+	for _, name := range AllSystems {
+		dev := MustNew(name, 7)
+		var sum float64
+		for e, gc := range dev.Cal.Gates {
+			if gc.Error < 0.0005 || gc.Error > 0.5 {
+				t.Fatalf("%s %s: error %v out of range", name, e, gc.Error)
+			}
+			if gc.Duration < 200 || gc.Duration > 600 {
+				t.Fatalf("%s %s: duration %v out of range", name, e, gc.Duration)
+			}
+			sum += gc.Error
+		}
+		mean := sum / float64(len(dev.Cal.Gates))
+		if mean < 0.005 || mean > 0.04 {
+			t.Fatalf("%s: mean CNOT error %v outside [0.5%%, 4%%]", name, mean)
+		}
+		for q, qc := range dev.Cal.Qubits {
+			if qc.T1 < 5000 || qc.T1 > 110000 {
+				t.Fatalf("%s q%d: T1 %v out of range", name, q, qc.T1)
+			}
+			if qc.ReadoutError < 0 || qc.ReadoutError > 0.2 {
+				t.Fatalf("%s q%d: readout error %v out of range", name, q, qc.ReadoutError)
+			}
+		}
+	}
+}
+
+func TestPoughkeepsieLowCoherenceQubit10(t *testing.T) {
+	dev := MustNew(Poughkeepsie, 3)
+	if lim := dev.Cal.Qubits[10].CoherenceLimit(); lim > 6000 {
+		t.Fatalf("qubit 10 coherence %v ns, want < 6000 (paper Section 9.1)", lim)
+	}
+	if avg := dev.AverageCoherence(); avg < 5*dev.Cal.Qubits[10].CoherenceLimit() {
+		t.Fatalf("qubit 10 should be ~10x below average (avg %v)", avg)
+	}
+}
+
+func TestGroundTruthCrosstalkPairs(t *testing.T) {
+	for _, name := range AllSystems {
+		dev := MustNew(name, 1)
+		pairs := dev.Cal.HighCrosstalkPairs(3)
+		if len(pairs) == 0 {
+			t.Fatalf("%s: no high-crosstalk pairs", name)
+		}
+		for _, p := range pairs {
+			if d := dev.Topo.GateDistance(p.First, p.Second); d != 1 {
+				t.Fatalf("%s: crosstalk pair %s at distance %d, want 1", name, p, d)
+			}
+			c1 := dev.Cal.ConditionalError(p.First, p.Second)
+			i1 := dev.Cal.IndependentError(p.First)
+			c2 := dev.Cal.ConditionalError(p.Second, p.First)
+			i2 := dev.Cal.IndependentError(p.Second)
+			if c1 <= 3*i1 && c2 <= 3*i2 {
+				t.Fatalf("%s: pair %s not above 3x threshold in either direction", name, p)
+			}
+			// Degradation bounded by ~11x plus cap (paper Section 5.1).
+			if c1 > 12*i1 && c1 < 0.45 {
+				t.Fatalf("%s: conditional error %v more than 12x independent %v", name, c1, i1)
+			}
+		}
+	}
+}
+
+func TestConditionalErrorDefaultsToIndependent(t *testing.T) {
+	dev := MustNew(Poughkeepsie, 1)
+	gi, gj := NewEdge(0, 1), NewEdge(18, 19)
+	if got := dev.Cal.ConditionalError(gi, gj); got != dev.Cal.IndependentError(gi) {
+		t.Fatalf("non-crosstalk pair conditional %v != independent %v", got, dev.Cal.IndependentError(gi))
+	}
+}
+
+func TestDailyDriftBoundedAndStablePairs(t *testing.T) {
+	base := MustNew(Poughkeepsie, 1)
+	basePairs := base.Cal.HighCrosstalkPairs(3)
+	for day := 1; day <= 6; day++ {
+		dev, err := NewForDay(Poughkeepsie, 1, day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The pair set stays stable across days (paper Fig. 4).
+		dayPairs := dev.Cal.HighCrosstalkPairs(3)
+		if len(dayPairs) != len(basePairs) {
+			t.Fatalf("day %d: %d pairs vs %d on day 0", day, len(dayPairs), len(basePairs))
+		}
+		for i := range dayPairs {
+			if dayPairs[i] != basePairs[i] {
+				t.Fatalf("day %d: pair set changed: %v vs %v", day, dayPairs[i], basePairs[i])
+			}
+		}
+		// Conditional errors drift but stay within ~3x of day 0.
+		for gi, m := range base.Cal.Conditional {
+			for gj, c0 := range m {
+				c := dev.Cal.ConditionalError(gi, gj)
+				ratio := c / c0
+				if ratio < 1.0/3.2 || ratio > 3.2 {
+					t.Fatalf("day %d: conditional %s|%s drifted %vx", day, gi, gj, ratio)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicSynthesis(t *testing.T) {
+	a := MustNew(Boeblingen, 42)
+	b := MustNew(Boeblingen, 42)
+	for e, gc := range a.Cal.Gates {
+		if b.Cal.Gates[e] != gc {
+			t.Fatalf("same seed produced different calibration for %s", e)
+		}
+	}
+	c := MustNew(Boeblingen, 43)
+	same := true
+	for e, gc := range a.Cal.Gates {
+		if c.Cal.Gates[e] != gc {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical calibration")
+	}
+}
+
+func TestEdgeNormalization(t *testing.T) {
+	if NewEdge(5, 2) != (Edge{A: 2, B: 5}) {
+		t.Fatal("edge not normalized")
+	}
+	p := NewEdgePair(NewEdge(10, 15), NewEdge(3, 4))
+	if p.First != NewEdge(3, 4) {
+		t.Fatalf("pair not normalized: %v", p)
+	}
+}
+
+func TestEdgePairNormalizationProperty(t *testing.T) {
+	check := func(a, b, c, d uint8) bool {
+		qa, qb, qc, qd := int(a%20), int(b%20), int(c%20), int(d%20)
+		if qa == qb || qc == qd {
+			return true
+		}
+		p1 := NewEdgePair(NewEdge(qa, qb), NewEdge(qc, qd))
+		p2 := NewEdgePair(NewEdge(qc, qd), NewEdge(qb, qa))
+		return p1 == p2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateDuration(t *testing.T) {
+	dev := MustNew(Poughkeepsie, 1)
+	if d := dev.GateDuration(false, true, []int{0}); d != DefaultMeasureDuration {
+		t.Fatalf("measure duration %v", d)
+	}
+	if d := dev.GateDuration(false, false, []int{0}); d != Default1QDuration {
+		t.Fatalf("1q duration %v", d)
+	}
+	d2 := dev.GateDuration(true, false, []int{0, 1})
+	if d2 < 200 || d2 > 600 {
+		t.Fatalf("cnot duration %v", d2)
+	}
+	if math.Abs(dev.GateDuration(true, false, []int{1, 0})-d2) > 1e-12 {
+		t.Fatal("edge duration must be symmetric in qubit order")
+	}
+}
+
+func TestUnknownSystem(t *testing.T) {
+	if _, err := New(SystemName("tokyo"), 1); err == nil {
+		t.Fatal("expected error for unknown system")
+	}
+}

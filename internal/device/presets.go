@@ -1,0 +1,129 @@
+package device
+
+import "fmt"
+
+// The three 20-qubit IBMQ coupling maps used in the paper's evaluation.
+// Layouts follow the published device diagrams: four rows of five qubits
+// with sparse vertical connectors ("number of connections is less than a
+// regular 2D grid", Fig. 3).
+
+func edgesFromPairs(pairs [][2]int) []Edge {
+	out := make([]Edge, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, NewEdge(p[0], p[1]))
+	}
+	return out
+}
+
+// PoughkeepsieTopology returns the IBMQ Poughkeepsie coupling map.
+func PoughkeepsieTopology() *Topology {
+	return NewTopology("IBMQ Poughkeepsie", 20, edgesFromPairs([][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4},
+		{0, 5}, {4, 9},
+		{5, 6}, {6, 7}, {7, 8}, {8, 9},
+		{5, 10}, {7, 12}, {9, 14},
+		{10, 11}, {11, 12}, {12, 13}, {13, 14},
+		{10, 15}, {14, 19},
+		{15, 16}, {16, 17}, {17, 18}, {18, 19},
+	}))
+}
+
+// JohannesburgTopology returns the IBMQ Johannesburg coupling map.
+func JohannesburgTopology() *Topology {
+	return NewTopology("IBMQ Johannesburg", 20, edgesFromPairs([][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4},
+		{0, 5}, {4, 9},
+		{5, 6}, {6, 7}, {7, 8}, {8, 9},
+		{5, 10}, {9, 14},
+		{10, 11}, {11, 12}, {12, 13}, {13, 14},
+		{10, 15}, {14, 19},
+		{15, 16}, {16, 17}, {17, 18}, {18, 19},
+	}))
+}
+
+// BoeblingenTopology returns the IBMQ Boeblingen coupling map.
+func BoeblingenTopology() *Topology {
+	return NewTopology("IBMQ Boeblingen", 20, edgesFromPairs([][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4},
+		{1, 6}, {3, 8},
+		{5, 6}, {6, 7}, {7, 8}, {8, 9},
+		{5, 10}, {7, 12}, {9, 14},
+		{10, 11}, {11, 12}, {12, 13}, {13, 14},
+		{11, 16}, {13, 18},
+		{15, 16}, {16, 17}, {17, 18}, {18, 19},
+	}))
+}
+
+// SystemName identifies one of the three modeled systems.
+type SystemName string
+
+// The modeled systems.
+const (
+	Poughkeepsie SystemName = "poughkeepsie"
+	Johannesburg SystemName = "johannesburg"
+	Boeblingen   SystemName = "boeblingen"
+)
+
+// AllSystems lists the three modeled systems in paper order.
+var AllSystems = []SystemName{Poughkeepsie, Johannesburg, Boeblingen}
+
+// TopologyFor returns the coupling map for a system name.
+func TopologyFor(name SystemName) (*Topology, error) {
+	switch name {
+	case Poughkeepsie:
+		return PoughkeepsieTopology(), nil
+	case Johannesburg:
+		return JohannesburgTopology(), nil
+	case Boeblingen:
+		return BoeblingenTopology(), nil
+	default:
+		return nil, fmt.Errorf("device: unknown system %q", name)
+	}
+}
+
+// groundTruthCrosstalkPairs lists, per system, the 1-hop gate pairs that the
+// synthetic device exhibits strong crosstalk on. The Poughkeepsie entries
+// include the pairs called out in the paper: (CX 10,15 | CX 11,12) with 1%
+// -> 11% degradation, and (CX 13,14 | CX 18,19) from Fig. 4; plus the
+// (CX 5,10 | CX 11,12) interference shown in the Fig. 6 example.
+var groundTruthCrosstalkPairs = map[SystemName][][2]Edge{
+	Poughkeepsie: {
+		{NewEdge(10, 15), NewEdge(11, 12)},
+		{NewEdge(13, 14), NewEdge(18, 19)},
+		{NewEdge(5, 10), NewEdge(11, 12)},
+		{NewEdge(7, 12), NewEdge(13, 14)},
+		{NewEdge(0, 5), NewEdge(6, 7)},
+		{NewEdge(9, 14), NewEdge(18, 19)},
+		{NewEdge(5, 6), NewEdge(10, 15)},
+		{NewEdge(6, 7), NewEdge(8, 9)},
+		{NewEdge(11, 12), NewEdge(13, 14)},
+		{NewEdge(5, 6), NewEdge(7, 12)},
+	},
+	Johannesburg: {
+		{NewEdge(0, 5), NewEdge(10, 11)},
+		{NewEdge(5, 10), NewEdge(11, 12)},
+		{NewEdge(10, 15), NewEdge(11, 12)},
+		{NewEdge(6, 7), NewEdge(8, 9)},
+		{NewEdge(5, 10), NewEdge(6, 7)},
+		{NewEdge(5, 6), NewEdge(10, 11)},
+		{NewEdge(8, 9), NewEdge(13, 14)},
+	},
+	Boeblingen: {
+		{NewEdge(5, 10), NewEdge(11, 12)},
+		{NewEdge(11, 16), NewEdge(12, 13)},
+		{NewEdge(1, 6), NewEdge(7, 8)},
+		{NewEdge(13, 18), NewEdge(14, 9)},
+		{NewEdge(15, 16), NewEdge(17, 18)},
+		{NewEdge(7, 12), NewEdge(8, 9)},
+		{NewEdge(5, 6), NewEdge(10, 11)},
+		{NewEdge(0, 1), NewEdge(6, 7)},
+		{NewEdge(1, 2), NewEdge(6, 7)},
+		{NewEdge(2, 3), NewEdge(8, 9)},
+		{NewEdge(6, 7), NewEdge(12, 13)},
+		{NewEdge(7, 8), NewEdge(11, 12)},
+		{NewEdge(7, 8), NewEdge(12, 13)},
+		{NewEdge(7, 12), NewEdge(11, 16)},
+		{NewEdge(12, 13), NewEdge(18, 19)},
+		{NewEdge(16, 17), NewEdge(18, 19)},
+	},
+}

@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"xtalk/internal/characterize"
+	"xtalk/internal/device"
+	"xtalk/internal/rb"
+)
+
+// Fig3PairFinding is one measured gate pair of the crosstalk map.
+type Fig3PairFinding struct {
+	Pair                    device.EdgePair
+	CondFirst, IndepFirst   float64
+	CondSecond, IndepSecond float64
+	GateDistance            int
+	High                    bool
+}
+
+// Ratio returns the worst conditional/independent degradation of the pair.
+func (f Fig3PairFinding) Ratio() float64 {
+	r1 := f.CondFirst / f.IndepFirst
+	r2 := f.CondSecond / f.IndepSecond
+	if r2 > r1 {
+		return r2
+	}
+	return r1
+}
+
+// Fig3Result is the crosstalk characterization map of one device (Figure 3).
+type Fig3Result struct {
+	System   device.SystemName
+	Findings []Fig3PairFinding
+	// DetectionMatchesTruth reports whether the SRB-detected high-crosstalk
+	// pair set equals the device's ground truth.
+	DetectionMatchesTruth bool
+	// MaxRatio is the worst measured degradation (paper: up to 11x).
+	MaxRatio float64
+	// AllHighAtOneHop reports whether every detected pair is 1-hop.
+	AllHighAtOneHop bool
+}
+
+// String renders the Figure 3 rows for one device.
+func (r *Fig3Result) String() string {
+	var rows [][]string
+	for _, f := range r.Findings {
+		if !f.High {
+			continue
+		}
+		rows = append(rows, []string{
+			f.Pair.String(),
+			f3(f.IndepFirst), f3(f.CondFirst),
+			f3(f.IndepSecond), f3(f.CondSecond),
+			f1(f.Ratio()) + "x",
+			fmt.Sprintf("%d", f.GateDistance),
+		})
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3 — %s: %d high-crosstalk pairs (max degradation %.1fx, all 1-hop: %v, matches ground truth: %v)\n",
+		r.System, len(rows), r.MaxRatio, r.AllHighAtOneHop, r.DetectionMatchesTruth)
+	sb.WriteString(table(
+		[]string{"pair", "E(g1)", "E(g1|g2)", "E(g2)", "E(g2|g1)", "worst", "hops"},
+		rows))
+	return sb.String()
+}
+
+// Fig3 characterizes crosstalk on one system: SRB on every 1-hop pair plus a
+// sample of longer-range pairs (which the device's physics leaves
+// crosstalk-free), reproducing the paper's finding that crosstalk is a
+// nearest-neighbour effect.
+func Fig3(name device.SystemName, opts Options, cfg rb.Config) (*Fig3Result, error) {
+	dev, err := device.New(name, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{System: name}
+	oneHop := dev.Topo.PairsAtDistance(1)
+	// Sample of >= 2-hop pairs to probe for long-range crosstalk.
+	far := dev.Topo.SimultaneousPairs()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rng.Shuffle(len(far), func(i, j int) { far[i], far[j] = far[j], far[i] })
+	var farSample []device.EdgePair
+	for _, p := range far {
+		if dev.Topo.GateDistance(p.First, p.Second) >= 2 {
+			farSample = append(farSample, p)
+		}
+		if len(farSample) >= 10 {
+			break
+		}
+	}
+	pairs := append(append([]device.EdgePair{}, oneHop...), farSample...)
+	indep := map[device.Edge]float64{}
+	seed := cfg.Seed
+	independent := func(e device.Edge) (float64, error) {
+		if v, ok := indep[e]; ok {
+			return v, nil
+		}
+		c := cfg
+		seed++
+		c.Seed = seed
+		out, err := rb.MeasureIndependent(dev, e, c)
+		if err != nil {
+			return 0, err
+		}
+		indep[e] = out.CNOTError
+		return out.CNOTError, nil
+	}
+	detected := map[device.EdgePair]bool{}
+	for _, p := range pairs {
+		i1, err := independent(p.First)
+		if err != nil {
+			return nil, err
+		}
+		i2, err := independent(p.Second)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		seed++
+		c.Seed = seed
+		o1, o2, err := rb.MeasureSimultaneous(dev, p.First, p.Second, c)
+		if err != nil {
+			return nil, err
+		}
+		f := Fig3PairFinding{
+			Pair:      p,
+			CondFirst: o1.CNOTError, IndepFirst: i1,
+			CondSecond: o2.CNOTError, IndepSecond: i2,
+			GateDistance: dev.Topo.GateDistance(p.First, p.Second),
+		}
+		clamp := func(v float64) float64 {
+			if v < characterize.MinResolvableError {
+				return characterize.MinResolvableError
+			}
+			return v
+		}
+		f.High = f.CondFirst > opts.Threshold*clamp(f.IndepFirst) ||
+			f.CondSecond > opts.Threshold*clamp(f.IndepSecond)
+		if f.High {
+			detected[p] = true
+			if r := f.Ratio(); r > res.MaxRatio {
+				res.MaxRatio = r
+			}
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	truth := dev.Cal.HighCrosstalkPairs(opts.Threshold)
+	res.DetectionMatchesTruth = len(truth) == len(detected)
+	for _, p := range truth {
+		if !detected[p] {
+			res.DetectionMatchesTruth = false
+		}
+	}
+	res.AllHighAtOneHop = true
+	for _, f := range res.Findings {
+		if f.High && f.GateDistance != 1 {
+			res.AllHighAtOneHop = false
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		return res.Findings[i].Pair.String() < res.Findings[j].Pair.String()
+	})
+	return res, nil
+}
+
+// Fig4Series is the daily error-rate track of one conditional or independent
+// quantity (Figure 4).
+type Fig4Series struct {
+	Label  string
+	Values []float64 // per day
+}
+
+// Fig4Result tracks daily variation of the paper's featured Poughkeepsie
+// pairs: (CX 13,14 | CX 18,19) and (CX 11,12 | CX 10,15).
+type Fig4Result struct {
+	Days   int
+	Series []Fig4Series
+	// PairSetStable reports whether the detected high-crosstalk pair set is
+	// identical across all days.
+	PairSetStable bool
+	// MaxDailyVariation is the largest max/min ratio across conditional
+	// series (paper: up to 2x on Poughkeepsie).
+	MaxDailyVariation float64
+}
+
+// String renders the Figure 4 series.
+func (r *Fig4Result) String() string {
+	header := []string{"series"}
+	for d := 0; d < r.Days; d++ {
+		header = append(header, fmt.Sprintf("day%d", d))
+	}
+	var rows [][]string
+	for _, s := range r.Series {
+		row := []string{s.Label}
+		for _, v := range s.Values {
+			row = append(row, f3(v))
+		}
+		rows = append(rows, row)
+	}
+	return fmt.Sprintf("Figure 4 — daily crosstalk variation on IBMQ Poughkeepsie (pair set stable: %v, max variation %.1fx)\n%s",
+		r.PairSetStable, r.MaxDailyVariation, table(header, rows))
+}
+
+// Fig4 measures the featured pairs across consecutive calibration days using
+// SRB against each day's drifted device.
+func Fig4(opts Options, cfg rb.Config, days int) (*Fig4Result, error) {
+	type track struct {
+		gi, gj device.Edge // conditional E(gi|gj); gj zero => independent E(gi)
+		indep  bool
+	}
+	e1314 := device.NewEdge(13, 14)
+	e1819 := device.NewEdge(18, 19)
+	e1112 := device.NewEdge(11, 12)
+	e1015 := device.NewEdge(10, 15)
+	tracks := []struct {
+		label string
+		t     track
+	}{
+		{"CX13,14|CX18,19", track{gi: e1314, gj: e1819}},
+		{"CX18,19|CX13,14", track{gi: e1819, gj: e1314}},
+		{"CX11,12|CX10,15", track{gi: e1112, gj: e1015}},
+		{"CX10,15|CX11,12", track{gi: e1015, gj: e1112}},
+		{"CX13,14", track{gi: e1314, indep: true}},
+		{"CX18,19", track{gi: e1819, indep: true}},
+		{"CX11,12", track{gi: e1112, indep: true}},
+		{"CX10,15", track{gi: e1015, indep: true}},
+	}
+	res := &Fig4Result{Days: days, PairSetStable: true}
+	series := make([]Fig4Series, len(tracks))
+	for i, tr := range tracks {
+		series[i].Label = tr.label
+	}
+	var basePairs []device.EdgePair
+	for day := 0; day < days; day++ {
+		dev, err := device.NewForDay(device.Poughkeepsie, opts.Seed, day)
+		if err != nil {
+			return nil, err
+		}
+		dayPairs := dev.Cal.HighCrosstalkPairs(opts.Threshold)
+		if day == 0 {
+			basePairs = dayPairs
+		} else if !samePairs(basePairs, dayPairs) {
+			res.PairSetStable = false
+		}
+		for i, tr := range tracks {
+			c := cfg
+			c.Seed = cfg.Seed + int64(day*100+i)
+			var out rb.Outcome
+			if tr.t.indep {
+				out, err = rb.MeasureIndependent(dev, tr.t.gi, c)
+			} else {
+				out, _, err = rb.MeasureSimultaneous(dev, tr.t.gi, tr.t.gj, c)
+			}
+			if err != nil {
+				return nil, err
+			}
+			series[i].Values = append(series[i].Values, out.CNOTError)
+		}
+	}
+	res.Series = series
+	for i, tr := range tracks {
+		if tr.t.indep {
+			continue
+		}
+		lo, hi := series[i].Values[0], series[i].Values[0]
+		for _, v := range series[i].Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo > 0 && hi/lo > res.MaxDailyVariation {
+			res.MaxDailyVariation = hi / lo
+		}
+	}
+	return res, nil
+}
+
+func samePairs(a, b []device.EdgePair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fig10Row is one policy's characterization cost on one device.
+type Fig10Row struct {
+	System      device.SystemName
+	Policy      characterize.Policy
+	Experiments int
+	Pairs       int
+	MachineTime time.Duration
+}
+
+// Fig10Result is the characterization-cost comparison (Figure 10).
+type Fig10Result struct {
+	Rows []Fig10Row
+	// ReductionFactor[system] = all-pairs experiments / best-policy
+	// experiments (paper: 35-73x across systems).
+	ReductionFactor map[device.SystemName]float64
+}
+
+// String renders the Figure 10 table.
+func (r *Fig10Result) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.System), row.Policy.String(),
+			fmt.Sprintf("%d", row.Experiments),
+			fmt.Sprintf("%d", row.Pairs),
+			row.MachineTime.Round(time.Minute).String(),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 10 — crosstalk characterization cost\n")
+	sb.WriteString(table([]string{"system", "policy", "experiments", "pairs", "machine time"}, rows))
+	for _, name := range device.AllSystems {
+		if f, ok := r.ReductionFactor[name]; ok {
+			fmt.Fprintf(&sb, "%s: %.0fx fewer experiments than all-pairs\n", name, f)
+		}
+	}
+	return sb.String()
+}
+
+// Fig10 computes experiment counts and machine-time estimates for all four
+// policies on all three systems, using the paper's full RB experiment shape.
+func Fig10(opts Options) (*Fig10Result, error) {
+	cfg := rb.PaperConfig()
+	res := &Fig10Result{ReductionFactor: map[device.SystemName]float64{}}
+	for _, name := range device.AllSystems {
+		dev, err := device.New(name, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		high := dev.Cal.HighCrosstalkPairs(opts.Threshold)
+		var allExp, bestExp int
+		for _, pol := range []characterize.Policy{
+			characterize.AllPairs, characterize.OneHop,
+			characterize.OneHopBinPacked, characterize.HighCrosstalkOnly,
+		} {
+			plan := characterize.BuildPlan(dev, pol, high, opts.Seed)
+			row := Fig10Row{
+				System:      name,
+				Policy:      pol,
+				Experiments: plan.NumExperiments(),
+				Pairs:       plan.NumPairs(),
+				MachineTime: plan.MachineTime(cfg),
+			}
+			res.Rows = append(res.Rows, row)
+			if pol == characterize.AllPairs {
+				allExp = row.Experiments
+			}
+			bestExp = row.Experiments
+		}
+		if bestExp > 0 {
+			res.ReductionFactor[name] = float64(allExp) / float64(bestExp)
+		}
+	}
+	return res, nil
+}

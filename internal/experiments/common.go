@@ -1,0 +1,108 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation (Sections 5, 9, 10). Each driver returns a result struct whose
+// String method prints the same rows/series the paper reports, so the
+// benchmark harness and the xtalkexp CLI can regenerate every artifact.
+//
+// Absolute numbers differ from the paper (the substrate is a simulated
+// device, not the authors' testbed); the shape — who wins, by what factor,
+// where crossovers fall — is the reproduction target. See EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+	"xtalk/internal/metrics"
+	"xtalk/internal/noise"
+)
+
+// Options are shared experiment knobs.
+type Options struct {
+	// Seed drives device synthesis and all stochastic simulation.
+	Seed int64
+	// Shots per circuit execution (paper: 8192-9216). Lower values run
+	// faster with more sampling noise.
+	Shots int
+	// Threshold is the high-crosstalk detection ratio (paper: 3).
+	Threshold float64
+}
+
+// DefaultOptions returns the standard experiment configuration.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Shots: 2048, Threshold: 3}
+}
+
+// SchedulerBudget is the per-circuit anytime budget for SMT scheduling in
+// experiment drivers. Most instances solve to optimality in well under a
+// second; circuits with dozens of overlap indicators (e.g. the
+// redundant-CNOT Hidden Shift) would otherwise branch-and-bound for hours.
+var SchedulerBudget = 20 * time.Second
+
+// xtalkConfig returns the experiment drivers' standard scheduler
+// configuration at the given omega.
+func xtalkConfig(omega float64) core.XtalkConfig {
+	cfg := core.DefaultXtalkConfig()
+	cfg.Omega = omega
+	cfg.Timeout = SchedulerBudget
+	return cfg
+}
+
+// runSchedule executes a schedule on the device and returns the
+// readout-mitigated outcome distribution.
+func runSchedule(dev *device.Device, s *core.Schedule, shots int, seed int64, disableXtalk bool) (metrics.Distribution, error) {
+	res, err := noise.NewExecutor(dev).Run(s, noise.Options{
+		Shots:            shots,
+		Seed:             seed,
+		DisableCrosstalk: disableXtalk,
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw := metrics.Distribution(res.Probabilities())
+	flips := make([]float64, len(res.MeasuredQubits))
+	for i, q := range res.MeasuredQubits {
+		flips[i] = dev.Cal.Qubits[q].ReadoutError
+	}
+	mitigated, err := metrics.MitigateReadout(raw, flips)
+	if err != nil {
+		return nil, err
+	}
+	return mitigated, nil
+}
+
+// table renders rows with a header, aligning columns by padding.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

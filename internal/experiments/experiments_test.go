@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"xtalk/internal/characterize"
+	"xtalk/internal/device"
+	"xtalk/internal/rb"
+)
+
+func TestMain(m *testing.M) {
+	// Keep per-schedule SMT budgets small so the omega-sweep tests finish
+	// quickly; solutions fall back to incumbents/heuristics at the budget.
+	SchedulerBudget = 2 * time.Second
+	os.Exit(m.Run())
+}
+
+func fastOpts() Options {
+	return Options{Seed: 1, Shots: 512, Threshold: 3}
+}
+
+func fastRB() rb.Config {
+	return rb.Config{Lengths: []int{1, 2, 4, 8, 16, 28}, Sequences: 8, Shots: 96, Seed: 1}
+}
+
+func TestFig10ShapeMatchesPaper(t *testing.T) {
+	res, err := Fig10(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("expected 12 rows (3 systems x 4 policies), got %d", len(res.Rows))
+	}
+	byPolicy := map[device.SystemName]map[characterize.Policy]Fig10Row{}
+	for _, row := range res.Rows {
+		if byPolicy[row.System] == nil {
+			byPolicy[row.System] = map[characterize.Policy]Fig10Row{}
+		}
+		byPolicy[row.System][row.Policy] = row
+	}
+	for _, name := range device.AllSystems {
+		m := byPolicy[name]
+		all := m[characterize.AllPairs]
+		oneHop := m[characterize.OneHop]
+		packed := m[characterize.OneHopBinPacked]
+		high := m[characterize.HighCrosstalkOnly]
+		// Paper: all-pairs over 8 hours.
+		if all.MachineTime.Hours() < 7 {
+			t.Fatalf("%s: all-pairs time %v, want > 7h", name, all.MachineTime)
+		}
+		// Opt 1 gives ~5x fewer experiments.
+		if ratio := float64(all.Experiments) / float64(oneHop.Experiments); ratio < 3 {
+			t.Fatalf("%s: one-hop reduction only %.1fx", name, ratio)
+		}
+		// Opt 2 packs at least ~1.5x further.
+		if ratio := float64(oneHop.Experiments) / float64(packed.Experiments); ratio < 1.4 {
+			t.Fatalf("%s: bin packing reduction only %.1fx", name, ratio)
+		}
+		// Opt 3 is the cheapest and under an hour.
+		if high.Experiments >= packed.Experiments {
+			t.Fatalf("%s: high-only (%d) not cheaper than packed (%d)", name, high.Experiments, packed.Experiments)
+		}
+		if high.MachineTime.Hours() > 1 {
+			t.Fatalf("%s: high-only time %v, want < 1h", name, high.MachineTime)
+		}
+		// Overall reduction in the paper's 18-73x ballpark.
+		if f := res.ReductionFactor[name]; f < 10 {
+			t.Fatalf("%s: total reduction %.0fx too small", name, f)
+		}
+	}
+	if !strings.Contains(res.String(), "all-pairs") {
+		t.Fatal("rendering missing policies")
+	}
+}
+
+func TestFig3DetectsGroundTruth(t *testing.T) {
+	res, err := Fig3(device.Johannesburg, fastOpts(), fastRB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHighAtOneHop {
+		t.Fatal("detected high-crosstalk pairs beyond 1 hop")
+	}
+	if !res.DetectionMatchesTruth {
+		t.Fatalf("SRB detection does not match device ground truth\n%s", res)
+	}
+	if res.MaxRatio < 3 {
+		t.Fatalf("max degradation %.1fx, want >= 3x", res.MaxRatio)
+	}
+	if !strings.Contains(res.String(), "Figure 3") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFig4PairSetStableAndBounded(t *testing.T) {
+	res, err := Fig4(fastOpts(), fastRB(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PairSetStable {
+		t.Fatal("high-crosstalk pair set should be stable across days")
+	}
+	if len(res.Series) != 8 {
+		t.Fatalf("expected 8 series, got %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Values) != 4 {
+			t.Fatalf("series %s has %d days", s.Label, len(s.Values))
+		}
+	}
+	// Conditional series must sit above their independent counterparts.
+	get := func(label string) []float64 {
+		for _, s := range res.Series {
+			if s.Label == label {
+				return s.Values
+			}
+		}
+		t.Fatalf("missing series %s", label)
+		return nil
+	}
+	cond := get("CX11,12|CX10,15")
+	indep := get("CX11,12")
+	for d := range cond {
+		if cond[d] < indep[d] {
+			t.Fatalf("day %d: conditional %v below independent %v", d, cond[d], indep[d])
+		}
+	}
+	if res.MaxDailyVariation > 4 {
+		t.Fatalf("daily variation %.1fx exceeds the paper's ~2-3x band", res.MaxDailyVariation)
+	}
+}
+
+func TestFig5ImprovementShape(t *testing.T) {
+	opts := fastOpts()
+	res, err := Fig5(device.Johannesburg, 0.5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(SwapPairsJohannesburg()) {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Headline shape: XtalkSched beats ParSched by a meaningful geomean and
+	// a large max, with modest duration overhead.
+	if res.GeomeanImprovement < 1.2 {
+		t.Fatalf("geomean improvement %.2fx, want > 1.2x\n%s", res.GeomeanImprovement, res)
+	}
+	if res.MaxImprovement < 2 {
+		t.Fatalf("max improvement %.2fx, want > 2x", res.MaxImprovement)
+	}
+	if res.MeanDurationRatio > 1.7 {
+		t.Fatalf("duration overhead %.2fx too high", res.MeanDurationRatio)
+	}
+	for _, row := range res.Rows {
+		if row.ErrXtalk > row.ErrSerial+0.1 && row.ErrXtalk > row.ErrPar+0.1 {
+			t.Fatalf("pair %v: XtalkSched (%.3f) much worse than both baselines", row.QubitPair, row.ErrXtalk)
+		}
+	}
+}
+
+// SwapPairsJohannesburg re-exports the benchmark list length for the test.
+func SwapPairsJohannesburg() [][2]int {
+	return [][2]int{{0, 11}, {10, 7}, {6, 11}, {10, 8}, {11, 7}, {0, 12}, {7, 12}, {8, 13}, {9, 14}}
+}
+
+func TestFig6RendersThreeSchedules(t *testing.T) {
+	res, err := Fig6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Serial.Makespan() <= res.Par.Makespan() {
+		t.Fatal("SerialSched must be longer than ParSched")
+	}
+	if res.Xtalk.Makespan() > res.Serial.Makespan()+1e-6 {
+		t.Fatal("XtalkSched cannot exceed full serialization")
+	}
+	s := res.String()
+	for _, want := range []string{"SerialSched", "ParSched", "XtalkSched", "barrier"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestFig7NearOptimal(t *testing.T) {
+	opts := fastOpts()
+	res, err := Fig7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Paper: XtalkSched within ~1% +- 16% of the crosstalk-free ideal.
+	if res.MeanGap > 0.12 {
+		t.Fatalf("mean gap to crosstalk-free ideal %.3f too large\n%s", res.MeanGap, res)
+	}
+}
+
+func TestScalabilitySmall(t *testing.T) {
+	opts := fastOpts()
+	cases := []struct{ Qubits, Gates int }{{6, 100}, {10, 150}}
+	oldBudget := ScalabilityBudget
+	ScalabilityBudget = 20e9 // 20s anytime budget per instance
+	defer func() { ScalabilityBudget = oldBudget }()
+	res, err := Scalability(opts, cases...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cases) {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Each instance must finish within its anytime budget plus slack.
+		if row.CompileTime.Seconds() > 60 {
+			t.Fatalf("%d gates took %v", row.Gates, row.CompileTime)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+	"xtalk/internal/linalg"
+	"xtalk/internal/metrics"
+	"xtalk/internal/workloads"
+)
+
+// Fig5Row is one SWAP-circuit measurement: Bell-state error under the three
+// schedulers plus schedule durations.
+type Fig5Row struct {
+	QubitPair  [2]int
+	PathLength int
+	ErrSerial  float64
+	ErrPar     float64
+	ErrXtalk   float64
+	DurSerial  float64
+	DurPar     float64
+	DurXtalk   float64
+}
+
+// Fig5Result holds one device's SWAP benchmark sweep (Figures 5a-5d).
+type Fig5Result struct {
+	System device.SystemName
+	Omega  float64
+	Rows   []Fig5Row
+	// GeomeanImprovement is geomean over rows of ErrPar/ErrXtalk
+	// (paper: ~2x, up to 5.6x across systems).
+	GeomeanImprovement float64
+	// MaxImprovement is the best ErrPar/ErrXtalk ratio.
+	MaxImprovement float64
+	// MeanDurationRatio is mean over rows of DurXtalk/DurPar (paper: 1.16x,
+	// worst 1.7x).
+	MeanDurationRatio  float64
+	WorstDurationRatio float64
+}
+
+// String renders the Figure 5 rows for one device.
+func (r *Fig5Result) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d,%d", row.QubitPair[0], row.QubitPair[1]),
+			fmt.Sprintf("%d", row.PathLength),
+			f3(row.ErrSerial), f3(row.ErrPar), f3(row.ErrXtalk),
+			f2(safeRatio(row.ErrPar, row.ErrXtalk)) + "x",
+			fmt.Sprintf("%.0f", row.DurSerial),
+			fmt.Sprintf("%.0f", row.DurPar),
+			fmt.Sprintf("%.0f", row.DurXtalk),
+		})
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — SWAP circuits on %s (omega=%.2g): XtalkSched vs ParSched geomean %.2fx (max %.2fx); duration ratio mean %.2fx (worst %.2fx)\n",
+		r.System, r.Omega, r.GeomeanImprovement, r.MaxImprovement, r.MeanDurationRatio, r.WorstDurationRatio)
+	sb.WriteString(table(
+		[]string{"pair", "len", "Serial", "Par", "Xtalk", "Par/Xtalk", "durSer(ns)", "durPar(ns)", "durXtalk(ns)"},
+		rows))
+	return sb.String()
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 1e-9 {
+		b = 1e-9
+	}
+	return a / b
+}
+
+// Fig5 runs the SWAP benchmark for one device: each qubit pair's circuit is
+// scheduled by SerialSched, ParSched and XtalkSched(omega), executed against
+// the device's ground-truth noise, and scored by Bell-state error after
+// readout mitigation.
+func Fig5(name device.SystemName, omega float64, opts Options) (*Fig5Result, error) {
+	dev, err := device.New(name, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
+	res := &Fig5Result{System: name, Omega: omega}
+	cfg := xtalkConfig(omega)
+	var improvements, durRatios []float64
+	for i, pair := range workloads.SwapBenchmarkPairs[name] {
+		c, err := workloads.SwapCircuit(dev.Topo, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		row := Fig5Row{QubitPair: pair, PathLength: dev.Topo.Distance(pair[0], pair[1])}
+		for _, sched := range []core.Scheduler{core.SerialSched{}, core.ParSched{}, core.NewXtalkSched(nd, cfg)} {
+			s, err := sched.Schedule(c, dev)
+			if err != nil {
+				return nil, err
+			}
+			dist, err := runSchedule(dev, s, opts.Shots, opts.Seed+int64(i), false)
+			if err != nil {
+				return nil, err
+			}
+			e := metrics.BellStateError(dist)
+			switch sched.(type) {
+			case core.SerialSched:
+				row.ErrSerial, row.DurSerial = e, s.Makespan()
+			case core.ParSched:
+				row.ErrPar, row.DurPar = e, s.Makespan()
+			default:
+				row.ErrXtalk, row.DurXtalk = e, s.Makespan()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		improvements = append(improvements, safeRatio(math.Max(row.ErrPar, 1e-4), math.Max(row.ErrXtalk, 1e-4)))
+		durRatios = append(durRatios, row.DurXtalk/row.DurPar)
+		if r := improvements[len(improvements)-1]; r > res.MaxImprovement {
+			res.MaxImprovement = r
+		}
+		if dr := durRatios[len(durRatios)-1]; dr > res.WorstDurationRatio {
+			res.WorstDurationRatio = dr
+		}
+	}
+	res.GeomeanImprovement = linalg.GeoMean(improvements)
+	res.MeanDurationRatio = linalg.Mean(durRatios)
+	return res, nil
+}
+
+// Fig6Result is the rendered schedule comparison for the paper's example
+// SWAP path (qubit 0 to 13 on Poughkeepsie).
+type Fig6Result struct {
+	Serial, Par, Xtalk *core.Schedule
+	BarrieredCircuit   *circuit.Circuit
+}
+
+// String renders the three schedules.
+func (r *Fig6Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — schedules for the SWAP path 0 -> 13 on IBMQ Poughkeepsie\n\n")
+	sb.WriteString(r.Serial.Render())
+	sb.WriteString("\n")
+	sb.WriteString(r.Par.Render())
+	sb.WriteString("\n")
+	sb.WriteString(r.Xtalk.Render())
+	sb.WriteString("\nXtalkSched output circuit with barriers:\n")
+	sb.WriteString(r.BarrieredCircuit.String())
+	return sb.String()
+}
+
+// Fig6 schedules the paper's example path (SWAP 0,5; SWAP 5,10; SWAP 13,12;
+// SWAP 12,11; CNOT 10,11 — the explicit route from Section 8.3) with all
+// three algorithms.
+func Fig6(opts Options) (*Fig6Result, error) {
+	dev, err := device.New(device.Poughkeepsie, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
+	c := circuit.New(20)
+	c.U2(0, 0, math.Pi)
+	c.SWAP(0, 5)
+	c.SWAP(13, 12)
+	c.SWAP(5, 10)
+	c.SWAP(12, 11)
+	c.CNOT(10, 11)
+	c.Measure(10)
+	c.Measure(11)
+	dc := c.DecomposeSwaps()
+	ser, err := core.SerialSched{}.Schedule(dc, dev)
+	if err != nil {
+		return nil, err
+	}
+	par, err := core.ParSched{}.Schedule(dc, dev)
+	if err != nil {
+		return nil, err
+	}
+	xt, err := core.NewXtalkSched(nd, xtalkConfig(0.5)).Schedule(dc, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{Serial: ser, Par: par, Xtalk: xt, BarrieredCircuit: core.InsertBarriers(xt)}, nil
+}
+
+// Fig7Row compares XtalkSched against the crosstalk-free ideal for one
+// qubit pair.
+type Fig7Row struct {
+	QubitPair  [2]int
+	PathLength int
+	// XtalkSchedError is the measured error with crosstalk active and
+	// XtalkSched scheduling.
+	XtalkSchedError float64
+	// IdealError is the measured error of the same circuit on crosstalk-free
+	// hardware (the paper's "ideal" from crosstalk-free regions).
+	IdealError float64
+}
+
+// Fig7Result is the optimality comparison (Figure 7).
+type Fig7Result struct {
+	Rows []Fig7Row
+	// MeanGap is the mean of (XtalkSchedError - IdealError); the paper
+	// reports XtalkSched within ~1% +- 16% of ideal.
+	MeanGap float64
+	GapStd  float64
+}
+
+// String renders the Figure 7 table.
+func (r *Fig7Result) String() string {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d,%d", row.QubitPair[0], row.QubitPair[1]),
+			fmt.Sprintf("%d", row.PathLength),
+			f3(row.XtalkSchedError),
+			f3(row.IdealError),
+			f3(row.XtalkSchedError - row.IdealError),
+		})
+	}
+	return fmt.Sprintf("Figure 7 — XtalkSched vs crosstalk-free ideal on IBMQ Poughkeepsie (mean gap %.3f +- %.3f)\n%s",
+		r.MeanGap, r.GapStd, table([]string{"pair", "len", "XtalkSched", "ideal", "gap"}, rows))
+}
+
+// Fig7 measures XtalkSched's optimality: for each Poughkeepsie benchmark
+// pair, the XtalkSched schedule runs on the real (crosstalk-active) device,
+// and the ideal reference runs the maximally parallel schedule with
+// crosstalk disabled — the simulated analogue of the paper's crosstalk-free
+// hardware regions.
+func Fig7(opts Options) (*Fig7Result, error) {
+	dev, err := device.New(device.Poughkeepsie, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
+	cfg := xtalkConfig(0.5)
+	res := &Fig7Result{}
+	var gaps []float64
+	for i, pair := range workloads.SwapBenchmarkPairs[device.Poughkeepsie] {
+		c, err := workloads.SwapCircuit(dev.Topo, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		xs, err := core.NewXtalkSched(nd, cfg).Schedule(c, dev)
+		if err != nil {
+			return nil, err
+		}
+		distX, err := runSchedule(dev, xs, opts.Shots, opts.Seed+int64(i), false)
+		if err != nil {
+			return nil, err
+		}
+		par, err := core.ParSched{}.Schedule(c, dev)
+		if err != nil {
+			return nil, err
+		}
+		distIdeal, err := runSchedule(dev, par, opts.Shots, opts.Seed+int64(i)+500, true)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{
+			QubitPair:       pair,
+			PathLength:      dev.Topo.Distance(pair[0], pair[1]),
+			XtalkSchedError: metrics.BellStateError(distX),
+			IdealError:      metrics.BellStateError(distIdeal),
+		}
+		res.Rows = append(res.Rows, row)
+		gaps = append(gaps, row.XtalkSchedError-row.IdealError)
+	}
+	res.MeanGap = linalg.Mean(gaps)
+	res.GapStd = linalg.StdDev(gaps)
+	return res, nil
+}

@@ -1,0 +1,317 @@
+// Package noise executes scheduled circuits on the simulated device with a
+// Monte-Carlo quantum-trajectory error model. It is the stand-in for running
+// on real IBMQ hardware, and is what makes schedules matter: gate errors are
+// sampled at the independent rate when a gate runs alone and at the
+// (ground-truth) conditional rate when it temporally overlaps a
+// high-crosstalk partner; qubits decohere (T1 amplitude damping + T2
+// dephasing) across their scheduled lifetimes; and readout passes through a
+// per-qubit confusion channel.
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+	"xtalk/internal/quant"
+)
+
+// Options configures the executor.
+type Options struct {
+	// Shots is the number of Monte-Carlo trials.
+	Shots int
+	// Seed seeds the trajectory RNG.
+	Seed int64
+	// DisableGateErrors turns off stochastic Pauli gate errors.
+	DisableGateErrors bool
+	// DisableDecoherence turns off T1/T2 trajectories.
+	DisableDecoherence bool
+	// DisableReadoutErrors turns off the readout confusion channel.
+	DisableReadoutErrors bool
+	// DisableCrosstalk makes all gates use independent error rates even when
+	// overlapping (for "crosstalk-free hardware region" baselines).
+	DisableCrosstalk bool
+}
+
+// Result holds the outcome histogram of an execution.
+type Result struct {
+	// Counts maps measured bitstrings (little-endian over measured qubits,
+	// in measured-qubit order) to shot counts.
+	Counts map[string]int
+	// MeasuredQubits lists the physical qubits measured, in bit order.
+	MeasuredQubits []int
+	Shots          int
+}
+
+// Probabilities returns the empirical outcome distribution.
+func (r *Result) Probabilities() map[string]float64 {
+	p := make(map[string]float64, len(r.Counts))
+	for k, v := range r.Counts {
+		p[k] = float64(v) / float64(r.Shots)
+	}
+	return p
+}
+
+// event is a schedule-ordered simulation step.
+type event struct {
+	gateID int
+	start  float64
+}
+
+// Executor runs scheduled circuits against a device's ground-truth noise.
+type Executor struct {
+	Dev *device.Device
+}
+
+// NewExecutor returns an executor for the device.
+func NewExecutor(dev *device.Device) *Executor {
+	return &Executor{Dev: dev}
+}
+
+// Run executes the schedule for opts.Shots trajectories and returns the
+// outcome histogram over the measured qubits.
+func (ex *Executor) Run(s *core.Schedule, opts Options) (*Result, error) {
+	if opts.Shots <= 0 {
+		opts.Shots = 1024
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("noise: invalid schedule: %w", err)
+	}
+	// Compact to active qubits to keep the statevector small.
+	compact, remap := s.Circ.Compact()
+	phys := make([]int, compact.NQubits) // compact index -> physical qubit
+	for p, cq := range remap {
+		phys[cq] = p
+	}
+
+	// Order events by start time (stable on gate ID for determinism).
+	var events []event
+	for _, g := range s.Circ.Gates {
+		if g.Kind == circuit.KindBarrier {
+			continue
+		}
+		events = append(events, event{gateID: g.ID, start: s.Start[g.ID]})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].start != events[j].start {
+			return events[i].start < events[j].start
+		}
+		return events[i].gateID < events[j].gateID
+	})
+
+	// Precompute per-gate effective error rates from the schedule: the
+	// ground-truth conditional rate when overlapping a crosstalk partner
+	// (max rule, Eq. 6), else the independent rate.
+	effErr := ex.effectiveErrorRates(s, opts)
+
+	// Per-qubit idle/lifetime decoherence windows: damage is applied right
+	// before each gate, covering the span since the qubit's previous
+	// operation ended (decoherence starts at the first gate, Section 7.2).
+	prevEnd := map[int]float64{}
+
+	measured := measuredQubits(s.Circ)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	counts := map[string]int{}
+	state := quant.NewState(compact.NQubits)
+
+	for shot := 0; shot < opts.Shots; shot++ {
+		state.Reset()
+		for k := range prevEnd {
+			delete(prevEnd, k)
+		}
+		bits := make([]byte, len(measured))
+		for _, ev := range events {
+			g := s.Circ.Gates[ev.gateID]
+			// Decoherence on each operand since its last activity.
+			if !opts.DisableDecoherence {
+				for _, q := range g.Qubits {
+					last, seen := prevEnd[q]
+					if seen && ev.start > last {
+						ex.applyDecoherence(state, remap[q], q, ev.start-last, rng)
+					}
+				}
+			}
+			ex.applyGate(state, &g, remap, rng)
+			if g.Kind != circuit.KindMeasure && !opts.DisableGateErrors && g.Kind.IsTwoQubit() {
+				if rng.Float64() < effErr[g.ID] {
+					applyRandomTwoQubitPauli(state, remap[g.Qubits[0]], remap[g.Qubits[1]], rng)
+				}
+			}
+			end := ev.start + s.Duration[g.ID]
+			for _, q := range g.Qubits {
+				prevEnd[q] = end
+			}
+			if g.Kind == circuit.KindMeasure {
+				idx := indexOf(measured, g.Qubits[0])
+				out := state.MeasureQubit(remap[g.Qubits[0]], rng)
+				if !opts.DisableReadoutErrors {
+					if rng.Float64() < ex.Dev.Cal.Qubits[g.Qubits[0]].ReadoutError {
+						out ^= 1
+					}
+				}
+				bits[idx] = byte('0' + out)
+			}
+		}
+		counts[string(bits)]++
+	}
+	return &Result{Counts: counts, MeasuredQubits: measured, Shots: opts.Shots}, nil
+}
+
+// effectiveErrorRates computes, per two-qubit gate, the trajectory error
+// probability implied by the schedule and the device's ground truth.
+func (ex *Executor) effectiveErrorRates(s *core.Schedule, opts Options) map[int]float64 {
+	eff := map[int]float64{}
+	two := s.Circ.TwoQubitGates()
+	for _, id := range two {
+		g := s.Circ.Gates[id]
+		e := device.NewEdge(g.Qubits[0], g.Qubits[1])
+		rate := ex.Dev.Cal.IndependentError(e)
+		if g.Kind == circuit.KindSWAP {
+			// SWAP = 3 CNOTs; approximate compound error.
+			rate = 1 - math.Pow(1-rate, 3)
+		}
+		if !opts.DisableCrosstalk {
+			for _, other := range two {
+				if other == id || !s.Overlaps(id, other) {
+					continue
+				}
+				og := s.Circ.Gates[other]
+				oe := device.NewEdge(og.Qubits[0], og.Qubits[1])
+				cond := ex.Dev.Cal.ConditionalError(e, oe)
+				if g.Kind == circuit.KindSWAP {
+					cond = 1 - math.Pow(1-cond, 3)
+				}
+				if cond > rate {
+					rate = cond
+				}
+			}
+		}
+		eff[id] = rate
+	}
+	return eff
+}
+
+// applyDecoherence applies T1 amplitude damping and pure dephasing for an
+// idle interval dt (ns) on compact qubit cq (physical qubit pq).
+func (ex *Executor) applyDecoherence(state *quant.State, cq, pq int, dt float64, rng *rand.Rand) {
+	qc := ex.Dev.Cal.Qubits[pq]
+	gamma := 1 - math.Exp(-dt/qc.T1)
+	state.ApplyKraus(quant.AmplitudeDampingKraus(gamma), cq, rng)
+	// Pure dephasing rate: 1/T_phi = 1/T2 - 1/(2 T1), when positive.
+	invTphi := 1/qc.T2 - 1/(2*qc.T1)
+	if invTphi > 0 {
+		lambda := 1 - math.Exp(-dt*invTphi)
+		state.ApplyKraus(quant.PhaseDampingKraus(lambda), cq, rng)
+	}
+}
+
+func (ex *Executor) applyGate(state *quant.State, g *circuit.Gate, remap map[int]int, rng *rand.Rand) {
+	switch g.Kind {
+	case circuit.KindMeasure, circuit.KindBarrier:
+		return
+	case circuit.KindCNOT:
+		state.Apply2Q(&quant.MatCNOT, remap[g.Qubits[0]], remap[g.Qubits[1]])
+	case circuit.KindSWAP:
+		state.Apply2Q(&quant.MatSWAP, remap[g.Qubits[0]], remap[g.Qubits[1]])
+	case circuit.KindH:
+		state.Apply1Q(&quant.MatH, remap[g.Qubits[0]])
+	case circuit.KindX:
+		state.Apply1Q(&quant.MatX, remap[g.Qubits[0]])
+	case circuit.KindU1:
+		m := quant.MatU1(g.Params[0])
+		state.Apply1Q(&m, remap[g.Qubits[0]])
+	case circuit.KindU2:
+		m := quant.MatU2(g.Params[0], g.Params[1])
+		state.Apply1Q(&m, remap[g.Qubits[0]])
+	case circuit.KindU3:
+		m := quant.MatU3(g.Params[0], g.Params[1], g.Params[2])
+		state.Apply1Q(&m, remap[g.Qubits[0]])
+	case circuit.KindRZ:
+		m := quant.MatRZ(g.Params[0])
+		state.Apply1Q(&m, remap[g.Qubits[0]])
+	case circuit.KindRX:
+		m := quant.MatRX(g.Params[0])
+		state.Apply1Q(&m, remap[g.Qubits[0]])
+	case circuit.KindRY:
+		m := quant.MatRY(g.Params[0])
+		state.Apply1Q(&m, remap[g.Qubits[0]])
+	default:
+		panic(fmt.Sprintf("noise: unsupported gate kind %v", g.Kind))
+	}
+}
+
+// applyRandomTwoQubitPauli applies a uniformly random non-identity two-qubit
+// Pauli (the standard depolarizing-style gate error model).
+func applyRandomTwoQubitPauli(state *quant.State, q0, q1 int, rng *rand.Rand) {
+	for {
+		p0 := quant.Pauli(rng.Intn(4))
+		p1 := quant.Pauli(rng.Intn(4))
+		if p0 == quant.PauliI && p1 == quant.PauliI {
+			continue
+		}
+		if p0 != quant.PauliI {
+			state.Apply1Q(p0.Mat(), q0)
+		}
+		if p1 != quant.PauliI {
+			state.Apply1Q(p1.Mat(), q1)
+		}
+		return
+	}
+}
+
+func measuredQubits(c *circuit.Circuit) []int {
+	var out []int
+	for _, g := range c.Gates {
+		if g.Kind == circuit.KindMeasure {
+			out = append(out, g.Qubits[0])
+		}
+	}
+	return out
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// IdealProbabilities simulates the circuit noiselessly (ignoring the
+// schedule) and returns the exact outcome distribution over the measured
+// qubits in measurement order.
+func IdealProbabilities(c *circuit.Circuit) (map[string]float64, []int) {
+	compact, remap := c.Compact()
+	state := quant.NewState(compact.NQubits)
+	ex := &Executor{}
+	for i := range c.Gates {
+		g := c.Gates[i]
+		if g.Kind == circuit.KindMeasure || g.Kind == circuit.KindBarrier {
+			continue
+		}
+		ex.applyGate(state, &g, remap, nil)
+	}
+	measured := measuredQubits(c)
+	probs := map[string]float64{}
+	full := state.Probabilities()
+	for idx, p := range full {
+		if p < 1e-12 {
+			continue
+		}
+		bits := make([]byte, len(measured))
+		for i, q := range measured {
+			if idx>>uint(remap[q])&1 == 1 {
+				bits[i] = '1'
+			} else {
+				bits[i] = '0'
+			}
+		}
+		probs[string(bits)] += p
+	}
+	return probs, measured
+}

@@ -1,0 +1,235 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+)
+
+func noiselessOpts(shots int) Options {
+	return Options{
+		Shots:                shots,
+		Seed:                 1,
+		DisableGateErrors:    true,
+		DisableDecoherence:   true,
+		DisableReadoutErrors: true,
+	}
+}
+
+func bellCircuit() *circuit.Circuit {
+	c := circuit.New(20)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.Measure(0)
+	c.Measure(1)
+	return c
+}
+
+func TestNoiselessBell(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	s, err := core.ParSched{}.Schedule(bellCircuit(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewExecutor(dev).Run(s, noiselessOpts(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Probabilities()
+	if p["01"] > 0 || p["10"] > 0 {
+		t.Fatalf("noiseless Bell produced odd-parity outcomes: %v", p)
+	}
+	if math.Abs(p["00"]-0.5) > 0.05 {
+		t.Fatalf("P(00) = %v, want ~0.5", p["00"])
+	}
+}
+
+func TestReadoutErrorsPerturbOutcomes(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	c := circuit.New(20)
+	c.X(0)
+	c.Measure(0)
+	s, err := core.ParSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := noiselessOpts(4000)
+	opts.DisableReadoutErrors = false
+	res, err := NewExecutor(dev).Run(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Probabilities()
+	want := dev.Cal.Qubits[0].ReadoutError
+	if math.Abs(p["0"]-want) > 0.03 {
+		t.Fatalf("readout flip rate %v, want ~%v", p["0"], want)
+	}
+}
+
+func TestGateErrorsDegradeWithRate(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	// Long CNOT chain on one edge amplifies gate error visibility.
+	c := circuit.New(20)
+	for i := 0; i < 20; i++ {
+		c.CNOT(0, 1)
+	}
+	c.Measure(0)
+	c.Measure(1)
+	s, err := core.ParSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Shots: 3000, Seed: 5, DisableDecoherence: true, DisableReadoutErrors: true}
+	res, err := NewExecutor(dev).Run(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pErr := 1 - res.Probabilities()["00"]
+	// 20 CNOTs at the edge's error rate: failure probability at least one
+	// error ~ 1-(1-e)^20; allow wide tolerance but require visible error.
+	e := dev.Cal.IndependentError(device.NewEdge(0, 1))
+	atLeast := (1 - math.Pow(1-e, 20)) * 0.3
+	if pErr < atLeast {
+		t.Fatalf("gate-error run too clean: observed error %v, expected > %v", pErr, atLeast)
+	}
+	// And the noiseless control is clean.
+	res0, _ := NewExecutor(dev).Run(s, noiselessOpts(1000))
+	if res0.Probabilities()["00"] < 0.999 {
+		t.Fatal("noiseless control not clean")
+	}
+}
+
+func TestDecoherenceGrowsWithIdleTime(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	// Excite qubit 10 (worst coherence), idle, measure. Compare short vs
+	// long idle via two schedules built by stretching with dummy gates on
+	// another qubit and a barrier.
+	build := func(idleGates int) *core.Schedule {
+		c := circuit.New(20)
+		c.X(10)
+		c.Barrier(10, 0)
+		for i := 0; i < idleGates; i++ {
+			c.CNOT(0, 1)
+		}
+		c.Barrier(10, 0)
+		c.Measure(10)
+		s, err := core.SerialSched{}.Schedule(c, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	opts := Options{Shots: 3000, Seed: 7, DisableGateErrors: true, DisableReadoutErrors: true}
+	short, err := NewExecutor(dev).Run(build(0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := NewExecutor(dev).Run(build(12), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pShort := short.Probabilities()["1"]
+	pLong := long.Probabilities()["1"]
+	if pLong >= pShort-0.02 {
+		t.Fatalf("idling should decay |1>: short %v, long %v", pShort, pLong)
+	}
+}
+
+func TestCrosstalkOverlapIncreasesError(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	// Repeated parallel CNOTs on the ground-truth crosstalk pair
+	// (5-10, 11-12): ParSched overlaps them, SerialSched doesn't.
+	c := circuit.New(20)
+	for i := 0; i < 6; i++ {
+		c.CNOT(5, 10)
+		c.CNOT(11, 12)
+	}
+	c.Measure(5)
+	c.Measure(10)
+	c.Measure(11)
+	c.Measure(12)
+	par, err := core.ParSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := core.SerialSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.CrosstalkOverlapCount(nd) == 0 {
+		t.Fatal("ParSched should overlap the crosstalk pair")
+	}
+	opts := Options{Shots: 4000, Seed: 11, DisableDecoherence: true, DisableReadoutErrors: true}
+	ex := NewExecutor(dev)
+	resPar, err := ex.Run(par, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSer, err := ex.Run(ser, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPar := 1 - resPar.Probabilities()["0000"]
+	errSer := 1 - resSer.Probabilities()["0000"]
+	if errPar <= errSer {
+		t.Fatalf("crosstalk overlap should hurt: par %v vs serial %v", errPar, errSer)
+	}
+	// With crosstalk disabled, the gap closes.
+	opts.DisableCrosstalk = true
+	resPar2, _ := ex.Run(par, opts)
+	errPar2 := 1 - resPar2.Probabilities()["0000"]
+	if errPar2 > errSer+0.05 {
+		t.Fatalf("crosstalk-free parallel error %v should match serial %v", errPar2, errSer)
+	}
+}
+
+func TestIdealProbabilitiesBell(t *testing.T) {
+	p, measured := IdealProbabilities(bellCircuit())
+	if len(measured) != 2 {
+		t.Fatalf("measured %v", measured)
+	}
+	if math.Abs(p["00"]-0.5) > 1e-9 || math.Abs(p["11"]-0.5) > 1e-9 {
+		t.Fatalf("ideal Bell distribution %v", p)
+	}
+}
+
+func TestRunRejectsInvalidSchedule(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	c := bellCircuit()
+	s, err := core.ParSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start[1] = -500 // corrupt
+	if _, err := NewExecutor(dev).Run(s, noiselessOpts(10)); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestResultCountsSumToShots(t *testing.T) {
+	dev := device.MustNew(device.Johannesburg, 2)
+	c := circuit.New(20)
+	c.H(0)
+	c.H(1)
+	c.Measure(0)
+	c.Measure(1)
+	s, err := core.ParSched{}.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewExecutor(dev).Run(s, Options{Shots: 777, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range res.Counts {
+		total += v
+	}
+	if total != 777 {
+		t.Fatalf("counts sum %d, want 777", total)
+	}
+}

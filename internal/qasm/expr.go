@@ -1,0 +1,155 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// evalExpr evaluates an OpenQASM parameter expression: floating literals,
+// pi, unary minus, + - * /, and parentheses. Recursive descent:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := '-' factor | '(' expr ')' | number | 'pi'
+func evalExpr(src string) (float64, error) {
+	e := &exprParser{src: strings.TrimSpace(src)}
+	v, err := e.expr()
+	if err != nil {
+		return 0, err
+	}
+	e.skipSpace()
+	if e.pos != len(e.src) {
+		return 0, fmt.Errorf("trailing input in expression %q", src)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (e *exprParser) skipSpace() {
+	for e.pos < len(e.src) && (e.src[e.pos] == ' ' || e.src[e.pos] == '\t') {
+		e.pos++
+	}
+}
+
+func (e *exprParser) peek() byte {
+	e.skipSpace()
+	if e.pos >= len(e.src) {
+		return 0
+	}
+	return e.src[e.pos]
+}
+
+func (e *exprParser) expr() (float64, error) {
+	v, err := e.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch e.peek() {
+		case '+':
+			e.pos++
+			r, err := e.term()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			e.pos++
+			r, err := e.term()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) term() (float64, error) {
+	v, err := e.factor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch e.peek() {
+		case '*':
+			e.pos++
+			r, err := e.factor()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			e.pos++
+			r, err := e.factor()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (e *exprParser) factor() (float64, error) {
+	switch c := e.peek(); {
+	case c == '-':
+		e.pos++
+		v, err := e.factor()
+		return -v, err
+	case c == '(':
+		e.pos++
+		v, err := e.expr()
+		if err != nil {
+			return 0, err
+		}
+		if e.peek() != ')' {
+			return 0, fmt.Errorf("missing ')'")
+		}
+		e.pos++
+		return v, nil
+	case c == 'p' || c == 'P':
+		if e.pos+2 <= len(e.src) && strings.EqualFold(e.src[e.pos:e.pos+2], "pi") {
+			e.pos += 2
+			return math.Pi, nil
+		}
+		return 0, fmt.Errorf("unexpected identifier")
+	case c >= '0' && c <= '9' || c == '.':
+		start := e.pos
+		for e.pos < len(e.src) {
+			ch := rune(e.src[e.pos])
+			if unicode.IsDigit(ch) || ch == '.' || ch == 'e' || ch == 'E' {
+				e.pos++
+				continue
+			}
+			// Exponent sign.
+			if (ch == '+' || ch == '-') && e.pos > start &&
+				(e.src[e.pos-1] == 'e' || e.src[e.pos-1] == 'E') {
+				e.pos++
+				continue
+			}
+			break
+		}
+		v, err := strconv.ParseFloat(e.src[start:e.pos], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", e.src[start:e.pos])
+		}
+		return v, nil
+	case c == 0:
+		return 0, fmt.Errorf("unexpected end of expression")
+	default:
+		return 0, fmt.Errorf("unexpected character %q", string(c))
+	}
+}

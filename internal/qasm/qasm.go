@@ -1,0 +1,401 @@
+// Package qasm converts between the library's circuit IR and a practical
+// subset of OpenQASM 2.0 — the interchange format of the paper's ecosystem
+// (Qiskit emits and consumes it). Supported statements: OPENQASM/include
+// headers, one qreg and one creg, the qelib1 gates that map onto the IR
+// (u1/u2/u3, rx/ry/rz, h, x, y, z, s, sdg, t, tdg, id, cx, swap), barrier,
+// and measure. Parameter expressions support numbers, pi, unary minus and
+// the + - * / operators with parentheses.
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"xtalk/internal/circuit"
+)
+
+// Parse converts OpenQASM 2.0 source into a circuit. The classical register
+// is tracked only to validate measure targets; measurement order follows
+// statement order.
+func Parse(src string) (*circuit.Circuit, error) {
+	p := &parser{}
+	// Strip comments, then split into ';'-terminated statements.
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteString(" ")
+	}
+	stmts := strings.Split(clean.String(), ";")
+	for _, raw := range stmts {
+		stmt := strings.TrimSpace(raw)
+		if stmt == "" {
+			continue
+		}
+		if err := p.statement(stmt); err != nil {
+			return nil, fmt.Errorf("qasm: %q: %w", stmt, err)
+		}
+	}
+	if p.circ == nil {
+		return nil, fmt.Errorf("qasm: no qreg declared")
+	}
+	return p.circ, nil
+}
+
+type parser struct {
+	circ     *circuit.Circuit
+	qregName string
+	cregName string
+	cregSize int
+}
+
+func (p *parser) statement(stmt string) error {
+	switch {
+	case strings.HasPrefix(stmt, "OPENQASM"):
+		if !strings.Contains(stmt, "2.0") {
+			return fmt.Errorf("unsupported version")
+		}
+		return nil
+	case strings.HasPrefix(stmt, "include"):
+		return nil // qelib1.inc is built in
+	case strings.HasPrefix(stmt, "qreg"):
+		name, size, err := parseReg(strings.TrimPrefix(stmt, "qreg"))
+		if err != nil {
+			return err
+		}
+		if p.circ != nil {
+			return fmt.Errorf("multiple qregs not supported")
+		}
+		p.qregName = name
+		p.circ = circuit.New(size)
+		return nil
+	case strings.HasPrefix(stmt, "creg"):
+		name, size, err := parseReg(strings.TrimPrefix(stmt, "creg"))
+		if err != nil {
+			return err
+		}
+		p.cregName = name
+		p.cregSize = size
+		return nil
+	case strings.HasPrefix(stmt, "measure"):
+		return p.measure(strings.TrimPrefix(stmt, "measure"))
+	case strings.HasPrefix(stmt, "barrier"):
+		if p.circ == nil {
+			return fmt.Errorf("barrier before qreg")
+		}
+		qubits, err := p.qubitList(strings.TrimPrefix(stmt, "barrier"))
+		if err != nil {
+			return err
+		}
+		p.circ.Barrier(qubits...)
+		return nil
+	}
+	return p.gate(stmt)
+}
+
+func parseReg(rest string) (string, int, error) {
+	rest = strings.TrimSpace(rest)
+	open := strings.IndexByte(rest, '[')
+	closeIdx := strings.IndexByte(rest, ']')
+	if open <= 0 || closeIdx <= open {
+		return "", 0, fmt.Errorf("bad register declaration")
+	}
+	size, err := strconv.Atoi(strings.TrimSpace(rest[open+1 : closeIdx]))
+	if err != nil || size <= 0 {
+		return "", 0, fmt.Errorf("bad register size")
+	}
+	return strings.TrimSpace(rest[:open]), size, nil
+}
+
+func (p *parser) measure(rest string) error {
+	if p.circ == nil {
+		return fmt.Errorf("measure before qreg")
+	}
+	parts := strings.Split(rest, "->")
+	if len(parts) != 2 {
+		return fmt.Errorf("measure needs 'q[i] -> c[j]'")
+	}
+	q, err := p.qubitIndex(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	cbit := strings.TrimSpace(parts[1])
+	if p.cregName != "" {
+		idx, err := regIndex(cbit, p.cregName)
+		if err != nil {
+			return err
+		}
+		if idx >= p.cregSize {
+			return fmt.Errorf("creg index %d out of range", idx)
+		}
+	}
+	p.circ.Measure(q)
+	return nil
+}
+
+func (p *parser) gate(stmt string) error {
+	if p.circ == nil {
+		return fmt.Errorf("gate before qreg")
+	}
+	// Split "name(params...)" (params may contain spaces and nested
+	// parentheses) from the qubit operands.
+	var name, paramSrc, operands string
+	if open := strings.IndexByte(stmt, '('); open >= 0 && open < strings.IndexAny(stmt+" ", " \t") {
+		depth := 0
+		closeIdx := -1
+		for k := open; k < len(stmt); k++ {
+			switch stmt[k] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 {
+					closeIdx = k
+				}
+			}
+			if closeIdx >= 0 {
+				break
+			}
+		}
+		if closeIdx < 0 {
+			return fmt.Errorf("unterminated parameters")
+		}
+		name = strings.TrimSpace(stmt[:open])
+		paramSrc = stmt[open+1 : closeIdx]
+		operands = stmt[closeIdx+1:]
+	} else if i := strings.IndexAny(stmt, " \t"); i >= 0 {
+		name, operands = stmt[:i], stmt[i+1:]
+	} else {
+		name = stmt
+	}
+	var params []float64
+	if paramSrc != "" || strings.Contains(stmt, "()") {
+		for _, expr := range splitTopLevel(paramSrc) {
+			v, err := evalExpr(expr)
+			if err != nil {
+				return err
+			}
+			params = append(params, v)
+		}
+	}
+	qubits, err := p.qubitList(operands)
+	if err != nil {
+		return err
+	}
+	return p.emit(strings.ToLower(name), params, qubits)
+}
+
+func (p *parser) emit(name string, params []float64, qubits []int) error {
+	need := func(nq, np int) error {
+		if len(qubits) != nq || len(params) != np {
+			return fmt.Errorf("%s expects %d qubit(s) and %d param(s)", name, nq, np)
+		}
+		return nil
+	}
+	c := p.circ
+	switch name {
+	case "id":
+		return need(1, 0)
+	case "h":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.H(qubits[0])
+	case "x":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.X(qubits[0])
+	case "y":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.U3(qubits[0], math.Pi, math.Pi/2, math.Pi/2)
+	case "z":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.U1(qubits[0], math.Pi)
+	case "s":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.U1(qubits[0], math.Pi/2)
+	case "sdg":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.U1(qubits[0], -math.Pi/2)
+	case "t":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.U1(qubits[0], math.Pi/4)
+	case "tdg":
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.U1(qubits[0], -math.Pi/4)
+	case "u1":
+		if err := need(1, 1); err != nil {
+			return err
+		}
+		c.U1(qubits[0], params[0])
+	case "u2":
+		if err := need(1, 2); err != nil {
+			return err
+		}
+		c.U2(qubits[0], params[0], params[1])
+	case "u3", "u":
+		if err := need(1, 3); err != nil {
+			return err
+		}
+		c.U3(qubits[0], params[0], params[1], params[2])
+	case "rx":
+		if err := need(1, 1); err != nil {
+			return err
+		}
+		c.RX(qubits[0], params[0])
+	case "ry":
+		if err := need(1, 1); err != nil {
+			return err
+		}
+		c.RY(qubits[0], params[0])
+	case "rz":
+		if err := need(1, 1); err != nil {
+			return err
+		}
+		c.RZ(qubits[0], params[0])
+	case "cx", "cnot":
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		c.CNOT(qubits[0], qubits[1])
+	case "swap":
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		c.SWAP(qubits[0], qubits[1])
+	default:
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+	return nil
+}
+
+func (p *parser) qubitList(rest string) ([]int, error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil, fmt.Errorf("missing qubit operands")
+	}
+	var out []int
+	for _, part := range splitTopLevel(rest) {
+		q, err := p.qubitIndex(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func (p *parser) qubitIndex(ref string) (int, error) {
+	idx, err := regIndex(ref, p.qregName)
+	if err != nil {
+		return 0, err
+	}
+	if idx >= p.circ.NQubits {
+		return 0, fmt.Errorf("qubit index %d out of range", idx)
+	}
+	return idx, nil
+}
+
+func regIndex(ref, regName string) (int, error) {
+	open := strings.IndexByte(ref, '[')
+	closeIdx := strings.IndexByte(ref, ']')
+	if open <= 0 || closeIdx <= open {
+		return 0, fmt.Errorf("bad register reference %q", ref)
+	}
+	if name := strings.TrimSpace(ref[:open]); name != regName {
+		return 0, fmt.Errorf("unknown register %q", name)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(ref[open+1 : closeIdx]))
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("bad index in %q", ref)
+	}
+	return idx, nil
+}
+
+// splitTopLevel splits on commas not nested inside parentheses.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// Dump renders a circuit as OpenQASM 2.0. Measures map to creg bits in
+// statement order.
+func Dump(c *circuit.Circuit) string {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.NQubits)
+	nMeas := c.CountKind(circuit.KindMeasure)
+	if nMeas > 0 {
+		fmt.Fprintf(&sb, "creg c[%d];\n", nMeas)
+	}
+	cbit := 0
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.KindMeasure:
+			fmt.Fprintf(&sb, "measure q[%d] -> c[%d];\n", g.Qubits[0], cbit)
+			cbit++
+		case circuit.KindBarrier:
+			sb.WriteString("barrier ")
+			for i, q := range g.Qubits {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, "q[%d]", q)
+			}
+			sb.WriteString(";\n")
+		default:
+			sb.WriteString(g.Kind.String())
+			if len(g.Params) > 0 {
+				sb.WriteString("(")
+				for i, v := range g.Params {
+					if i > 0 {
+						sb.WriteString(",")
+					}
+					fmt.Fprintf(&sb, "%.12g", v)
+				}
+				sb.WriteString(")")
+			}
+			sb.WriteString(" ")
+			for i, q := range g.Qubits {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, "q[%d]", q)
+			}
+			sb.WriteString(";\n")
+		}
+	}
+	return sb.String()
+}

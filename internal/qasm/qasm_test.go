@@ -1,0 +1,188 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/noise"
+)
+
+const bellQASM = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+
+func TestParseBell(t *testing.T) {
+	c, err := Parse(bellQASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NQubits != 2 || len(c.Gates) != 4 {
+		t.Fatalf("parsed %d qubits, %d gates", c.NQubits, len(c.Gates))
+	}
+	p, _ := noise.IdealProbabilities(c)
+	if math.Abs(p["00"]-0.5) > 1e-9 || math.Abs(p["11"]-0.5) > 1e-9 {
+		t.Fatalf("parsed Bell circuit gives %v", p)
+	}
+}
+
+func TestParseParameterExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[1];
+u1(pi/2) q[0];
+u3(pi, -pi/4, 2*pi) q[0];
+rz(0.5e-1) q[0];
+u2((pi+pi)/4, 1.5) q[0];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Gates[0].Params[0]; math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("u1 param %v", got)
+	}
+	g := c.Gates[1]
+	if math.Abs(g.Params[0]-math.Pi) > 1e-12 ||
+		math.Abs(g.Params[1]+math.Pi/4) > 1e-12 ||
+		math.Abs(g.Params[2]-2*math.Pi) > 1e-12 {
+		t.Fatalf("u3 params %v", g.Params)
+	}
+	if math.Abs(c.Gates[2].Params[0]-0.05) > 1e-12 {
+		t.Fatalf("rz param %v", c.Gates[2].Params[0])
+	}
+	if math.Abs(c.Gates[3].Params[0]-math.Pi/2) > 1e-12 {
+		t.Fatalf("u2 param %v", c.Gates[3].Params[0])
+	}
+}
+
+func TestParseStandardGateAliases(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[2];
+y q[0];
+z q[0];
+s q[0];
+sdg q[0];
+t q[0];
+tdg q[0];
+id q[1];
+swap q[0],q[1];
+barrier q[0],q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id is dropped; y -> u3; z/s/sdg/t/tdg -> u1.
+	if got := c.CountKind(circuit.KindU1); got != 5 {
+		t.Fatalf("u1 count %d, want 5", got)
+	}
+	if got := c.CountKind(circuit.KindU3); got != 1 {
+		t.Fatalf("u3 count %d", got)
+	}
+	if c.CountKind(circuit.KindSWAP) != 1 || c.CountKind(circuit.KindBarrier) != 1 {
+		t.Fatal("swap/barrier missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"qreg q[2]; bogus q[0];",
+		"h q[0];",                                     // gate before qreg
+		"qreg q[2]; h q[5];",                          // out of range
+		"qreg q[2]; cx q[0];",                         // arity
+		"qreg q[2]; u1() q[0];",                       // missing param value
+		"qreg q[2]; u1(pi q[0];",                      // unterminated
+		"qreg q[2]; measure q[0];",                    // measure needs ->
+		"qreg q[2]; h r[0];",                          // unknown register
+		"OPENQASM 3.0; qreg q[1];",                    // version
+		"qreg q[2]; qreg r[2];",                       // multiple qregs
+		"qreg q[2]; creg c[1]; measure q[0] -> c[3];", // creg range
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestDumpParseRoundTrip(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.U3(1, 0.25, 1.25, 2.25)
+	c.CNOT(0, 1)
+	c.SWAP(1, 2)
+	c.RZ(2, -0.75)
+	c.Barrier(0, 2)
+	c.Measure(0)
+	c.Measure(2)
+	dumped := Dump(c)
+	back, err := Parse(dumped)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, dumped)
+	}
+	if len(back.Gates) != len(c.Gates) {
+		t.Fatalf("round trip gates %d vs %d", len(back.Gates), len(c.Gates))
+	}
+	for i := range c.Gates {
+		a, b := c.Gates[i], back.Gates[i]
+		if a.Kind != b.Kind {
+			t.Fatalf("gate %d kind %v vs %v", i, a.Kind, b.Kind)
+		}
+		for j := range a.Params {
+			if math.Abs(a.Params[j]-b.Params[j]) > 1e-9 {
+				t.Fatalf("gate %d params %v vs %v", i, a.Params, b.Params)
+			}
+		}
+	}
+}
+
+func TestDumpHeader(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.Measure(0)
+	out := Dump(c)
+	for _, want := range []string{"OPENQASM 2.0;", "qreg q[2];", "creg c[1];", "measure q[0] -> c[0];"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEvalExpr(t *testing.T) {
+	for src, want := range map[string]float64{
+		"1.5":         1.5,
+		"pi":          math.Pi,
+		"-pi/2":       -math.Pi / 2,
+		"2*pi":        2 * math.Pi,
+		"(1+2)*3":     9,
+		"1 + 2 * 3":   7,
+		"-(2+3)/5":    -1,
+		"1e3":         1000,
+		"2.5e-2":      0.025,
+		"pi/2 + pi/2": math.Pi,
+		"--1":         1,
+		"((pi))":      math.Pi,
+		"3/2/3":       0.5,
+		"10 - 2 - 3":  5,
+	} {
+		got, err := evalExpr(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%q = %v, want %v", src, got, want)
+		}
+	}
+	for _, bad := range []string{"", "1+", "(1", "1/0", "foo", "1 2"} {
+		if _, err := evalExpr(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package quant
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Standard single-qubit gate matrices, row-major [u00 u01 u10 u11].
+var (
+	// MatI is the identity.
+	MatI = [4]complex128{1, 0, 0, 1}
+	// MatX is the Pauli X gate.
+	MatX = [4]complex128{0, 1, 1, 0}
+	// MatY is the Pauli Y gate.
+	MatY = [4]complex128{0, -1i, 1i, 0}
+	// MatZ is the Pauli Z gate.
+	MatZ = [4]complex128{1, 0, 0, -1}
+	// MatH is the Hadamard gate.
+	MatH = [4]complex128{
+		complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0),
+		complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0),
+	}
+	// MatS is the phase gate sqrt(Z).
+	MatS = [4]complex128{1, 0, 0, 1i}
+	// MatSdg is S dagger.
+	MatSdg = [4]complex128{1, 0, 0, -1i}
+	// MatT is the pi/8 gate.
+	MatT = [4]complex128{1, 0, 0, cmplx.Exp(1i * math.Pi / 4)}
+	// MatSX is sqrt(X).
+	MatSX = [4]complex128{
+		complex(0.5, 0.5), complex(0.5, -0.5),
+		complex(0.5, -0.5), complex(0.5, 0.5),
+	}
+)
+
+// MatRZ returns the RZ(theta) rotation matrix (up to global phase, exact IBM
+// virtual-Z convention: diag(e^{-i t/2}, e^{i t/2})).
+func MatRZ(theta float64) [4]complex128 {
+	return [4]complex128{cmplx.Exp(complex(0, -theta/2)), 0, 0, cmplx.Exp(complex(0, theta/2))}
+}
+
+// MatRX returns the RX(theta) rotation matrix.
+func MatRX(theta float64) [4]complex128 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return [4]complex128{c, s, s, c}
+}
+
+// MatRY returns the RY(theta) rotation matrix.
+func MatRY(theta float64) [4]complex128 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return [4]complex128{c, -s, s, c}
+}
+
+// MatU3 returns the IBM U3(theta, phi, lambda) gate.
+func MatU3(theta, phi, lambda float64) [4]complex128 {
+	c := math.Cos(theta / 2)
+	s := math.Sin(theta / 2)
+	return [4]complex128{
+		complex(c, 0),
+		-cmplx.Exp(complex(0, lambda)) * complex(s, 0),
+		cmplx.Exp(complex(0, phi)) * complex(s, 0),
+		cmplx.Exp(complex(0, phi+lambda)) * complex(c, 0),
+	}
+}
+
+// MatU2 returns the IBM U2(phi, lambda) gate = U3(pi/2, phi, lambda).
+func MatU2(phi, lambda float64) [4]complex128 { return MatU3(math.Pi/2, phi, lambda) }
+
+// MatU1 returns the IBM U1(lambda) phase gate = diag(1, e^{i lambda}).
+func MatU1(lambda float64) [4]complex128 {
+	return [4]complex128{1, 0, 0, cmplx.Exp(complex(0, lambda))}
+}
+
+// Two-qubit gate matrices in the |q1 q0> basis ordering used by Apply2Q.
+var (
+	// MatCNOT is the controlled-NOT with q1 as control, q0 as target.
+	MatCNOT = [16]complex128{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+		0, 0, 1, 0,
+	}
+	// MatCZ is the controlled-Z gate (symmetric).
+	MatCZ = [16]complex128{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, -1,
+	}
+	// MatSWAP exchanges the two qubits.
+	MatSWAP = [16]complex128{
+		1, 0, 0, 0,
+		0, 0, 1, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+	}
+)
+
+// Pauli identifies one of the 4 single-qubit Paulis.
+type Pauli int
+
+// Pauli labels.
+const (
+	PauliI Pauli = iota
+	PauliX
+	PauliY
+	PauliZ
+)
+
+// Mat returns the matrix of the Pauli.
+func (p Pauli) Mat() *[4]complex128 {
+	switch p {
+	case PauliX:
+		return &MatX
+	case PauliY:
+		return &MatY
+	case PauliZ:
+		return &MatZ
+	default:
+		return &MatI
+	}
+}
+
+// String returns the one-letter Pauli name.
+func (p Pauli) String() string {
+	switch p {
+	case PauliX:
+		return "X"
+	case PauliY:
+		return "Y"
+	case PauliZ:
+		return "Z"
+	default:
+		return "I"
+	}
+}
+
+// AmplitudeDampingKraus returns the Kraus operators of an amplitude damping
+// channel with decay probability gamma (T1 relaxation over some interval).
+func AmplitudeDampingKraus(gamma float64) []*[4]complex128 {
+	g := clamp01(gamma)
+	k0 := [4]complex128{1, 0, 0, complex(math.Sqrt(1-g), 0)}
+	k1 := [4]complex128{0, complex(math.Sqrt(g), 0), 0, 0}
+	return []*[4]complex128{&k0, &k1}
+}
+
+// PhaseDampingKraus returns the Kraus operators of a pure dephasing channel
+// with dephasing probability lambda (excess T2 loss over some interval).
+func PhaseDampingKraus(lambda float64) []*[4]complex128 {
+	l := clamp01(lambda)
+	k0 := [4]complex128{1, 0, 0, complex(math.Sqrt(1-l), 0)}
+	k1 := [4]complex128{0, 0, 0, complex(math.Sqrt(l), 0)}
+	return []*[4]complex128{&k0, &k1}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

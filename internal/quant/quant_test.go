@@ -1,0 +1,266 @@
+package quant
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewStateIsZeroKet(t *testing.T) {
+	s := NewState(3)
+	if !approx(s.Prob(0), 1, 1e-12) {
+		t.Fatalf("P(|000>) = %v, want 1", s.Prob(0))
+	}
+	if !approx(s.Norm(), 1, 1e-12) {
+		t.Fatalf("norm %v, want 1", s.Norm())
+	}
+}
+
+func TestXFlipsQubit(t *testing.T) {
+	s := NewState(2)
+	s.Apply1Q(&MatX, 0)
+	if !approx(s.Prob(1), 1, 1e-12) {
+		t.Fatalf("X|00> should be |01>; P(01)=%v", s.Prob(1))
+	}
+	s.Apply1Q(&MatX, 1)
+	if !approx(s.Prob(3), 1, 1e-12) {
+		t.Fatalf("expected |11>, P=%v", s.Prob(3))
+	}
+}
+
+func TestHadamardSuperposition(t *testing.T) {
+	s := NewState(1)
+	s.Apply1Q(&MatH, 0)
+	if !approx(s.Prob(0), 0.5, 1e-12) || !approx(s.Prob(1), 0.5, 1e-12) {
+		t.Fatalf("H|0> probs = %v, %v", s.Prob(0), s.Prob(1))
+	}
+	s.Apply1Q(&MatH, 0)
+	if !approx(s.Prob(0), 1, 1e-12) {
+		t.Fatal("H is not self-inverse")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	s.Apply1Q(&MatH, 0)
+	s.Apply2Q(&MatCNOT, 0, 1) // control q0 (the high bit of the pair encoding), target q1
+	// The |q1 q0> ordering: control is the first qubit arg of Apply2Q.
+	p00, p11 := s.Prob(0), s.Prob(3)
+	if !approx(p00, 0.5, 1e-12) || !approx(p11, 0.5, 1e-12) {
+		t.Fatalf("Bell state probs: P(00)=%v P(11)=%v P(01)=%v P(10)=%v", p00, p11, s.Prob(1), s.Prob(2))
+	}
+}
+
+func TestCNOTControlTarget(t *testing.T) {
+	// Control set -> target flips.
+	s := NewState(2)
+	s.Apply1Q(&MatX, 1) // set qubit 1
+	s.Apply2Q(&MatCNOT, 1, 0)
+	if !approx(s.Prob(3), 1, 1e-12) {
+		t.Fatalf("CNOT(ctrl=1, tgt=0) on |10>: want |11>, got P(3)=%v", s.Prob(3))
+	}
+	// Control clear -> target unchanged.
+	s2 := NewState(2)
+	s2.Apply2Q(&MatCNOT, 1, 0)
+	if !approx(s2.Prob(0), 1, 1e-12) {
+		t.Fatal("CNOT with clear control should be identity")
+	}
+}
+
+func TestSWAPGate(t *testing.T) {
+	s := NewState(2)
+	s.Apply1Q(&MatX, 0)
+	s.Apply2Q(&MatSWAP, 1, 0)
+	if !approx(s.Prob(2), 1, 1e-12) {
+		t.Fatalf("SWAP|01> should be |10>; P=%v", s.Prob(2))
+	}
+}
+
+func TestSwapEqualsThreeCNOTs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s1 := NewState(2)
+	// Random product state.
+	u := MatU3(rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+	v := MatU3(rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+	s1.Apply1Q(&u, 0)
+	s1.Apply1Q(&v, 1)
+	s2 := s1.Clone()
+	s1.Apply2Q(&MatSWAP, 1, 0)
+	s2.Apply2Q(&MatCNOT, 0, 1)
+	s2.Apply2Q(&MatCNOT, 1, 0)
+	s2.Apply2Q(&MatCNOT, 0, 1)
+	if f := s1.Fidelity(s2); !approx(f, 1, 1e-9) {
+		t.Fatalf("SWAP != CNOT^3: fidelity %v", f)
+	}
+}
+
+func TestUnitariesPreserveNorm(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(4)
+		for i := 0; i < 20; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				m := MatU3(rng.Float64()*math.Pi, rng.Float64()*6, rng.Float64()*6)
+				s.Apply1Q(&m, rng.Intn(4))
+			case 1:
+				s.Apply1Q(&MatH, rng.Intn(4))
+			default:
+				a, b := rng.Intn(4), rng.Intn(4)
+				if a != b {
+					s.Apply2Q(&MatCNOT, a, b)
+				}
+			}
+		}
+		return approx(s.Norm(), 1, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateMatricesUnitary(t *testing.T) {
+	oneQ := map[string][4]complex128{
+		"X": MatX, "Y": MatY, "Z": MatZ, "H": MatH, "S": MatS, "Sdg": MatSdg,
+		"T": MatT, "SX": MatSX,
+		"RZ": MatRZ(1.1), "RX": MatRX(0.7), "RY": MatRY(2.3),
+		"U1": MatU1(0.5), "U2": MatU2(0.3, 1.7), "U3": MatU3(1.0, 2.0, 3.0),
+	}
+	for name, m := range oneQ {
+		// Check m * m^dagger = I.
+		var prod [4]complex128
+		d := [4]complex128{cmplx.Conj(m[0]), cmplx.Conj(m[2]), cmplx.Conj(m[1]), cmplx.Conj(m[3])}
+		prod[0] = m[0]*d[0] + m[1]*d[2]
+		prod[1] = m[0]*d[1] + m[1]*d[3]
+		prod[2] = m[2]*d[0] + m[3]*d[2]
+		prod[3] = m[2]*d[1] + m[3]*d[3]
+		if cmplx.Abs(prod[0]-1) > 1e-9 || cmplx.Abs(prod[3]-1) > 1e-9 ||
+			cmplx.Abs(prod[1]) > 1e-9 || cmplx.Abs(prod[2]) > 1e-9 {
+			t.Fatalf("%s not unitary: %v", name, prod)
+		}
+	}
+}
+
+func TestMeasureCollapses(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewState(2)
+	s.Apply1Q(&MatH, 0)
+	out := s.MeasureQubit(0, rng)
+	if p := s.ProbOne(0); !approx(p, float64(out), 1e-12) {
+		t.Fatalf("after measuring %d, P(1)=%v", out, p)
+	}
+	// Repeat measurement must be deterministic.
+	if again := s.MeasureQubit(0, rng); again != out {
+		t.Fatalf("repeated measurement changed: %d then %d", out, again)
+	}
+}
+
+func TestMeasurementStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ones := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		s := NewState(1)
+		s.Apply1Q(&MatH, 0)
+		ones += s.MeasureQubit(0, rng)
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("H|0> measurement frequency %v, want ~0.5", frac)
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := NewState(2)
+	s.Apply1Q(&MatH, 0)
+	s.Apply2Q(&MatCNOT, 0, 1)
+	counts := map[int]int{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	if counts[1] != 0 || counts[2] != 0 {
+		t.Fatalf("Bell state sampled odd-parity outcomes: %v", counts)
+	}
+	if math.Abs(float64(counts[0])/n-0.5) > 0.03 {
+		t.Fatalf("P(00) frequency %v", float64(counts[0])/n)
+	}
+}
+
+func TestAmplitudeDampingDecaysExcitedState(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const gamma = 0.3
+	decayed := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s := NewState(1)
+		s.Apply1Q(&MatX, 0)
+		s.ApplyKraus(AmplitudeDampingKraus(gamma), 0, rng)
+		if s.MeasureQubit(0, rng) == 0 {
+			decayed++
+		}
+	}
+	frac := float64(decayed) / n
+	if math.Abs(frac-gamma) > 0.03 {
+		t.Fatalf("decay fraction %v, want ~%v", frac, gamma)
+	}
+}
+
+func TestAmplitudeDampingPreservesGround(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := NewState(1)
+	s.ApplyKraus(AmplitudeDampingKraus(0.9), 0, rng)
+	if !approx(s.Prob(0), 1, 1e-9) {
+		t.Fatal("|0> must be a fixed point of amplitude damping")
+	}
+}
+
+func TestPhaseDampingKillsCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	// |+> under repeated dephasing trajectories averaged: P(+ basis)
+	// degrades toward 0.5. Statistically test via H-basis measurement.
+	stay := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		s := NewState(1)
+		s.Apply1Q(&MatH, 0)
+		s.ApplyKraus(PhaseDampingKraus(0.5), 0, rng)
+		s.Apply1Q(&MatH, 0)
+		if s.MeasureQubit(0, rng) == 0 {
+			stay++
+		}
+	}
+	frac := float64(stay) / n
+	// Dephasing with lambda=0.5: coherence scales by sqrt(1-0.5) ~ 0.707;
+	// P(stay) = (1 + 0.707)/2 ~ 0.854.
+	want := (1 + math.Sqrt(0.5)) / 2
+	if math.Abs(frac-want) > 0.03 {
+		t.Fatalf("dephasing survival %v, want ~%v", frac, want)
+	}
+}
+
+func TestFidelitySelf(t *testing.T) {
+	s := NewState(3)
+	s.Apply1Q(&MatH, 1)
+	if f := s.Fidelity(s); !approx(f, 1, 1e-12) {
+		t.Fatalf("self fidelity %v", f)
+	}
+}
+
+func TestKrausTracePreserving(t *testing.T) {
+	// For any gamma, applying the channel keeps the state normalized.
+	rng := rand.New(rand.NewSource(31))
+	for _, gamma := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		s := NewState(1)
+		s.Apply1Q(&MatH, 0)
+		s.ApplyKraus(AmplitudeDampingKraus(gamma), 0, rng)
+		if !approx(s.Norm(), 1, 1e-9) {
+			t.Fatalf("gamma=%v: norm %v after trajectory step", gamma, s.Norm())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package rb implements randomized benchmarking (RB) and simultaneous
+// randomized benchmarking (SRB), the paper's crosstalk characterization
+// primitive (Sections 4.2, 8.1). The two-qubit Clifford group is enumerated
+// exactly from its generators; RB sequences are composed, inverted and
+// executed as quantum trajectories against the device's error rates; and the
+// survival curve is fitted to A*alpha^m + B to extract error per Clifford,
+// which converts to a CNOT error estimate by dividing by the average number
+// of CNOTs per Clifford (the paper uses 1.5).
+package rb
+
+import (
+	"math/rand"
+	"sync"
+
+	"xtalk/internal/linalg"
+	"xtalk/internal/quant"
+)
+
+// Clifford is one element of the two-qubit Clifford group.
+type Clifford struct {
+	// Mat is the 4x4 unitary (up to global phase).
+	Mat *linalg.CMatrix
+	// CNOTs is the number of CNOT generator applications on a shortest
+	// generator word reaching this element; used to model per-Clifford error
+	// exposure and duration.
+	CNOTs int
+	// Inv is the index of the inverse element.
+	Inv int
+}
+
+// Group is the enumerated two-qubit Clifford group (11520 elements up to
+// global phase).
+type Group struct {
+	Elems []Clifford
+	byKey map[string]int
+}
+
+// TwoQubitCliffordGroupSize is |C2| up to global phase.
+const TwoQubitCliffordGroupSize = 11520
+
+var (
+	groupOnce sync.Once
+	group     *Group
+)
+
+// cmat4 converts a flat 4x4 array to a CMatrix.
+func cmat4(vals [16]complex128) *linalg.CMatrix {
+	m := linalg.NewCMatrix(4, 4)
+	copy(m.Data, vals[:])
+	return m
+}
+
+func kron2(a, b [4]complex128) *linalg.CMatrix {
+	am := linalg.NewCMatrix(2, 2)
+	copy(am.Data, a[:])
+	bm := linalg.NewCMatrix(2, 2)
+	copy(bm.Data, b[:])
+	return am.Kron(bm)
+}
+
+// TwoQubitCliffordGroup enumerates (and caches) the full two-qubit Clifford
+// group by breadth-first closure over the generators
+// {H0, H1, S0, S1, CNOT01}.
+func TwoQubitCliffordGroup() *Group {
+	groupOnce.Do(func() {
+		group = buildGroup()
+	})
+	return group
+}
+
+func buildGroup() *Group {
+	type genDef struct {
+		mat   *linalg.CMatrix
+		cnots int
+	}
+	gens := []genDef{
+		{kron2(quant.MatH, quant.MatI), 0},
+		{kron2(quant.MatI, quant.MatH), 0},
+		{kron2(quant.MatS, quant.MatI), 0},
+		{kron2(quant.MatI, quant.MatS), 0},
+		{cmat4(quant.MatCNOT), 1},
+	}
+	const digits = 6
+	g := &Group{byKey: map[string]int{}}
+	id := linalg.CIdentity(4)
+	g.Elems = append(g.Elems, Clifford{Mat: id, CNOTs: 0})
+	g.byKey[id.PhaseKey(digits)] = 0
+	for frontier := []int{0}; len(frontier) > 0; {
+		var next []int
+		for _, idx := range frontier {
+			base := g.Elems[idx]
+			for _, gen := range gens {
+				prod := gen.mat.Mul(base.Mat)
+				key := prod.PhaseKey(digits)
+				if _, seen := g.byKey[key]; seen {
+					continue
+				}
+				g.byKey[key] = len(g.Elems)
+				g.Elems = append(g.Elems, Clifford{Mat: prod, CNOTs: base.CNOTs + gen.cnots})
+				next = append(next, len(g.Elems)-1)
+			}
+		}
+		frontier = next
+	}
+	// Resolve inverses.
+	for i := range g.Elems {
+		inv := g.Elems[i].Mat.Dagger()
+		j, ok := g.byKey[inv.PhaseKey(digits)]
+		if !ok {
+			panic("rb: clifford inverse not found in group")
+		}
+		g.Elems[i].Inv = j
+	}
+	return g
+}
+
+// Size returns the number of group elements.
+func (g *Group) Size() int { return len(g.Elems) }
+
+// Sample returns a uniformly random element index.
+func (g *Group) Sample(rng *rand.Rand) int { return rng.Intn(len(g.Elems)) }
+
+// IndexOf returns the index of the element equal (up to phase) to m, or -1.
+func (g *Group) IndexOf(m *linalg.CMatrix) int {
+	if i, ok := g.byKey[m.PhaseKey(6)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Compose returns the index of elems[b] * elems[a] (apply a first).
+func (g *Group) Compose(a, b int) int {
+	prod := g.Elems[b].Mat.Mul(g.Elems[a].Mat)
+	idx := g.IndexOf(prod)
+	if idx < 0 {
+		panic("rb: clifford composition left the group")
+	}
+	return idx
+}
+
+// AverageCNOTs returns the mean CNOT count per element (approximately 1.5,
+// the figure the paper uses to convert error per Clifford to CNOT error).
+func (g *Group) AverageCNOTs() float64 {
+	total := 0
+	for _, e := range g.Elems {
+		total += e.CNOTs
+	}
+	return float64(total) / float64(len(g.Elems))
+}

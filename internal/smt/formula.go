@@ -1,0 +1,163 @@
+package smt
+
+import "fmt"
+
+// BoolV is a propositional variable handle.
+type BoolV int
+
+// Formula is a boolean combination of linear-arithmetic atoms and
+// propositional variables.
+type Formula struct {
+	kind formulaKind
+	// atom fields (kindAtom): lhs <= k, or lhs < k when strict.
+	lhs    LinExpr
+	k      float64
+	strict bool
+	// boolean variable (kindBool)
+	b BoolV
+	// children (kindNot/kindAnd/kindOr/kindImplies/kindIff)
+	kids []Formula
+}
+
+type formulaKind int
+
+const (
+	kindTrue formulaKind = iota
+	kindFalse
+	kindAtom
+	kindBool
+	kindNot
+	kindAnd
+	kindOr
+	kindImplies
+	kindIff
+)
+
+// True is the trivially true formula.
+func True() Formula { return Formula{kind: kindTrue} }
+
+// False is the trivially false formula.
+func False() Formula { return Formula{kind: kindFalse} }
+
+// BoolLit lifts a propositional variable to a formula.
+func BoolLit(b BoolV) Formula { return Formula{kind: kindBool, b: b} }
+
+// Le returns the atom a <= b.
+func Le(a, b LinExpr) Formula {
+	d := a.Sub(b)
+	return Formula{kind: kindAtom, lhs: LinExpr{terms: d.terms}, k: -d.konst}
+}
+
+// Lt returns the atom a < b.
+func Lt(a, b LinExpr) Formula {
+	f := Le(a, b)
+	f.strict = true
+	return f
+}
+
+// Ge returns the atom a >= b.
+func Ge(a, b LinExpr) Formula { return Le(b, a) }
+
+// Gt returns the atom a > b.
+func Gt(a, b LinExpr) Formula { return Lt(b, a) }
+
+// Eq returns a == b as a conjunction of two inequalities.
+func Eq(a, b LinExpr) Formula { return And(Le(a, b), Ge(a, b)) }
+
+// Not returns the negation of f.
+func Not(f Formula) Formula {
+	switch f.kind {
+	case kindTrue:
+		return False()
+	case kindFalse:
+		return True()
+	case kindNot:
+		return f.kids[0]
+	}
+	return Formula{kind: kindNot, kids: []Formula{f}}
+}
+
+// And returns the conjunction of fs.
+func And(fs ...Formula) Formula {
+	var kids []Formula
+	for _, f := range fs {
+		switch f.kind {
+		case kindTrue:
+			continue
+		case kindFalse:
+			return False()
+		case kindAnd:
+			kids = append(kids, f.kids...)
+		default:
+			kids = append(kids, f)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return True()
+	case 1:
+		return kids[0]
+	}
+	return Formula{kind: kindAnd, kids: kids}
+}
+
+// Or returns the disjunction of fs.
+func Or(fs ...Formula) Formula {
+	var kids []Formula
+	for _, f := range fs {
+		switch f.kind {
+		case kindFalse:
+			continue
+		case kindTrue:
+			return True()
+		case kindOr:
+			kids = append(kids, f.kids...)
+		default:
+			kids = append(kids, f)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return False()
+	case 1:
+		return kids[0]
+	}
+	return Formula{kind: kindOr, kids: kids}
+}
+
+// Implies returns a -> b.
+func Implies(a, b Formula) Formula { return Formula{kind: kindImplies, kids: []Formula{a, b}} }
+
+// Iff returns a <-> b.
+func Iff(a, b Formula) Formula { return Formula{kind: kindIff, kids: []Formula{a, b}} }
+
+// String renders the formula for debugging.
+func (f Formula) String() string {
+	switch f.kind {
+	case kindTrue:
+		return "true"
+	case kindFalse:
+		return "false"
+	case kindAtom:
+		op := "<="
+		if f.strict {
+			op = "<"
+		}
+		return fmt.Sprintf("(%s %s %.6g)", f.lhs.String(), op, f.k)
+	case kindBool:
+		return fmt.Sprintf("b%d", int(f.b))
+	case kindNot:
+		return "!" + f.kids[0].String()
+	case kindAnd, kindOr, kindImplies, kindIff:
+		sep := map[formulaKind]string{kindAnd: " & ", kindOr: " | ", kindImplies: " -> ", kindIff: " <-> "}[f.kind]
+		s := "("
+		for i, k := range f.kids {
+			if i > 0 {
+				s += sep
+			}
+			s += k.String()
+		}
+		return s + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,469 @@
+package smt
+
+import "time"
+
+// CDCL SAT core with two-watched-literal propagation, 1UIP conflict
+// analysis, VSIDS-style branching activity, and Luby restarts. The theory
+// solver is consulted through the theoryHooks interface as literals are
+// assigned (online DPLL(T)).
+
+// Literals encode variable v and sign as v<<1 | neg: lit 2v is "v true",
+// lit 2v+1 is "v false".
+
+func mkLit(v int, neg bool) int {
+	l := v << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+func litVar(l int) int   { return l >> 1 }
+func litNeg(l int) bool  { return l&1 == 1 }
+func litNotOf(l int) int { return l ^ 1 }
+
+const (
+	valUnassigned int8 = iota
+	valTrue
+	valFalse
+)
+
+type theoryHooks interface {
+	// assertLit is invoked when a theory-relevant literal becomes true.
+	// It returns a conflict (the set of true literals that are jointly
+	// theory-inconsistent) or nil.
+	assertLit(lit int) []int
+	// finalCheck runs a complete theory consistency check.
+	finalCheck() []int
+	// pushLevel / popLevels follow the SAT solver's decision stack.
+	pushLevel()
+	popLevels(n int)
+	// isTheoryVar reports whether the SAT variable is a theory atom.
+	isTheoryVar(v int) bool
+}
+
+type satSolver struct {
+	theory theoryHooks
+
+	nVars   int
+	clauses [][]int // all clauses (original + learned)
+	watches [][]int // lit -> clause indices watching lit
+
+	assign   []int8
+	level    []int
+	reason   []int // clause index that implied the assignment, or -1
+	trail    []int // assigned literals in order
+	trailLim []int // trail size at each decision level
+	qhead    int   // next trail position for unit propagation
+	theoryQ  int   // next trail position to hand to the theory
+
+	activity []float64
+	varInc   float64
+
+	seen []bool // scratch for conflict analysis
+
+	conflicts int64
+	decisions int64
+	unsat     bool // established at level 0
+
+	// deadline, when nonzero, aborts solve with errBudget once passed
+	// (checked periodically), making optimization anytime.
+	deadline      time.Time
+	deadlineCheck int
+}
+
+func newSatSolver(theory theoryHooks) *satSolver {
+	return &satSolver{theory: theory, varInc: 1}
+}
+
+func (s *satSolver) newVar() int {
+	v := s.nVars
+	s.nVars++
+	s.assign = append(s.assign, valUnassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	return v
+}
+
+func (s *satSolver) valueLit(l int) int8 {
+	v := s.assign[litVar(l)]
+	if v == valUnassigned {
+		return valUnassigned
+	}
+	if litNeg(l) {
+		if v == valTrue {
+			return valFalse
+		}
+		return valTrue
+	}
+	return v
+}
+
+// addClause installs a clause. It must be called at decision level 0.
+// Returns false if the clause makes the problem trivially UNSAT.
+func (s *satSolver) addClause(lits []int) bool {
+	if s.decisionLevel() != 0 {
+		panic("smt: addClause above level 0")
+	}
+	// Simplify: drop false literals and duplicates, detect tautologies and
+	// satisfied clauses.
+	var out []int
+	seen := map[int]bool{}
+	for _, l := range lits {
+		switch s.valueLit(l) {
+		case valTrue:
+			return true
+		case valFalse:
+			continue
+		}
+		if seen[litNotOf(l)] {
+			return true // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		if !s.enqueue(out[0], -1) {
+			s.unsat = true
+			return false
+		}
+		if conf := s.propagate(); conf != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	s.attachClause(out)
+	return true
+}
+
+func (s *satSolver) attachClause(lits []int) int {
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, lits)
+	s.watches[litNotOf(lits[0])] = append(s.watches[litNotOf(lits[0])], idx)
+	s.watches[litNotOf(lits[1])] = append(s.watches[litNotOf(lits[1])], idx)
+	return idx
+}
+
+func (s *satSolver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue assigns literal l with the given reason clause, returning false on
+// an immediate conflict with the existing assignment.
+func (s *satSolver) enqueue(l int, reasonClause int) bool {
+	switch s.valueLit(l) {
+	case valTrue:
+		return true
+	case valFalse:
+		return false
+	}
+	v := litVar(l)
+	if litNeg(l) {
+		s.assign[v] = valFalse
+	} else {
+		s.assign[v] = valTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reasonClause
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation. It returns a conflicting clause's
+// literals, or nil when a fixpoint is reached.
+func (s *satSolver) propagate() []int {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		// Clauses watching ¬l must find a new watch or propagate.
+		ws := s.watches[l]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			c := s.clauses[ci]
+			// Normalize: watched literals are c[0], c[1]; the falsified one
+			// is ¬l.
+			falsified := litNotOf(l)
+			if c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			if s.valueLit(c[0]) == valTrue {
+				kept = append(kept, ci)
+				continue
+			}
+			// Search for a replacement watch.
+			found := false
+			for k := 2; k < len(c); k++ {
+				if s.valueLit(c[k]) != valFalse {
+					c[1], c[k] = c[k], c[1]
+					s.watches[litNotOf(c[1])] = append(s.watches[litNotOf(c[1])], ci)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, ci)
+			if !s.enqueue(c[0], ci) {
+				// Conflict: keep remaining watches and report.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[l] = kept
+				return c
+			}
+		}
+		s.watches[l] = kept
+	}
+	return nil
+}
+
+// theorySync hands newly assigned theory literals to the theory solver.
+// Returns a conflict clause (negated explanation) or nil.
+func (s *satSolver) theorySync() []int {
+	for s.theoryQ < len(s.trail) {
+		l := s.trail[s.theoryQ]
+		s.theoryQ++
+		if !s.theory.isTheoryVar(litVar(l)) {
+			continue
+		}
+		if expl := s.theory.assertLit(l); expl != nil {
+			return negateAll(expl)
+		}
+	}
+	return nil
+}
+
+func negateAll(lits []int) []int {
+	out := make([]int, len(lits))
+	for i, l := range lits {
+		out[i] = litNotOf(l)
+	}
+	return out
+}
+
+// analyze performs 1UIP conflict analysis on the given conflicting clause,
+// returning the learned clause (asserting literal first) and the backjump
+// level. Precondition: every literal in conflict is false under the current
+// assignment and at least one was assigned at the current level.
+func (s *satSolver) analyze(conflict []int) ([]int, int) {
+	learned := []int{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p int = -1
+	reasonLits := conflict
+
+	for {
+		for _, q := range reasonLits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := litVar(q)
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpActivity(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find the next marked literal on the trail.
+		for idx >= 0 && !s.seen[litVar(s.trail[idx])] {
+			idx--
+		}
+		if idx < 0 {
+			break
+		}
+		pl := s.trail[idx]
+		v := litVar(pl)
+		s.seen[v] = false
+		counter--
+		idx--
+		if counter == 0 {
+			learned[0] = litNotOf(pl)
+			break
+		}
+		ri := s.reason[v]
+		if ri < 0 {
+			// Decision or theory-asserted without reason; shouldn't happen
+			// when counter > 0, but guard anyway.
+			learned[0] = litNotOf(pl)
+			break
+		}
+		p = pl
+		reasonLits = s.clauses[ri]
+	}
+	// Clear seen flags for the learned clause.
+	for _, l := range learned[1:] {
+		s.seen[litVar(l)] = false
+	}
+	// Compute backjump level: max level among learned[1:].
+	back := 0
+	for i := 1; i < len(learned); i++ {
+		if lv := s.level[litVar(learned[i])]; lv > back {
+			back = lv
+		}
+	}
+	// Move a literal of the backjump level into watch position 1.
+	for i := 1; i < len(learned); i++ {
+		if s.level[litVar(learned[i])] == back {
+			learned[1], learned[i] = learned[i], learned[1]
+			break
+		}
+	}
+	return learned, back
+}
+
+func (s *satSolver) bumpActivity(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+func (s *satSolver) decayActivity() { s.varInc /= 0.95 }
+
+// backjump undoes assignments above the given level.
+func (s *satSolver) backjump(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	popN := s.decisionLevel() - level
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := litVar(s.trail[i])
+		s.assign[v] = valUnassigned
+		s.reason[v] = -1
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	if s.qhead > lim {
+		s.qhead = lim
+	}
+	if s.theoryQ > lim {
+		s.theoryQ = lim
+	}
+	s.theory.popLevels(popN)
+}
+
+func (s *satSolver) pickBranchVar() int {
+	best, bestAct := -1, -1.0
+	for v := 0; v < s.nVars; v++ {
+		if s.assign[v] == valUnassigned && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// solve searches for a model consistent with the theory. Returns true when
+// satisfiable (the assignment is left on the trail and the theory is in a
+// consistent state covering all assigned atoms).
+func (s *satSolver) solve(maxConflicts int64) (bool, error) {
+	if s.unsat {
+		return false, nil
+	}
+	restartNum := int64(1)
+	budget := luby(restartNum) * 100
+	for {
+		if !s.deadline.IsZero() {
+			s.deadlineCheck++
+			if s.deadlineCheck%64 == 0 && time.Now().After(s.deadline) {
+				return false, errBudget
+			}
+		}
+		conflictClause := s.propagate()
+		if conflictClause == nil {
+			conflictClause = s.theorySync()
+		}
+		if conflictClause == nil {
+			// Eager theory check at every quiescence. This guarantees any
+			// theory conflict involves at least one literal of the current
+			// decision level (the previous level was verified consistent),
+			// which 1UIP analysis requires.
+			if expl := s.theory.finalCheck(); expl != nil {
+				conflictClause = negateAll(expl)
+			}
+		}
+		if conflictClause != nil && len(conflictClause) == 0 {
+			s.unsat = true
+			return false, nil
+		}
+		if conflictClause != nil {
+			s.conflicts++
+			if maxConflicts > 0 && s.conflicts > maxConflicts {
+				return false, errBudget
+			}
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return false, nil
+			}
+			learned, back := s.analyze(conflictClause)
+			s.backjump(back)
+			switch len(learned) {
+			case 1:
+				if !s.enqueue(learned[0], -1) {
+					s.unsat = true
+					return false, nil
+				}
+			default:
+				ci := s.attachClause(learned)
+				if !s.enqueue(learned[0], ci) {
+					s.unsat = true
+					return false, nil
+				}
+			}
+			s.decayActivity()
+			budget--
+			if budget <= 0 {
+				restartNum++
+				budget = luby(restartNum) * 100
+				s.backjump(0)
+			}
+			continue
+		}
+		// No boolean or theory conflict: all propagated literals are
+		// theory-consistent. Decide the next variable.
+		v := s.pickBranchVar()
+		if v < 0 {
+			return true, nil
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.theory.pushLevel()
+		// Phase heuristic: try false first (schedules prefer fewer overlaps).
+		s.enqueue(mkLit(v, true), -1)
+	}
+}
+
+type budgetErr struct{}
+
+func (budgetErr) Error() string { return "smt: conflict budget exhausted" }
+
+var errBudget = budgetErr{}

@@ -1,0 +1,558 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// The theory solver is an incremental bounded-variable simplex in the style
+// of Dutertre & de Moura (SMT'06), over exact rational arithmetic
+// (math/big.Rat). Exact arithmetic matters: scheduling encodings mix
+// coefficients spanning nine orders of magnitude (start times in ns against
+// decoherence weights 1/T1), and floating-point tableaus corrupt silently
+// under such conditioning, yielding false UNSAT verdicts. All float64 inputs
+// convert exactly (they are dyadic rationals); Bland's rule then terminates
+// without epsilon tuning.
+
+// bound is a (possibly absent) variable bound together with the SAT literal
+// whose assertion installed it — the explanation used in theory conflicts.
+type bound struct {
+	val    *big.Rat
+	lit    int
+	active bool
+}
+
+type simplex struct {
+	n       int
+	lower   []bound
+	upper   []bound
+	val     []*big.Rat
+	isBasic []bool
+	// rows[b] for basic b: x_b = sum over nonbasic j of rows[b][j] * x_j.
+	rows map[int]map[int]*big.Rat
+	// colUse[j] = set of basic variables whose row mentions nonbasic j.
+	colUse map[int]map[int]bool
+
+	// bound trail for backtracking.
+	trail    []trailEntry
+	levelLim []int
+
+	// debugStrict, when true, validates tableau invariants after mutations
+	// (test-only; very slow).
+	debugStrict bool
+}
+
+type trailEntry struct {
+	v    int
+	isUp bool
+	prev bound
+}
+
+func newSimplex() *simplex {
+	return &simplex{
+		rows:   map[int]map[int]*big.Rat{},
+		colUse: map[int]map[int]bool{},
+	}
+}
+
+func ratOf(f float64) *big.Rat { return new(big.Rat).SetFloat64(f) }
+
+// addVar creates a fresh unbounded variable with value 0.
+func (s *simplex) addVar() int {
+	v := s.n
+	s.n++
+	s.lower = append(s.lower, bound{})
+	s.upper = append(s.upper, bound{})
+	s.val = append(s.val, new(big.Rat))
+	s.isBasic = append(s.isBasic, false)
+	return v
+}
+
+// defineSlack creates a variable constrained to equal the given expression
+// (a structural equality, never retracted).
+func (s *simplex) defineSlack(expr map[Var]float64) int {
+	sl := s.addVar()
+	row := map[int]*big.Rat{}
+	for v, c := range expr {
+		s.substituteInto(row, int(v), ratOf(c))
+	}
+	val := new(big.Rat)
+	tmp := new(big.Rat)
+	for j, c := range row {
+		val.Add(val, tmp.Mul(c, s.val[j]))
+	}
+	s.val[sl] = val
+	s.installRow(sl, row)
+	s.debugAfter("defineSlack")
+	return sl
+}
+
+// substituteInto adds c * x_v to row, expanding x_v through its defining row
+// if v is basic.
+func (s *simplex) substituteInto(row map[int]*big.Rat, v int, c *big.Rat) {
+	if c.Sign() == 0 {
+		return
+	}
+	add := func(k int, delta *big.Rat) {
+		if cur, ok := row[k]; ok {
+			cur.Add(cur, delta)
+			if cur.Sign() == 0 {
+				delete(row, k)
+			}
+			return
+		}
+		if delta.Sign() != 0 {
+			row[k] = new(big.Rat).Set(delta)
+		}
+	}
+	if s.isBasic[v] {
+		tmp := new(big.Rat)
+		for j, a := range s.rows[v] {
+			add(j, tmp.Mul(c, a))
+		}
+		return
+	}
+	add(v, c)
+}
+
+func (s *simplex) installRow(b int, row map[int]*big.Rat) {
+	s.isBasic[b] = true
+	s.rows[b] = row
+	for j := range row {
+		if s.colUse[j] == nil {
+			s.colUse[j] = map[int]bool{}
+		}
+		s.colUse[j][b] = true
+	}
+}
+
+func (s *simplex) removeRow(b int) {
+	for j := range s.rows[b] {
+		delete(s.colUse[j], b)
+	}
+	delete(s.rows, b)
+	s.isBasic[b] = false
+}
+
+// pushLevel marks a backtrack point aligned with a SAT decision level.
+func (s *simplex) pushLevel() { s.levelLim = append(s.levelLim, len(s.trail)) }
+
+// popLevels undoes the most recent n levels of bound assertions.
+func (s *simplex) popLevels(n int) {
+	for ; n > 0; n-- {
+		if len(s.levelLim) == 0 {
+			return
+		}
+		lim := s.levelLim[len(s.levelLim)-1]
+		s.levelLim = s.levelLim[:len(s.levelLim)-1]
+		for len(s.trail) > lim {
+			e := s.trail[len(s.trail)-1]
+			s.trail = s.trail[:len(s.trail)-1]
+			if e.isUp {
+				s.upper[e.v] = e.prev
+			} else {
+				s.lower[e.v] = e.prev
+			}
+		}
+	}
+}
+
+// assertUpper installs x_v <= c justified by lit. It returns (conflict,
+// false) when the new bound immediately contradicts the lower bound.
+func (s *simplex) assertUpper(v int, c float64, lit int) ([]int, bool) {
+	cr := ratOf(c)
+	if s.upper[v].active && s.upper[v].val.Cmp(cr) <= 0 {
+		return nil, true // existing bound is at least as strong
+	}
+	if s.lower[v].active && cr.Cmp(s.lower[v].val) < 0 {
+		return explain(lit, s.lower[v].lit), false
+	}
+	s.trail = append(s.trail, trailEntry{v: v, isUp: true, prev: s.upper[v]})
+	s.upper[v] = bound{val: cr, lit: lit, active: true}
+	if !s.isBasic[v] && s.val[v].Cmp(cr) > 0 {
+		s.updateNonbasic(v, cr)
+	}
+	s.debugAfter("assertUpper")
+	return nil, true
+}
+
+// assertLower installs x_v >= c justified by lit.
+func (s *simplex) assertLower(v int, c float64, lit int) ([]int, bool) {
+	cr := ratOf(c)
+	if s.lower[v].active && s.lower[v].val.Cmp(cr) >= 0 {
+		return nil, true
+	}
+	if s.upper[v].active && cr.Cmp(s.upper[v].val) > 0 {
+		return explain(lit, s.upper[v].lit), false
+	}
+	s.trail = append(s.trail, trailEntry{v: v, isUp: false, prev: s.lower[v]})
+	s.lower[v] = bound{val: cr, lit: lit, active: true}
+	if !s.isBasic[v] && s.val[v].Cmp(cr) < 0 {
+		s.updateNonbasic(v, cr)
+	}
+	s.debugAfter("assertLower")
+	return nil, true
+}
+
+func explain(lits ...int) []int {
+	var out []int
+	for _, l := range lits {
+		if l >= 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// updateNonbasic sets a nonbasic variable's value and propagates through the
+// tableau.
+func (s *simplex) updateNonbasic(j int, v *big.Rat) {
+	delta := new(big.Rat).Sub(v, s.val[j])
+	if delta.Sign() == 0 {
+		return
+	}
+	tmp := new(big.Rat)
+	for b := range s.colUse[j] {
+		s.val[b].Add(s.val[b], tmp.Mul(s.rows[b][j], delta))
+	}
+	s.val[j].Set(v)
+}
+
+// pivotAndUpdate moves basic b to value v by adjusting nonbasic j, then
+// pivots so j becomes basic and b nonbasic (Dutertre & de Moura, Fig. 3).
+func (s *simplex) pivotAndUpdate(b, j int, v *big.Rat) {
+	a := s.rows[b][j]
+	theta := new(big.Rat).Sub(v, s.val[b])
+	theta.Quo(theta, a)
+	s.val[b].Set(v)
+	s.val[j].Add(s.val[j], theta)
+	tmp := new(big.Rat)
+	for k := range s.colUse[j] {
+		if k != b {
+			s.val[k].Add(s.val[k], tmp.Mul(s.rows[k][j], theta))
+		}
+	}
+	s.pivot(b, j)
+	s.debugAfter("pivotAndUpdate")
+}
+
+// pivot exchanges basic b with nonbasic j.
+func (s *simplex) pivot(b, j int) {
+	rowB := s.rows[b]
+	a := rowB[j]
+	if a.Sign() == 0 {
+		panic("smt: pivot on zero coefficient")
+	}
+	// Solve b's row for x_j: x_j = (1/a) x_b - sum_{k != j} (a_k / a) x_k.
+	inv := new(big.Rat).Inv(a)
+	newRow := map[int]*big.Rat{b: new(big.Rat).Set(inv)}
+	for k, c := range rowB {
+		if k != j {
+			nc := new(big.Rat).Mul(c, inv)
+			nc.Neg(nc)
+			newRow[k] = nc
+		}
+	}
+	s.removeRow(b)
+	// Substitute x_j in every other row that mentions it.
+	users := make([]int, 0, len(s.colUse[j]))
+	for u := range s.colUse[j] {
+		users = append(users, u)
+	}
+	tmp := new(big.Rat)
+	for _, u := range users {
+		rowU := s.rows[u]
+		c := rowU[j]
+		delete(rowU, j)
+		delete(s.colUse[j], u)
+		for k, ck := range newRow {
+			delta := tmp.Mul(c, ck)
+			if cur, ok := rowU[k]; ok {
+				cur.Add(cur, delta)
+				if cur.Sign() == 0 {
+					delete(rowU, k)
+					delete(s.colUse[k], u)
+				}
+				continue
+			}
+			if delta.Sign() == 0 {
+				continue
+			}
+			rowU[k] = new(big.Rat).Set(delta)
+			if s.colUse[k] == nil {
+				s.colUse[k] = map[int]bool{}
+			}
+			s.colUse[k][u] = true
+		}
+	}
+	s.installRow(j, newRow)
+}
+
+// check restores feasibility, returning (nil, true) on success or a theory
+// conflict — the literals of the bounds forming an infeasible constraint —
+// on failure. Bland's rule (least index) guarantees termination under exact
+// arithmetic.
+func (s *simplex) check() ([]int, bool) {
+	for {
+		// Find the smallest-index basic variable violating a bound.
+		b := -1
+		var target *big.Rat
+		var belowLower bool
+		for v := 0; v < s.n; v++ {
+			if !s.isBasic[v] {
+				continue
+			}
+			if s.lower[v].active && s.val[v].Cmp(s.lower[v].val) < 0 {
+				b, target, belowLower = v, s.lower[v].val, true
+				break
+			}
+			if s.upper[v].active && s.val[v].Cmp(s.upper[v].val) > 0 {
+				b, target, belowLower = v, s.upper[v].val, false
+				break
+			}
+		}
+		if b < 0 {
+			return nil, true
+		}
+		j := s.findPivot(b, belowLower)
+		if j < 0 {
+			return s.explainRow(b, belowLower), false
+		}
+		s.pivotAndUpdate(b, j, new(big.Rat).Set(target))
+	}
+}
+
+// findPivot locates the smallest-index nonbasic variable in b's row that can
+// move in the direction required to fix b's violation.
+func (s *simplex) findPivot(b int, belowLower bool) int {
+	best := -1
+	for j, a := range s.rows[b] {
+		sign := a.Sign()
+		var canMove bool
+		if belowLower {
+			// Need to increase x_b: increase x_j if a > 0, decrease if a < 0.
+			canMove = (sign > 0 && s.canIncrease(j)) || (sign < 0 && s.canDecrease(j))
+		} else {
+			canMove = (sign > 0 && s.canDecrease(j)) || (sign < 0 && s.canIncrease(j))
+		}
+		if canMove && (best < 0 || j < best) {
+			best = j
+		}
+	}
+	return best
+}
+
+func (s *simplex) canIncrease(j int) bool {
+	return !s.upper[j].active || s.val[j].Cmp(s.upper[j].val) < 0
+}
+
+func (s *simplex) canDecrease(j int) bool {
+	return !s.lower[j].active || s.val[j].Cmp(s.lower[j].val) > 0
+}
+
+// explainRow builds the conflict explanation for a stuck violated basic
+// variable: its violated bound plus the binding bounds of every nonbasic
+// variable in its row.
+func (s *simplex) explainRow(b int, belowLower bool) []int {
+	var lits []int
+	addLit := func(l int) {
+		if l >= 0 {
+			lits = append(lits, l)
+		}
+	}
+	if belowLower {
+		addLit(s.lower[b].lit)
+	} else {
+		addLit(s.upper[b].lit)
+	}
+	for j, a := range s.rows[b] {
+		if (belowLower && a.Sign() > 0) || (!belowLower && a.Sign() < 0) {
+			addLit(s.upper[j].lit)
+		} else {
+			addLit(s.lower[j].lit)
+		}
+	}
+	return lits
+}
+
+// minimize optimizes sum(obj_v * x_v) subject to the current bounds, leaving
+// the solver at an optimal feasible vertex. The solver must be feasible on
+// entry (call check first). Returns the exact optimum as float64, or an
+// error when the objective is unbounded below.
+func (s *simplex) minimize(obj map[Var]float64) (float64, error) {
+	// Express the objective over nonbasic variables.
+	cz := map[int]*big.Rat{}
+	for v, c := range obj {
+		s.substituteInto(cz, int(v), ratOf(c))
+	}
+	tmp := new(big.Rat)
+	for iter := 0; ; iter++ {
+		if iter > 1_000_000 {
+			return 0, fmt.Errorf("smt: objective minimization failed to converge")
+		}
+		// Entering variable: smallest index with improving direction
+		// (Bland's rule, guarantees termination).
+		j, dir := -1, 0
+		for k, c := range cz {
+			if s.isBasic[k] {
+				panic("smt: objective row mentions basic variable")
+			}
+			var d int
+			switch {
+			case c.Sign() < 0 && s.canIncrease(k):
+				d = 1
+			case c.Sign() > 0 && s.canDecrease(k):
+				d = -1
+			default:
+				continue
+			}
+			if j < 0 || k < j {
+				j, dir = k, d
+			}
+		}
+		if j < 0 {
+			if s.debugStrict {
+				if msg := s.debugCheckBounds(); msg != "" {
+					panic("smt: minimize left bounds violated: " + msg)
+				}
+				if msg := s.debugCheckInvariants(); msg != "" {
+					panic("smt: minimize broke invariants: " + msg)
+				}
+			}
+			return s.objValue(obj), nil
+		}
+		// Ratio test: the largest step t >= 0 in direction dir before x_j or
+		// a dependent basic variable hits a bound.
+		var tMax *big.Rat // nil = unbounded
+		limB := -1
+		var limTarget *big.Rat
+		if dir > 0 && s.upper[j].active {
+			tMax = new(big.Rat).Sub(s.upper[j].val, s.val[j])
+		} else if dir < 0 && s.lower[j].active {
+			tMax = new(big.Rat).Sub(s.val[j], s.lower[j].val)
+		}
+		dirRat := big.NewRat(int64(dir), 1)
+		for b := range s.colUse[j] {
+			rate := tmp.Mul(s.rows[b][j], dirRat) // d x_b / dt
+			var t *big.Rat
+			var tgt *big.Rat
+			if rate.Sign() > 0 && s.upper[b].active {
+				t = new(big.Rat).Sub(s.upper[b].val, s.val[b])
+				t.Quo(t, rate)
+				tgt = s.upper[b].val
+			} else if rate.Sign() < 0 && s.lower[b].active {
+				t = new(big.Rat).Sub(s.lower[b].val, s.val[b])
+				t.Quo(t, rate)
+				tgt = s.lower[b].val
+			} else {
+				continue
+			}
+			if tMax == nil || t.Cmp(tMax) < 0 || (t.Cmp(tMax) == 0 && (limB < 0 || b < limB)) {
+				tMax, limB, limTarget = t, b, tgt
+			}
+		}
+		if tMax == nil {
+			return 0, fmt.Errorf("smt: objective unbounded below")
+		}
+		if tMax.Sign() < 0 {
+			tMax.SetInt64(0)
+		}
+		if limB < 0 {
+			// x_j slides to its own bound; basis unchanged.
+			nv := new(big.Rat).Mul(tMax, dirRat)
+			nv.Add(nv, s.val[j])
+			s.updateNonbasic(j, nv)
+			continue
+		}
+		// Basic limB hits its bound: pivot j in, limB out, then rewrite the
+		// objective over the new nonbasic set.
+		s.pivotAndUpdate(limB, j, new(big.Rat).Set(limTarget))
+		c := cz[j]
+		delete(cz, j)
+		for k, a := range s.rows[j] {
+			delta := new(big.Rat).Mul(c, a)
+			if cur, ok := cz[k]; ok {
+				cur.Add(cur, delta)
+				if cur.Sign() == 0 {
+					delete(cz, k)
+				}
+				continue
+			}
+			if delta.Sign() != 0 {
+				cz[k] = delta
+			}
+		}
+	}
+}
+
+func (s *simplex) objValue(obj map[Var]float64) float64 {
+	v := new(big.Rat)
+	tmp := new(big.Rat)
+	for x, c := range obj {
+		v.Add(v, tmp.Mul(ratOf(c), s.val[int(x)]))
+	}
+	f, _ := v.Float64()
+	return f
+}
+
+// value returns the current value of variable v.
+func (s *simplex) value(v int) float64 {
+	f, _ := s.val[v].Float64()
+	return f
+}
+
+// Debug helpers (test-only) --------------------------------------------------
+
+func (s *simplex) debugAfter(op string) {
+	if !s.debugStrict {
+		return
+	}
+	if msg := s.debugCheckInvariants(); msg != "" {
+		panic(fmt.Sprintf("smt: invariant broken after %s: %s", op, msg))
+	}
+}
+
+// debugCheckInvariants verifies that every basic variable's value equals its
+// row evaluated at the nonbasic values, and that colUse mirrors rows.
+func (s *simplex) debugCheckInvariants() string {
+	tmp := new(big.Rat)
+	for b, row := range s.rows {
+		sum := new(big.Rat)
+		for j, a := range row {
+			if s.isBasic[j] {
+				return fmt.Sprintf("row %d references basic var %d", b, j)
+			}
+			if !s.colUse[j][b] {
+				return fmt.Sprintf("colUse[%d] missing basic row %d", j, b)
+			}
+			sum.Add(sum, tmp.Mul(a, s.val[j]))
+		}
+		if sum.Cmp(s.val[b]) != 0 {
+			return fmt.Sprintf("basic %d: val=%s but row evaluates to %s", b, s.val[b], sum)
+		}
+	}
+	for j, users := range s.colUse {
+		for u := range users {
+			if _, ok := s.rows[u]; !ok {
+				return fmt.Sprintf("colUse[%d] cites non-basic row %d", j, u)
+			}
+			if _, ok := s.rows[u][j]; !ok {
+				return fmt.Sprintf("colUse[%d] cites row %d that does not mention it", j, u)
+			}
+		}
+	}
+	return ""
+}
+
+// debugCheckBounds reports the first bound violated.
+func (s *simplex) debugCheckBounds() string {
+	for v := 0; v < s.n; v++ {
+		if s.lower[v].active && s.val[v].Cmp(s.lower[v].val) < 0 {
+			return fmt.Sprintf("var %d val=%s below lower %s (basic=%v)", v, s.val[v], s.lower[v].val, s.isBasic[v])
+		}
+		if s.upper[v].active && s.val[v].Cmp(s.upper[v].val) > 0 {
+			return fmt.Sprintf("var %d val=%s above upper %s (basic=%v)", v, s.val[v], s.upper[v].val, s.isBasic[v])
+		}
+	}
+	return ""
+}

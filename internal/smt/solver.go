@@ -1,0 +1,547 @@
+package smt
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+)
+
+// Solver is an optimizing SMT solver for QF_LRA with boolean structure.
+// Typical use:
+//
+//	s := smt.NewSolver()
+//	t0, t1 := s.Real(), s.Real()
+//	s.Assert(smt.Ge(smt.V(t0), smt.Const(0)))
+//	s.Assert(smt.Ge(smt.V(t1), smt.V(t0).AddConst(100)))
+//	model, ok, err := s.Minimize(smt.V(t1))
+type Solver struct {
+	sx  *simplex
+	sat *satSolver
+
+	realVars []Var
+
+	// Atom interning: one SAT variable per distinct (slack, k, strict) atom;
+	// one slack per distinct linear-combination key.
+	atomBySig  map[string]int
+	atomOfVar  map[int]atomRec
+	slackByKey map[string]int
+
+	boolSatVar map[BoolV]int
+	nBools     int
+
+	trueVar int // SAT variable pinned true, used to encode constants
+
+	// debugKnownPoint, when non-nil, is a claimed satisfying assignment for
+	// the real variables. Every theory conflict is audited against it: a
+	// conflict whose literals all hold at the known point is a soundness
+	// bug and panics. Test-only.
+	debugKnownPoint func(Var) float64
+	// slackExpr records the defining expression of each interned slack (in
+	// terms of user variables), for debug auditing.
+	slackExpr map[int]LinExpr
+
+	// debugAsserted records every asserted formula when model auditing is
+	// enabled (test-only).
+	debugAsserted []Formula
+	debugAudit    bool
+}
+
+type atomRec struct {
+	slack  int
+	k      float64
+	strict bool
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{
+		sx:         newSimplex(),
+		atomBySig:  map[string]int{},
+		atomOfVar:  map[int]atomRec{},
+		slackByKey: map[string]int{},
+		boolSatVar: map[BoolV]int{},
+		slackExpr:  map[int]LinExpr{},
+	}
+	s.sat = newSatSolver(s)
+	s.trueVar = s.sat.newVar()
+	s.sat.addClause([]int{mkLit(s.trueVar, false)})
+	return s
+}
+
+// Real creates a fresh real-valued variable.
+func (s *Solver) Real() Var {
+	v := Var(s.sx.addVar())
+	s.realVars = append(s.realVars, v)
+	return v
+}
+
+// Bool creates a fresh propositional variable.
+func (s *Solver) Bool() BoolV {
+	b := BoolV(s.nBools)
+	s.nBools++
+	s.boolSatVar[b] = s.sat.newVar()
+	return b
+}
+
+// NumAtoms returns the number of distinct theory atoms created so far.
+func (s *Solver) NumAtoms() int { return len(s.atomOfVar) }
+
+// NumClauses returns the number of clauses (original + learned).
+func (s *Solver) NumClauses() int { return len(s.sat.clauses) }
+
+// Stats returns (decisions, conflicts) counters from the SAT core.
+func (s *Solver) Stats() (int64, int64) { return s.sat.decisions, s.sat.conflicts }
+
+// theoryHooks implementation -------------------------------------------------
+
+func (s *Solver) isTheoryVar(v int) bool {
+	_, ok := s.atomOfVar[v]
+	return ok
+}
+
+func (s *Solver) assertLit(lit int) []int {
+	rec := s.atomOfVar[litVar(lit)]
+	var conflict []int
+	var ok bool
+	if !litNeg(lit) {
+		// Atom true: lhs <= k (or < k).
+		ub := rec.k
+		if rec.strict {
+			ub -= StrictEps
+		}
+		conflict, ok = s.sx.assertUpper(rec.slack, ub, lit)
+	} else {
+		// Atom false: lhs > k (or >= k when the atom was strict).
+		lb := rec.k
+		if !rec.strict {
+			lb += StrictEps
+		}
+		conflict, ok = s.sx.assertLower(rec.slack, lb, lit)
+	}
+	if ok {
+		return nil
+	}
+	s.auditConflict(conflict, "assertLit")
+	return conflict
+}
+
+func (s *Solver) finalCheck() []int {
+	conflict, ok := s.sx.check()
+	if ok {
+		return nil
+	}
+	s.auditConflict(conflict, "finalCheck")
+	return conflict
+}
+
+func (s *Solver) pushLevel()      { s.sx.pushLevel() }
+func (s *Solver) popLevels(n int) { s.sx.popLevels(n) }
+
+// Encoding --------------------------------------------------------------------
+
+// slackFor returns the simplex variable representing the variable part of e
+// (interned). A single-term expression with coefficient 1 maps to the
+// variable itself.
+func (s *Solver) slackFor(e LinExpr) int {
+	vars, coeffs := e.Terms()
+	if len(vars) == 1 && coeffs[0] == 1 {
+		return int(vars[0])
+	}
+	key := e.key()
+	if sl, ok := s.slackByKey[key]; ok {
+		return sl
+	}
+	m := map[Var]float64{}
+	for i, v := range vars {
+		m[v] = coeffs[i]
+	}
+	sl := s.sx.defineSlack(m)
+	s.slackByKey[key] = sl
+	s.slackExpr[sl] = LinExpr{terms: m}
+	return sl
+}
+
+// SetDebugKnownPoint installs a claimed satisfying assignment for auditing
+// theory conflicts (test-only; see debugKnownPoint).
+func (s *Solver) SetDebugKnownPoint(f func(Var) float64) { s.debugKnownPoint = f }
+
+// auditConflict panics if every literal of the explanation holds at the
+// debug known point (i.e. the theory produced a false conflict).
+func (s *Solver) auditConflict(expl []int, origin string) {
+	if s.debugKnownPoint == nil || len(expl) == 0 {
+		return
+	}
+	for _, lit := range expl {
+		rec, ok := s.atomOfVar[litVar(lit)]
+		if !ok {
+			return // non-atom literal: cannot audit
+		}
+		var lhs float64
+		if e, ok := s.slackExpr[rec.slack]; ok {
+			lhs = e.Eval(s.debugKnownPoint)
+		} else {
+			lhs = s.debugKnownPoint(Var(rec.slack))
+		}
+		truth := lhs <= rec.k+1e-9
+		if rec.strict {
+			truth = lhs < rec.k-1e-9
+		}
+		if litNeg(lit) {
+			truth = !truth
+		}
+		if !truth {
+			return // some literal is false at the known point: conflict is fine
+		}
+	}
+	detail := "invariants: " + s.sx.debugCheckInvariants() + "\n"
+	for _, lit := range expl {
+		rec := s.atomOfVar[litVar(lit)]
+		var lhs float64
+		if e, ok := s.slackExpr[rec.slack]; ok {
+			lhs = e.Eval(s.debugKnownPoint)
+		} else {
+			lhs = s.debugKnownPoint(Var(rec.slack))
+		}
+		op := "<="
+		if rec.strict {
+			op = "<"
+		}
+		neg := ""
+		if litNeg(lit) {
+			neg = "NOT "
+		}
+		detail += fmt.Sprintf("  lit %d: %s[slack%d %s %.9g] lhs@point=%.9g lb=%v ub=%v val=%.9g\n",
+			lit, neg, rec.slack, op, rec.k, lhs,
+			s.sx.lower[rec.slack], s.sx.upper[rec.slack], s.sx.value(rec.slack))
+	}
+	panic(fmt.Sprintf("smt: FALSE THEORY CONFLICT from %s — all %d literals hold at known point:\n%s",
+		origin, len(expl), detail))
+}
+
+// atomVar returns the SAT variable for the atom lhs <= k (or < k), interned.
+func (s *Solver) atomVar(lhs LinExpr, k float64, strict bool) int {
+	if !isFinite(k) {
+		panic("smt: non-finite atom constant")
+	}
+	sl := s.slackFor(lhs)
+	sig := fmt.Sprintf("%d|%.12g|%v", sl, k, strict)
+	if v, ok := s.atomBySig[sig]; ok {
+		return v
+	}
+	v := s.sat.newVar()
+	s.atomBySig[sig] = v
+	s.atomOfVar[v] = atomRec{slack: sl, k: k, strict: strict}
+	return v
+}
+
+// encode converts a formula into a SAT literal (Tseitin transformation).
+func (s *Solver) encode(f Formula) int {
+	switch f.kind {
+	case kindTrue:
+		return mkLit(s.trueVar, false)
+	case kindFalse:
+		return mkLit(s.trueVar, true)
+	case kindAtom:
+		if f.lhs.IsConst() {
+			// Constant atom: 0 <= k (or <).
+			truth := 0 <= f.k
+			if f.strict {
+				truth = 0 < f.k
+			}
+			return mkLit(s.trueVar, !truth)
+		}
+		return mkLit(s.atomVar(f.lhs, f.k, f.strict), false)
+	case kindBool:
+		v, ok := s.boolSatVar[f.b]
+		if !ok {
+			panic(fmt.Sprintf("smt: unknown boolean variable b%d", int(f.b)))
+		}
+		return mkLit(v, false)
+	case kindNot:
+		return litNotOf(s.encode(f.kids[0]))
+	case kindAnd:
+		lits := make([]int, len(f.kids))
+		for i, k := range f.kids {
+			lits[i] = s.encode(k)
+		}
+		aux := s.sat.newVar()
+		a := mkLit(aux, false)
+		// a -> li for each i; (l1 & ... & ln) -> a.
+		long := make([]int, 0, len(lits)+1)
+		long = append(long, a)
+		for _, l := range lits {
+			s.sat.addClause([]int{litNotOf(a), l})
+			long = append(long, litNotOf(l))
+		}
+		s.sat.addClause(long)
+		return a
+	case kindOr:
+		lits := make([]int, len(f.kids))
+		for i, k := range f.kids {
+			lits[i] = s.encode(k)
+		}
+		aux := s.sat.newVar()
+		a := mkLit(aux, false)
+		long := make([]int, 0, len(lits)+1)
+		long = append(long, litNotOf(a))
+		for _, l := range lits {
+			s.sat.addClause([]int{a, litNotOf(l)})
+			long = append(long, l)
+		}
+		s.sat.addClause(long)
+		return a
+	case kindImplies:
+		return s.encode(Or(Not(f.kids[0]), f.kids[1]))
+	case kindIff:
+		a, b := f.kids[0], f.kids[1]
+		return s.encode(And(Or(Not(a), b), Or(Not(b), a)))
+	}
+	panic("smt: unknown formula kind")
+}
+
+// EnableDebugModelAudit records asserted formulas and validates every model
+// returned by Check/Minimize against them (test-only).
+func (s *Solver) EnableDebugModelAudit() { s.debugAudit = true }
+
+// evalFormula3 evaluates f under a model three-valued: +1 definitely true,
+// -1 definitely false, 0 inconclusive (an atom within tolerance of its
+// boundary, where the solver's epsilon conventions make the comparison
+// ambiguous).
+func (m *Model) evalFormula3(f Formula) int {
+	const tol = 1e-4
+	switch f.kind {
+	case kindTrue:
+		return 1
+	case kindFalse:
+		return -1
+	case kindAtom:
+		lhs := f.lhs.Eval(func(v Var) float64 { return m.reals[v] })
+		d := lhs - f.k
+		switch {
+		case d < -tol:
+			return 1
+		case d > tol:
+			return -1
+		default:
+			return 0
+		}
+	case kindBool:
+		if m.bools[f.b] {
+			return 1
+		}
+		return -1
+	case kindNot:
+		return -m.evalFormula3(f.kids[0])
+	case kindAnd:
+		r := 1
+		for _, k := range f.kids {
+			v := m.evalFormula3(k)
+			if v < r {
+				r = v
+			}
+		}
+		return r
+	case kindOr:
+		r := -1
+		for _, k := range f.kids {
+			v := m.evalFormula3(k)
+			if v > r {
+				r = v
+			}
+		}
+		return r
+	case kindImplies:
+		return Or(Not(f.kids[0]), f.kids[1]).eval3On(m)
+	case kindIff:
+		a, b := m.evalFormula3(f.kids[0]), m.evalFormula3(f.kids[1])
+		if a == 0 || b == 0 {
+			return 0
+		}
+		if a == b {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+func (f Formula) eval3On(m *Model) int { return m.evalFormula3(f) }
+
+func (s *Solver) auditModel(m *Model, origin string) {
+	if !s.debugAudit {
+		return
+	}
+	for i, f := range s.debugAsserted {
+		if m.evalFormula3(f) < 0 {
+			panic(fmt.Sprintf("smt: model from %s violates asserted formula %d: %s", origin, i, f.String()))
+		}
+	}
+}
+
+// Assert adds f as a hard constraint.
+func (s *Solver) Assert(f Formula) {
+	if s.debugAudit {
+		s.debugAsserted = append(s.debugAsserted, f)
+	}
+	s.sat.backjump(0)
+	switch f.kind {
+	case kindTrue:
+		return
+	case kindAnd:
+		for _, k := range f.kids {
+			s.Assert(k)
+		}
+		return
+	case kindOr:
+		// Assert a top-level disjunction as a single clause when all
+		// children are literal-like, avoiding an auxiliary variable.
+		lits := make([]int, 0, len(f.kids))
+		simple := true
+		for _, k := range f.kids {
+			if isLiteralLike(k) {
+				lits = append(lits, s.encode(k))
+			} else {
+				simple = false
+				break
+			}
+		}
+		if simple {
+			s.sat.addClause(lits)
+			return
+		}
+	}
+	s.sat.addClause([]int{s.encode(f)})
+}
+
+func isLiteralLike(f Formula) bool {
+	switch f.kind {
+	case kindAtom, kindBool, kindTrue, kindFalse:
+		return true
+	case kindNot:
+		return isLiteralLike(f.kids[0])
+	}
+	return false
+}
+
+// Model ------------------------------------------------------------------------
+
+// Model holds a satisfying assignment.
+type Model struct {
+	reals     map[Var]float64
+	bools     map[BoolV]bool
+	Objective float64
+}
+
+// Real returns the value of a real variable.
+func (m *Model) Real(v Var) float64 { return m.reals[v] }
+
+// Bool returns the value of a propositional variable.
+func (m *Model) Bool(b BoolV) bool { return m.bools[b] }
+
+// Eval evaluates a linear expression under the model.
+func (m *Model) Eval(e LinExpr) float64 { return e.Eval(func(v Var) float64 { return m.reals[v] }) }
+
+func (s *Solver) snapshotModel() *Model {
+	m := &Model{reals: map[Var]float64{}, bools: map[BoolV]bool{}}
+	for _, v := range s.realVars {
+		m.reals[v] = s.sx.value(int(v))
+	}
+	for b, sv := range s.boolSatVar {
+		m.bools[b] = s.sat.assign[sv] == valTrue
+	}
+	return m
+}
+
+// Check tests satisfiability, returning a model when satisfiable.
+func (s *Solver) Check() (*Model, bool) {
+	sat, _ := s.sat.solve(0)
+	if !sat {
+		return nil, false
+	}
+	m := s.snapshotModel()
+	s.auditModel(m, "Check")
+	return m, true
+}
+
+// MinimizeOpts configures Minimize.
+type MinimizeOpts struct {
+	// Eps is the strict-improvement margin between successive incumbent
+	// objective values. The final answer is within Eps of optimal.
+	Eps float64
+	// MaxIter bounds the number of incumbent improvements.
+	MaxIter int
+	// MaxConflicts bounds total SAT conflicts (0 = unlimited).
+	MaxConflicts int64
+	// Deadline makes Minimize anytime: when the wall clock budget expires
+	// the best incumbent found so far is returned (0 = no deadline).
+	Deadline time.Duration
+}
+
+// Minimize finds a model minimizing obj (within opts.Eps) by branch and
+// bound: every time the SAT+theory search finds a feasible assignment, the
+// objective is minimized exactly within it by simplex, and the bound
+// obj <= incumbent - Eps is asserted before continuing. Returns the best
+// model found; ok is false if the constraints are unsatisfiable.
+func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, error) {
+	opt := MinimizeOpts{Eps: 1e-5, MaxIter: 10000}
+	if len(opts) > 0 {
+		opt = opts[0]
+		if opt.Eps <= 0 {
+			opt.Eps = 1e-5
+		}
+		if opt.MaxIter <= 0 {
+			opt.MaxIter = 10000
+		}
+	}
+	var best *Model
+	objTerms := map[Var]float64{}
+	vars, coeffs := obj.Terms()
+	for i, v := range vars {
+		objTerms[v] = coeffs[i]
+	}
+	debugTrace := os.Getenv("SMT_DEBUG_MINIMIZE") != ""
+	if opt.Deadline > 0 {
+		s.sat.deadline = time.Now().Add(opt.Deadline)
+	} else {
+		s.sat.deadline = time.Time{}
+	}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		sat, err := s.sat.solve(opt.MaxConflicts)
+		if err != nil {
+			// Conflict budget exhausted: return the incumbent if any.
+			if best != nil {
+				return best, true, nil
+			}
+			return nil, false, err
+		}
+		if !sat {
+			if debugTrace {
+				fmt.Printf("smt minimize: iter %d UNSAT, done\n", iter)
+			}
+			break
+		}
+		val, err := s.sx.minimize(objTerms)
+		if err != nil {
+			return nil, false, err
+		}
+		if debugTrace {
+			fmt.Printf("smt minimize: iter %d incumbent %.9g\n", iter, val+obj.Constant())
+		}
+		m := s.snapshotModel()
+		m.Objective = val + obj.Constant()
+		s.auditModel(m, "Minimize")
+		best = m
+		// Require strict improvement and continue searching.
+		margin := math.Max(opt.Eps, math.Abs(val)*1e-9)
+		s.Assert(Le(obj.Sub(Const(obj.Constant())), Const(val-margin)))
+	}
+	if best == nil {
+		return nil, false, nil
+	}
+	return best, true, nil
+}
+
+// EnableDebugStrict turns on per-mutation tableau invariant validation
+// (test-only; very slow).
+func (s *Solver) EnableDebugStrict() { s.sx.debugStrict = true }

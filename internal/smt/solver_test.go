@@ -1,0 +1,497 @@
+package smt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinExprBasics(t *testing.T) {
+	a, b := Var(0), Var(1)
+	e := V(a).Scale(2).Add(Term(b, 3)).AddConst(5)
+	if got := e.Eval(func(v Var) float64 { return float64(v) + 1 }); got != 2*1+3*2+5 {
+		t.Fatalf("Eval = %v, want 13", got)
+	}
+	if e.Sub(e).key() != Const(0).key() {
+		t.Fatalf("e - e should cancel to a constant: %q", e.Sub(e).key())
+	}
+	if !Const(4).IsConst() || V(a).IsConst() {
+		t.Fatal("IsConst misclassifies")
+	}
+}
+
+func TestLinExprCancellation(t *testing.T) {
+	a := Var(7)
+	e := V(a).Add(V(a).Scale(-1))
+	if !e.IsConst() {
+		t.Fatalf("x - x should be constant, got %s", e.String())
+	}
+}
+
+func TestSatPureBoolean(t *testing.T) {
+	s := NewSolver()
+	a, b, c := s.Bool(), s.Bool(), s.Bool()
+	s.Assert(Or(BoolLit(a), BoolLit(b)))
+	s.Assert(Or(Not(BoolLit(a)), BoolLit(c)))
+	s.Assert(Not(BoolLit(c)))
+	m, ok := s.Check()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if m.Bool(c) {
+		t.Fatal("c must be false")
+	}
+	if m.Bool(a) {
+		t.Fatal("a must be false (a -> c, !c)")
+	}
+	if !m.Bool(b) {
+		t.Fatal("b must be true")
+	}
+}
+
+func TestSatUnsatBoolean(t *testing.T) {
+	s := NewSolver()
+	a := s.Bool()
+	s.Assert(BoolLit(a))
+	s.Assert(Not(BoolLit(a)))
+	if _, ok := s.Check(); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestSatPigeonhole(t *testing.T) {
+	// 4 pigeons, 3 holes: UNSAT. Exercises clause learning.
+	s := NewSolver()
+	const P, H = 4, 3
+	var v [P][H]BoolV
+	for p := 0; p < P; p++ {
+		for h := 0; h < H; h++ {
+			v[p][h] = s.Bool()
+		}
+	}
+	for p := 0; p < P; p++ {
+		var lits []Formula
+		for h := 0; h < H; h++ {
+			lits = append(lits, BoolLit(v[p][h]))
+		}
+		s.Assert(Or(lits...))
+	}
+	for h := 0; h < H; h++ {
+		for p1 := 0; p1 < P; p1++ {
+			for p2 := p1 + 1; p2 < P; p2++ {
+				s.Assert(Or(Not(BoolLit(v[p1][h])), Not(BoolLit(v[p2][h]))))
+			}
+		}
+	}
+	if _, ok := s.Check(); ok {
+		t.Fatal("pigeonhole 4/3 must be UNSAT")
+	}
+}
+
+func TestTheorySimpleBounds(t *testing.T) {
+	s := NewSolver()
+	x := s.Real()
+	s.Assert(Ge(V(x), Const(3)))
+	s.Assert(Le(V(x), Const(7)))
+	m, ok := s.Check()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if v := m.Real(x); v < 3-1e-6 || v > 7+1e-6 {
+		t.Fatalf("x = %v, want in [3,7]", v)
+	}
+}
+
+func TestTheoryBoundConflict(t *testing.T) {
+	s := NewSolver()
+	x := s.Real()
+	s.Assert(Ge(V(x), Const(5)))
+	s.Assert(Le(V(x), Const(4)))
+	if _, ok := s.Check(); ok {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestTheoryChainedInequalities(t *testing.T) {
+	s := NewSolver()
+	x, y, z := s.Real(), s.Real(), s.Real()
+	s.Assert(Ge(V(y), V(x).AddConst(10)))
+	s.Assert(Ge(V(z), V(y).AddConst(10)))
+	s.Assert(Ge(V(x), Const(0)))
+	s.Assert(Le(V(z), Const(15)))
+	if _, ok := s.Check(); ok {
+		t.Fatal("x>=0, y>=x+10, z>=y+10, z<=15 must be UNSAT")
+	}
+}
+
+func TestTheoryLinearCombination(t *testing.T) {
+	s := NewSolver()
+	x, y := s.Real(), s.Real()
+	// x + 2y <= 10, x >= 4, y >= 2 -> x + 2y >= 8; satisfiable.
+	s.Assert(Le(V(x).Add(Term(y, 2)), Const(10)))
+	s.Assert(Ge(V(x), Const(4)))
+	s.Assert(Ge(V(y), Const(2)))
+	m, ok := s.Check()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if got := m.Real(x) + 2*m.Real(y); got > 10+1e-6 {
+		t.Fatalf("x+2y = %v violates <= 10", got)
+	}
+	// Tighten: x >= 7 makes it UNSAT (7 + 2*2 = 11 > 10).
+	s.Assert(Ge(V(x), Const(7)))
+	if _, ok := s.Check(); ok {
+		t.Fatal("expected UNSAT after tightening")
+	}
+}
+
+func TestStrictInequality(t *testing.T) {
+	s := NewSolver()
+	x := s.Real()
+	s.Assert(Gt(V(x), Const(2)))
+	s.Assert(Lt(V(x), Const(3)))
+	m, ok := s.Check()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if v := m.Real(x); v <= 2 || v >= 3 {
+		t.Fatalf("x = %v, want strictly in (2,3)", v)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	s := NewSolver()
+	x, y := s.Real(), s.Real()
+	s.Assert(Eq(V(x).Add(V(y)), Const(10)))
+	s.Assert(Eq(V(x).Sub(V(y)), Const(4)))
+	m, ok := s.Check()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if math.Abs(m.Real(x)-7) > 1e-5 || math.Abs(m.Real(y)-3) > 1e-5 {
+		t.Fatalf("got x=%v y=%v, want x=7 y=3", m.Real(x), m.Real(y))
+	}
+}
+
+func TestBooleanTheoryMix(t *testing.T) {
+	s := NewSolver()
+	x := s.Real()
+	b := s.Bool()
+	// b -> x >= 10; !b -> x <= 1; x >= 5. Must pick b true.
+	s.Assert(Implies(BoolLit(b), Ge(V(x), Const(10))))
+	s.Assert(Implies(Not(BoolLit(b)), Le(V(x), Const(1))))
+	s.Assert(Ge(V(x), Const(5)))
+	m, ok := s.Check()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if !m.Bool(b) {
+		t.Fatal("b must be true")
+	}
+	if m.Real(x) < 10-1e-6 {
+		t.Fatalf("x = %v, want >= 10", m.Real(x))
+	}
+}
+
+func TestIffOverlapEncoding(t *testing.T) {
+	// o <-> (t1 <= t0 + 5 && t0 <= t1 + 5): the paper's overlap indicator.
+	s := NewSolver()
+	t0, t1 := s.Real(), s.Real()
+	o := s.Bool()
+	s.Assert(Iff(BoolLit(o), And(
+		Le(V(t1), V(t0).AddConst(5)),
+		Le(V(t0), V(t1).AddConst(5)),
+	)))
+	s.Assert(Ge(V(t0), Const(0)))
+	s.Assert(Eq(V(t0), Const(0)))
+	s.Assert(Eq(V(t1), Const(100)))
+	m, ok := s.Check()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if m.Bool(o) {
+		t.Fatal("gates 100 apart with duration 5 must not overlap")
+	}
+
+	s2 := NewSolver()
+	u0, u1 := s2.Real(), s2.Real()
+	o2 := s2.Bool()
+	s2.Assert(Iff(BoolLit(o2), And(
+		Le(V(u1), V(u0).AddConst(5)),
+		Le(V(u0), V(u1).AddConst(5)),
+	)))
+	s2.Assert(Eq(V(u0), Const(0)))
+	s2.Assert(Eq(V(u1), Const(2)))
+	m2, ok := s2.Check()
+	if !ok {
+		t.Fatal("expected SAT")
+	}
+	if !m2.Bool(o2) {
+		t.Fatal("gates 2 apart with duration 5 must overlap")
+	}
+}
+
+func TestMinimizeSimple(t *testing.T) {
+	s := NewSolver()
+	x := s.Real()
+	s.Assert(Ge(V(x), Const(3)))
+	m, ok, err := s.Minimize(V(x))
+	if err != nil || !ok {
+		t.Fatalf("Minimize: ok=%v err=%v", ok, err)
+	}
+	if math.Abs(m.Real(x)-3) > 1e-4 {
+		t.Fatalf("min x = %v, want 3", m.Real(x))
+	}
+	if math.Abs(m.Objective-3) > 1e-4 {
+		t.Fatalf("objective = %v, want 3", m.Objective)
+	}
+}
+
+func TestMinimizeWithConstant(t *testing.T) {
+	s := NewSolver()
+	x := s.Real()
+	s.Assert(Ge(V(x), Const(2)))
+	m, ok, err := s.Minimize(V(x).Scale(3).AddConst(7))
+	if err != nil || !ok {
+		t.Fatalf("Minimize: ok=%v err=%v", ok, err)
+	}
+	if math.Abs(m.Objective-13) > 1e-3 {
+		t.Fatalf("objective = %v, want 13", m.Objective)
+	}
+}
+
+func TestMinimizeUnbounded(t *testing.T) {
+	s := NewSolver()
+	x := s.Real()
+	s.Assert(Le(V(x), Const(10)))
+	if _, _, err := s.Minimize(V(x)); err == nil {
+		t.Fatal("expected unbounded-objective error")
+	}
+}
+
+func TestMinimizeUnsat(t *testing.T) {
+	s := NewSolver()
+	x := s.Real()
+	s.Assert(Ge(V(x), Const(5)))
+	s.Assert(Le(V(x), Const(1)))
+	if _, ok, err := s.Minimize(V(x)); ok || err != nil {
+		t.Fatalf("expected UNSAT without error, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestMinimizeTwoVariables(t *testing.T) {
+	// min x+y s.t. x >= 1, y >= 2, x+y >= 5 -> 5.
+	s := NewSolver()
+	x, y := s.Real(), s.Real()
+	s.Assert(Ge(V(x), Const(1)))
+	s.Assert(Ge(V(y), Const(2)))
+	s.Assert(Ge(V(x).Add(V(y)), Const(5)))
+	m, ok, err := s.Minimize(V(x).Add(V(y)))
+	if err != nil || !ok {
+		t.Fatalf("Minimize: ok=%v err=%v", ok, err)
+	}
+	if math.Abs(m.Objective-5) > 1e-3 {
+		t.Fatalf("objective = %v, want 5", m.Objective)
+	}
+}
+
+func TestMinimizeBooleanChoice(t *testing.T) {
+	// Two modes: b -> cost >= 10; !b -> cost >= 4 but also penalty >= 3.
+	// Minimize cost + penalty: best is !b with 4 + 3 = 7 vs b with 10 + 0.
+	s := NewSolver()
+	cost, pen := s.Real(), s.Real()
+	b := s.Bool()
+	s.Assert(Ge(V(pen), Const(0)))
+	s.Assert(Implies(BoolLit(b), Ge(V(cost), Const(10))))
+	s.Assert(Implies(Not(BoolLit(b)), And(Ge(V(cost), Const(4)), Ge(V(pen), Const(3)))))
+	s.Assert(Ge(V(cost), Const(0)))
+	m, ok, err := s.Minimize(V(cost).Add(V(pen)))
+	if err != nil || !ok {
+		t.Fatalf("Minimize: ok=%v err=%v", ok, err)
+	}
+	if m.Bool(b) {
+		t.Fatal("optimal choice is b = false")
+	}
+	if math.Abs(m.Objective-7) > 1e-3 {
+		t.Fatalf("objective = %v, want 7", m.Objective)
+	}
+}
+
+func TestMinimizeSchedulingToy(t *testing.T) {
+	// Two unit jobs on overlapping resources: either serialize (makespan 2)
+	// or overlap with penalty. Classic structure of the paper's encoding.
+	s := NewSolver()
+	t0, t1, makespan := s.Real(), s.Real(), s.Real()
+	s.Assert(Ge(V(t0), Const(0)))
+	s.Assert(Ge(V(t1), Const(0)))
+	s.Assert(Ge(V(makespan), V(t0).AddConst(1)))
+	s.Assert(Ge(V(makespan), V(t1).AddConst(1)))
+	o := s.Bool()
+	s.Assert(Iff(BoolLit(o), And(
+		Lt(V(t1), V(t0).AddConst(1)),
+		Lt(V(t0), V(t1).AddConst(1)),
+	)))
+	pen := s.Real()
+	s.Assert(Ge(V(pen), Const(0)))
+	s.Assert(Implies(BoolLit(o), Ge(V(pen), Const(5))))
+	m, ok, err := s.Minimize(V(makespan).Add(V(pen)))
+	if err != nil || !ok {
+		t.Fatalf("Minimize: ok=%v err=%v", ok, err)
+	}
+	// Serial: makespan 2, pen 0 -> 2. Parallel: makespan 1, pen 5 -> 6.
+	if m.Bool(o) {
+		t.Fatal("optimal schedule serializes")
+	}
+	if math.Abs(m.Objective-2) > 1e-3 {
+		t.Fatalf("objective = %v, want 2", m.Objective)
+	}
+}
+
+func TestMinimizeRecoversParallelWhenCheap(t *testing.T) {
+	// Same as above but overlap penalty 0.5: parallel wins (1.5 < 2).
+	s := NewSolver()
+	t0, t1, makespan := s.Real(), s.Real(), s.Real()
+	s.Assert(Ge(V(t0), Const(0)))
+	s.Assert(Ge(V(t1), Const(0)))
+	s.Assert(Ge(V(makespan), V(t0).AddConst(1)))
+	s.Assert(Ge(V(makespan), V(t1).AddConst(1)))
+	o := s.Bool()
+	s.Assert(Iff(BoolLit(o), And(
+		Lt(V(t1), V(t0).AddConst(1)),
+		Lt(V(t0), V(t1).AddConst(1)),
+	)))
+	pen := s.Real()
+	s.Assert(Ge(V(pen), Const(0)))
+	s.Assert(Implies(BoolLit(o), Ge(V(pen), Const(0.5))))
+	m, ok, err := s.Minimize(V(makespan).Add(V(pen)))
+	if err != nil || !ok {
+		t.Fatalf("Minimize: ok=%v err=%v", ok, err)
+	}
+	if !m.Bool(o) {
+		t.Fatal("optimal schedule parallelizes")
+	}
+	if math.Abs(m.Objective-1.5) > 1e-3 {
+		t.Fatalf("objective = %v, want 1.5", m.Objective)
+	}
+}
+
+func TestAtomInterning(t *testing.T) {
+	s := NewSolver()
+	x, y := s.Real(), s.Real()
+	before := s.NumAtoms()
+	s.Assert(Le(V(x).Add(V(y)), Const(5)))
+	s.Assert(Le(V(x).Add(V(y)), Const(5))) // identical atom
+	if got := s.NumAtoms() - before; got != 1 {
+		t.Fatalf("interning failed: %d new atoms, want 1", got)
+	}
+	s.Assert(Le(V(x).Add(V(y)), Const(6))) // same slack, new constant
+	if got := s.NumAtoms() - before; got != 2 {
+		t.Fatalf("expected 2 atoms after distinct constant, got %d", got)
+	}
+}
+
+// TestRandomSystemsAgainstBruteForce cross-checks the solver on random small
+// interval systems where satisfiability can be decided independently.
+func TestRandomSystemsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		// Random difference constraints over 4 vars: x_j - x_i <= c.
+		// Feasible iff no negative cycle (Bellman-Ford ground truth).
+		const n = 4
+		type edge struct {
+			from, to int
+			w        float64
+		}
+		var edges []edge
+		for k := 0; k < 7; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			edges = append(edges, edge{i, j, float64(rng.Intn(11) - 4)})
+		}
+		// Ground truth: Bellman-Ford negative cycle detection.
+		dist := make([]float64, n)
+		for iter := 0; iter < n; iter++ {
+			for _, e := range edges {
+				if dist[e.from]+e.w < dist[e.to] {
+					dist[e.to] = dist[e.from] + e.w
+				}
+			}
+		}
+		feasible := true
+		for _, e := range edges {
+			if dist[e.from]+e.w < dist[e.to]-1e-9 {
+				feasible = false
+			}
+		}
+
+		s := NewSolver()
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = s.Real()
+		}
+		for _, e := range edges {
+			// x_to - x_from <= w
+			s.Assert(Le(V(vars[e.to]).Sub(V(vars[e.from])), Const(e.w)))
+		}
+		_, ok := s.Check()
+		if ok != feasible {
+			t.Fatalf("trial %d: solver says sat=%v, Bellman-Ford says %v (edges %v)", trial, ok, feasible, edges)
+		}
+	}
+}
+
+// TestRandomMinimizeAgainstEnumeration checks Minimize on random boolean
+// mode-selection problems against exhaustive enumeration.
+func TestRandomMinimizeAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		nb := 3
+		s := NewSolver()
+		x := s.Real()
+		s.Assert(Ge(V(x), Const(0)))
+		bs := make([]BoolV, nb)
+		lo := make([][2]float64, nb) // bound when false / when true
+		for i := range bs {
+			bs[i] = s.Bool()
+			lo[i] = [2]float64{float64(rng.Intn(10)), float64(rng.Intn(10))}
+			s.Assert(Implies(BoolLit(bs[i]), Ge(V(x), Const(lo[i][1]))))
+			s.Assert(Implies(Not(BoolLit(bs[i])), Ge(V(x), Const(lo[i][0]))))
+		}
+		// Ground truth: choose each b independently to minimize the max bound.
+		bestVal := math.Inf(1)
+		for mask := 0; mask < 1<<nb; mask++ {
+			v := 0.0
+			for i := 0; i < nb; i++ {
+				b := (mask>>i)&1 == 1
+				bound := lo[i][0]
+				if b {
+					bound = lo[i][1]
+				}
+				if bound > v {
+					v = bound
+				}
+			}
+			if v < bestVal {
+				bestVal = v
+			}
+		}
+		m, ok, err := s.Minimize(V(x))
+		if err != nil || !ok {
+			t.Fatalf("trial %d: Minimize ok=%v err=%v", trial, ok, err)
+		}
+		if math.Abs(m.Objective-bestVal) > 1e-3 {
+			t.Fatalf("trial %d: objective %v, want %v", trial, m.Objective, bestVal)
+		}
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package transpile
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"xtalk/internal/device"
+)
+
+// EdgeWeights assigns a routing cost to every coupling. Used by
+// NoiseAwarePath to prefer low-error, crosstalk-free routes.
+type EdgeWeights map[device.Edge]float64
+
+// CrosstalkAwareWeights builds routing weights from calibration data: each
+// edge costs its -log(1 - error) plus a penalty for every high-crosstalk
+// pair it participates in. Routing through such edges risks forced
+// serialization (or elevated error) later, so the router avoids them when a
+// clean detour is close; this extends the paper's thesis — software can
+// navigate the crosstalk tradeoff — from scheduling into mapping.
+func CrosstalkAwareWeights(cal *device.Calibration, topo *device.Topology, threshold, penalty float64) EdgeWeights {
+	w := EdgeWeights{}
+	high := cal.HighCrosstalkPairs(threshold)
+	inHigh := map[device.Edge]int{}
+	for _, p := range high {
+		inHigh[p.First]++
+		inHigh[p.Second]++
+	}
+	for _, e := range topo.Edges {
+		err := cal.IndependentError(e)
+		if err >= 1 {
+			err = 0.999999
+		}
+		w[e] = -math.Log(1-err) + penalty*float64(inHigh[e])
+	}
+	return w
+}
+
+// NoiseAwarePath returns the minimum-total-weight qubit path from a to b
+// (Dijkstra over the coupling graph), or nil if disconnected.
+func NoiseAwarePath(topo *device.Topology, weights EdgeWeights, a, b int) []int {
+	const inf = math.MaxFloat64
+	dist := make([]float64, topo.NQubits)
+	prev := make([]int, topo.NQubits)
+	done := make([]bool, topo.NQubits)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[a] = 0
+	pq := &pathHeap{{q: a, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(pathItem)
+		if done[item.q] {
+			continue
+		}
+		done[item.q] = true
+		if item.q == b {
+			break
+		}
+		for _, nb := range topo.Neighbors(item.q) {
+			w, ok := weights[device.NewEdge(item.q, nb)]
+			if !ok {
+				w = 1
+			}
+			// Small hop cost keeps paths short when weights are tiny.
+			w += 1e-6
+			if nd := dist[item.q] + w; nd < dist[nb] {
+				dist[nb] = nd
+				prev[nb] = item.q
+				heap.Push(pq, pathItem{q: nb, d: nd})
+			}
+		}
+	}
+	if dist[b] == inf {
+		return nil
+	}
+	var rev []int
+	for q := b; q >= 0; q = prev[q] {
+		rev = append(rev, q)
+	}
+	path := make([]int, len(rev))
+	for i, q := range rev {
+		path[len(rev)-1-i] = q
+	}
+	return path
+}
+
+type pathItem struct {
+	q int
+	d float64
+}
+
+type pathHeap []pathItem
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(pathItem)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// PathWeight sums the weights along a qubit path.
+func PathWeight(weights EdgeWeights, path []int) (float64, error) {
+	var total float64
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := weights[device.NewEdge(path[i], path[i+1])]
+		if !ok {
+			return 0, fmt.Errorf("transpile: path step %d-%d is not a weighted edge", path[i], path[i+1])
+		}
+		total += w
+	}
+	return total, nil
+}

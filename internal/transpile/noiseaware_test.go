@@ -1,0 +1,101 @@
+package transpile
+
+import (
+	"testing"
+
+	"xtalk/internal/device"
+)
+
+func TestNoiseAwarePathAvoidsExpensiveEdges(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	// Synthetic weights: the 5-10-11-12 route is made expensive, the
+	// 5-6-7-12 detour cheap. The router must take the detour even though
+	// both have 3 hops.
+	weights := EdgeWeights{}
+	for _, e := range topo.Edges {
+		weights[e] = 0.01
+	}
+	weights[device.NewEdge(5, 10)] = 5
+	weights[device.NewEdge(11, 12)] = 5
+	path := NoiseAwarePath(topo, weights, 5, 12)
+	if path == nil {
+		t.Fatal("no path")
+	}
+	for i := 0; i+1 < len(path); i++ {
+		e := device.NewEdge(path[i], path[i+1])
+		if weights[e] > 1 {
+			t.Fatalf("noise-aware path %v uses expensive edge %s", path, e)
+		}
+	}
+}
+
+func TestCrosstalkAwareWeightsPenalizePairEdges(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	base := CrosstalkAwareWeights(dev.Cal, dev.Topo, 3, 0)
+	penalized := CrosstalkAwareWeights(dev.Cal, dev.Topo, 3, 0.5)
+	high := dev.Cal.HighCrosstalkPairs(3)
+	inHigh := map[device.Edge]bool{}
+	for _, p := range high {
+		inHigh[p.First] = true
+		inHigh[p.Second] = true
+	}
+	for e := range base {
+		if inHigh[e] && penalized[e] <= base[e] {
+			t.Fatalf("edge %s in a crosstalk pair not penalized", e)
+		}
+		if !inHigh[e] && penalized[e] != base[e] {
+			t.Fatalf("clean edge %s penalized", e)
+		}
+	}
+}
+
+func TestNoiseAwarePathValid(t *testing.T) {
+	dev := device.MustNew(device.Boeblingen, 3)
+	weights := CrosstalkAwareWeights(dev.Cal, dev.Topo, 3, 0.2)
+	for _, pair := range [][2]int{{0, 19}, {4, 15}, {2, 14}} {
+		path := NoiseAwarePath(dev.Topo, weights, pair[0], pair[1])
+		if path == nil || path[0] != pair[0] || path[len(path)-1] != pair[1] {
+			t.Fatalf("bad path %v for %v", path, pair)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !dev.Topo.HasEdge(path[i], path[i+1]) {
+				t.Fatalf("path %v uses non-edge %d-%d", path, path[i], path[i+1])
+			}
+		}
+	}
+}
+
+func TestNoiseAwarePathBeatsShortestOnWeight(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	weights := CrosstalkAwareWeights(dev.Cal, dev.Topo, 3, 0.5)
+	for _, pair := range [][2]int{{5, 12}, {0, 13}, {15, 14}} {
+		aware := NoiseAwarePath(dev.Topo, weights, pair[0], pair[1])
+		shortest := dev.Topo.ShortestPath(pair[0], pair[1])
+		wa, err := PathWeight(weights, aware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := PathWeight(weights, shortest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wa > ws+1e-9 {
+			t.Fatalf("pair %v: aware path weight %v exceeds shortest-path weight %v", pair, wa, ws)
+		}
+	}
+}
+
+func TestPathWeightErrors(t *testing.T) {
+	if _, err := PathWeight(EdgeWeights{}, []int{0, 5}); err == nil {
+		t.Fatal("expected missing-edge error")
+	}
+}
+
+func TestNoiseAwarePathZeroLength(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	weights := CrosstalkAwareWeights(dev.Cal, dev.Topo, 3, 0.5)
+	path := NoiseAwarePath(dev.Topo, weights, 7, 7)
+	if len(path) != 1 || path[0] != 7 {
+		t.Fatalf("self path %v", path)
+	}
+}

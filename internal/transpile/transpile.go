@@ -1,0 +1,121 @@
+// Package transpile provides the hardware-mapping substrate the paper
+// obtains from Qiskit's passes: qubit routing via shortest paths and
+// meet-in-the-middle SWAP insertion, producing hardware-compliant IR for the
+// schedulers.
+package transpile
+
+import (
+	"fmt"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+// MeetInTheMiddleSwapPath returns the SWAP sequence implementing a CNOT
+// between two distant qubits a and b on the topology: both endpoints walk
+// toward the middle of a shortest path, then a single CNOT executes across
+// the central edge. This matches the paper's example (Section 8.3):
+// CNOT 0,13 on Poughkeepsie = SWAP 0,5; SWAP 5,10; SWAP 13,12; SWAP 12,11;
+// CNOT 10,11.
+//
+// The returned circuit contains SWAP gates (not yet decomposed) and the
+// final CNOT, and records the qubits where a and b end up.
+func MeetInTheMiddleSwapPath(topo *device.Topology, a, b int) (*circuit.Circuit, int, int, error) {
+	if a == b {
+		return nil, 0, 0, fmt.Errorf("transpile: identical endpoints %d", a)
+	}
+	path := topo.ShortestPath(a, b)
+	if path == nil {
+		return nil, 0, 0, fmt.Errorf("transpile: qubits %d and %d are disconnected", a, b)
+	}
+	c := circuit.New(topo.NQubits)
+	// Walk a forward and b backward until adjacent.
+	i, j := 0, len(path)-1
+	for j-i > 1 {
+		// Advance the side that is further from the middle; ties advance a.
+		if (j - i) >= 2 {
+			c.SWAP(path[i], path[i+1])
+			i++
+		}
+		if j-i > 1 {
+			c.SWAP(path[j], path[j-1])
+			j--
+		}
+	}
+	c.CNOT(path[i], path[j])
+	return c, path[i], path[j], nil
+}
+
+// Mapping tracks the logical-to-physical qubit assignment during routing.
+type Mapping struct {
+	LogToPhys []int
+	PhysToLog []int
+}
+
+// NewTrivialMapping maps logical qubit i to physical qubit i.
+func NewTrivialMapping(n int) *Mapping {
+	m := &Mapping{LogToPhys: make([]int, n), PhysToLog: make([]int, n)}
+	for i := 0; i < n; i++ {
+		m.LogToPhys[i] = i
+		m.PhysToLog[i] = i
+	}
+	return m
+}
+
+// Swap updates the mapping for a physical SWAP between p1 and p2.
+func (m *Mapping) Swap(p1, p2 int) {
+	l1, l2 := m.PhysToLog[p1], m.PhysToLog[p2]
+	m.PhysToLog[p1], m.PhysToLog[p2] = l2, l1
+	if l1 >= 0 {
+		m.LogToPhys[l1] = p2
+	}
+	if l2 >= 0 {
+		m.LogToPhys[l2] = p1
+	}
+}
+
+// Route lowers a logical circuit onto the topology: single-qubit gates are
+// relocated through the current mapping, and each CNOT between non-adjacent
+// physical qubits is preceded by SWAPs that move the qubits together along a
+// shortest path (meet-in-the-middle). The output circuit still contains SWAP
+// gates; call DecomposeSwaps for pure-CNOT IR.
+func Route(c *circuit.Circuit, topo *device.Topology) (*circuit.Circuit, *Mapping, error) {
+	if c.NQubits > topo.NQubits {
+		return nil, nil, fmt.Errorf("transpile: circuit needs %d qubits, device has %d", c.NQubits, topo.NQubits)
+	}
+	m := NewTrivialMapping(topo.NQubits)
+	out := circuit.New(topo.NQubits)
+	for _, g := range c.Gates {
+		switch {
+		case g.Kind == circuit.KindBarrier:
+			phys := make([]int, len(g.Qubits))
+			for i, q := range g.Qubits {
+				phys[i] = m.LogToPhys[q]
+			}
+			out.Add(circuit.KindBarrier, phys)
+		case len(g.Qubits) == 1:
+			out.Add(g.Kind, []int{m.LogToPhys[g.Qubits[0]]}, g.Params...)
+		case g.Kind.IsTwoQubit():
+			p1, p2 := m.LogToPhys[g.Qubits[0]], m.LogToPhys[g.Qubits[1]]
+			path := topo.ShortestPath(p1, p2)
+			if path == nil {
+				return nil, nil, fmt.Errorf("transpile: disconnected qubits %d,%d", p1, p2)
+			}
+			i, j := 0, len(path)-1
+			for j-i > 1 {
+				out.SWAP(path[i], path[i+1])
+				m.Swap(path[i], path[i+1])
+				i++
+				if j-i > 1 {
+					out.SWAP(path[j], path[j-1])
+					m.Swap(path[j], path[j-1])
+					j--
+				}
+			}
+			out.Add(g.Kind, []int{path[i], path[j]}, g.Params...)
+		default:
+			return nil, nil, fmt.Errorf("transpile: unsupported gate %s", g)
+		}
+	}
+	return out, m, nil
+}

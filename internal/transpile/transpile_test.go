@@ -1,0 +1,148 @@
+package transpile
+
+import (
+	"testing"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+func TestMeetInTheMiddlePaperExample(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	c, m1, m2, err := MeetInTheMiddleSwapPath(topo, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: SWAP 0,5; SWAP 5,10; SWAP 13,12; SWAP 12,11; CNOT 10,11.
+	if got := c.CountKind(circuit.KindSWAP); got != 4 {
+		t.Fatalf("SWAPs = %d, want 4", got)
+	}
+	if got := c.CountKind(circuit.KindCNOT); got != 1 {
+		t.Fatalf("CNOTs = %d, want 1", got)
+	}
+	// Multiple shortest paths exist (0-5-10-11-12-13 as in the paper, and
+	// 0-5-6-7-12-13); the meeting qubits must be adjacent either way.
+	if !topo.HasEdge(m1, m2) {
+		t.Fatalf("meeting qubits (%d, %d) not adjacent", m1, m2)
+	}
+	// All SWAPs must be on real couplings.
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() && !topo.HasEdge(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("gate %s uses a non-edge", g)
+		}
+	}
+}
+
+func TestMeetInTheMiddleAdjacent(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	c, m1, m2, err := MeetInTheMiddleSwapPath(topo, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountKind(circuit.KindSWAP) != 0 {
+		t.Fatal("adjacent qubits need no SWAPs")
+	}
+	if m1 != 0 || m2 != 1 {
+		t.Fatalf("meeting qubits (%d,%d)", m1, m2)
+	}
+}
+
+func TestMeetInTheMiddleErrors(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	if _, _, _, err := MeetInTheMiddleSwapPath(topo, 3, 3); err == nil {
+		t.Fatal("expected error for identical endpoints")
+	}
+}
+
+func TestMappingSwap(t *testing.T) {
+	m := NewTrivialMapping(4)
+	m.Swap(0, 2)
+	if m.LogToPhys[0] != 2 || m.LogToPhys[2] != 0 {
+		t.Fatalf("mapping after swap: %v", m.LogToPhys)
+	}
+	if m.PhysToLog[2] != 0 || m.PhysToLog[0] != 2 {
+		t.Fatalf("inverse mapping: %v", m.PhysToLog)
+	}
+	m.Swap(0, 2) // undo
+	for i := 0; i < 4; i++ {
+		if m.LogToPhys[i] != i {
+			t.Fatal("double swap should restore identity")
+		}
+	}
+}
+
+func TestRouteAdjacentGatesUnchanged(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	c := circuit.New(20)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.Measure(1)
+	out, _, err := Route(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountKind(circuit.KindSWAP) != 0 {
+		t.Fatal("adjacent CNOT should not trigger routing")
+	}
+}
+
+func TestRouteInsertsSwapsAndRespectsTopology(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	c := circuit.New(20)
+	c.H(0)
+	c.CNOT(0, 13)
+	out, _, err := Route(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CountKind(circuit.KindSWAP) == 0 {
+		t.Fatal("distant CNOT requires SWAPs")
+	}
+	for _, g := range out.Gates {
+		if g.Kind.IsTwoQubit() && !topo.HasEdge(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("routed gate %s violates topology", g)
+		}
+	}
+}
+
+func TestRouteTracksMapping(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	c := circuit.New(20)
+	c.CNOT(0, 13)
+	c.CNOT(0, 13) // second CNOT: qubits already adjacent after routing
+	out, m, err := Route(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After routing, logical 0 and 13 must be physically adjacent.
+	p0, p13 := m.LogToPhys[0], m.LogToPhys[13]
+	if !topo.HasEdge(p0, p13) {
+		t.Fatalf("logical 0 at %d and 13 at %d not adjacent after routing", p0, p13)
+	}
+	// The second CNOT should add no further SWAPs: count swaps before each
+	// CNOT occurrence.
+	var swapsSeen []int
+	count := 0
+	for _, g := range out.Gates {
+		switch g.Kind {
+		case circuit.KindSWAP:
+			count++
+		case circuit.KindCNOT:
+			swapsSeen = append(swapsSeen, count)
+		}
+	}
+	if len(swapsSeen) != 2 {
+		t.Fatalf("expected 2 CNOTs, got %d", len(swapsSeen))
+	}
+	if swapsSeen[1] != swapsSeen[0] {
+		t.Fatalf("second CNOT triggered %d extra swaps", swapsSeen[1]-swapsSeen[0])
+	}
+}
+
+func TestRouteTooManyQubits(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	c := circuit.New(21)
+	if _, _, err := Route(c, topo); err == nil {
+		t.Fatal("expected error for oversized circuit")
+	}
+}

@@ -1,0 +1,211 @@
+// Package workloads generates the paper's benchmark circuits (Section 8.3):
+// meet-in-the-middle SWAP circuits that prepare a Bell pair between distant
+// qubits, QAOA hardware-efficient ansatz circuits, Hidden Shift circuits
+// (with an optional crosstalk-susceptible redundant-CNOT variant), and
+// quantum-supremacy-style random circuits for scalability studies.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+	"xtalk/internal/transpile"
+)
+
+// SwapCircuit builds the paper's SWAP benchmark between physical qubits a
+// and b on the topology: a Hadamard on a creates superposition, the
+// meet-in-the-middle SWAP chain moves both endpoints adjacent, a final CNOT
+// entangles them into a Bell pair, and both meeting qubits are measured.
+// SWAPs are decomposed to CNOTs. The expected noiseless outcome is the Bell
+// distribution P(00)=P(11)=0.5.
+func SwapCircuit(topo *device.Topology, a, b int) (*circuit.Circuit, error) {
+	path, m1, m2, err := transpile.MeetInTheMiddleSwapPath(topo, a, b)
+	if err != nil {
+		return nil, err
+	}
+	c := circuit.New(topo.NQubits)
+	// Superposition on endpoint a (the paper uses a U2 to prepare a known
+	// final answer verified by tomography).
+	c.H(a)
+	for _, g := range path.Gates {
+		c.Add(g.Kind, g.Qubits, g.Params...)
+	}
+	c.Measure(m1)
+	c.Measure(m2)
+	return c.DecomposeSwaps(), nil
+}
+
+// SwapBenchmarkPairs lists the qubit pairs evaluated per system in Figure 5
+// (the circuits include at least one high-crosstalk CNOT pair each).
+var SwapBenchmarkPairs = map[device.SystemName][][2]int{
+	device.Poughkeepsie: {
+		{0, 12}, {0, 13}, {1, 13}, {4, 16}, {5, 12}, {6, 18}, {7, 15}, {7, 16},
+		{8, 16}, {8, 17}, {9, 10}, {10, 14}, {11, 14}, {12, 15}, {13, 15},
+		{13, 16}, {13, 18},
+	},
+	device.Johannesburg: {
+		{0, 11}, {10, 7}, {6, 11}, {10, 8}, {11, 7}, {0, 12}, {7, 12},
+		{8, 13}, {9, 14},
+	},
+	device.Boeblingen: {
+		{0, 11}, {0, 12}, {2, 7}, {1, 9}, {3, 7}, {6, 16}, {6, 15}, {6, 17},
+		{6, 18}, {8, 16}, {8, 15}, {8, 17}, {8, 19}, {7, 16}, {14, 16},
+		{11, 19}, {15, 19}, {16, 19}, {13, 16},
+	},
+}
+
+// QAOARegions are the four crosstalk-prone Poughkeepsie regions evaluated in
+// Figure 8.
+var QAOARegions = [][]int{
+	{5, 10, 11, 12},
+	{7, 12, 13, 14},
+	{15, 10, 11, 12},
+	{11, 12, 13, 14},
+}
+
+// QAOACircuit builds a hardware-efficient-ansatz QAOA instance (Section 8.3:
+// 4 qubits, 43 gates, 9 two-qubit gates) on the given physical qubits, which
+// must form a connected chain on the topology. Parameters are seeded for
+// reproducibility.
+func QAOACircuit(topo *device.Topology, qubits []int, seed int64) (*circuit.Circuit, error) {
+	if len(qubits) < 2 {
+		return nil, fmt.Errorf("workloads: QAOA needs >= 2 qubits")
+	}
+	for i := 0; i+1 < len(qubits); i++ {
+		if !topo.HasEdge(qubits[i], qubits[i+1]) {
+			return nil, fmt.Errorf("workloads: qubits %d,%d not coupled", qubits[i], qubits[i+1])
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(topo.NQubits)
+	// Initial layer: Hadamards.
+	for _, q := range qubits {
+		c.H(q)
+	}
+	// Three entangling layers of the hardware-efficient ansatz: CNOT chain +
+	// parameterized single-qubit rotations (3 layers x 3 CNOTs = 9 CNOTs on
+	// a 4-qubit chain).
+	for layer := 0; layer < 3; layer++ {
+		for i := 0; i+1 < len(qubits); i++ {
+			c.CNOT(qubits[i], qubits[i+1])
+		}
+		for _, q := range qubits {
+			c.RZ(q, 2*math.Pi*rng.Float64())
+			c.RX(q, 2*math.Pi*rng.Float64())
+		}
+	}
+	for _, q := range qubits {
+		c.Measure(q)
+	}
+	return c, nil
+}
+
+// HiddenShiftCircuit builds a Hidden Shift instance (Section 9.3) on the
+// given 4-qubit chain: Hadamard layers sandwiching an oracle with 2 layers
+// of 2 parallel CNOTs plus phase gates. The expected noiseless output is the
+// shift bitstring. When redundantCNOTs is true, every oracle CNOT becomes
+// three consecutive CNOTs (the first two cancel to identity but expose the
+// circuit to crosstalk — the paper's susceptibility knob).
+func HiddenShiftCircuit(topo *device.Topology, qubits []int, shift uint, redundantCNOTs bool) (*circuit.Circuit, string, error) {
+	if len(qubits) != 4 {
+		return nil, "", fmt.Errorf("workloads: Hidden Shift needs exactly 4 qubits, got %d", len(qubits))
+	}
+	for i := 0; i+1 < len(qubits); i++ {
+		if !topo.HasEdge(qubits[i], qubits[i+1]) {
+			return nil, "", fmt.Errorf("workloads: qubits %d,%d not coupled", qubits[i], qubits[i+1])
+		}
+	}
+	c := circuit.New(topo.NQubits)
+	for _, q := range qubits {
+		c.H(q)
+	}
+	cnot := func(a, b int) {
+		if redundantCNOTs {
+			c.CNOT(a, b)
+			c.CNOT(a, b)
+		}
+		c.CNOT(a, b)
+	}
+	// Oracle: 2 layers of 2 parallel CNOTs — the pairs (q0,q1)/(q2,q3) are
+	// disjoint and execute in parallel; the two layers cancel pairwise so
+	// the net oracle is the diagonal shift encoding Z^shift. In the
+	// redundant variant every CNOT is tripled: the extra pair acts as
+	// identity but exposes the circuit to crosstalk (the paper's
+	// susceptibility knob, Section 9.3).
+	for layer := 0; layer < 2; layer++ {
+		cnot(qubits[0], qubits[1])
+		cnot(qubits[2], qubits[3])
+	}
+	for i, q := range qubits {
+		if shift>>uint(i)&1 == 1 {
+			c.U1(q, math.Pi) // Z on shifted bits: |+> -> |->
+		}
+	}
+	for _, q := range qubits {
+		c.H(q)
+	}
+	for _, q := range qubits {
+		c.Measure(q)
+	}
+	// Noiseless output: exactly the shift bitstring, since H Z^s H = X^s on
+	// |0...0> once the paired CNOT layers cancel.
+	want := make([]byte, 4)
+	for i := range want {
+		want[i] = byte('0' + (shift >> uint(i) & 1))
+	}
+	return c, string(want), nil
+}
+
+// SupremacyCircuit builds a random circuit in the style of the quantum
+// supremacy benchmarks [Markov et al.]: alternating layers of random
+// single-qubit gates and CNOTs on random coupled pairs, to the requested
+// total gate count. Used for scheduler scalability studies (Section 9.4).
+func SupremacyCircuit(topo *device.Topology, nQubits, gates int, seed int64) (*circuit.Circuit, error) {
+	if nQubits > topo.NQubits {
+		return nil, fmt.Errorf("workloads: %d qubits exceeds device %d", nQubits, topo.NQubits)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(topo.NQubits)
+	// Candidate edges within the first nQubits qubits.
+	var edges []device.Edge
+	for _, e := range topo.Edges {
+		if e.A < nQubits && e.B < nQubits {
+			edges = append(edges, e)
+		}
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("workloads: no edges among first %d qubits", nQubits)
+	}
+	for q := 0; q < nQubits; q++ {
+		c.H(q)
+	}
+	count := nQubits
+	for count < gates {
+		if rng.Float64() < 0.4 {
+			e := edges[rng.Intn(len(edges))]
+			if rng.Float64() < 0.5 {
+				c.CNOT(e.A, e.B)
+			} else {
+				c.CNOT(e.B, e.A)
+			}
+		} else {
+			q := rng.Intn(nQubits)
+			switch rng.Intn(3) {
+			case 0:
+				c.U1(q, 2*math.Pi*rng.Float64())
+			case 1:
+				c.U2(q, 2*math.Pi*rng.Float64(), 2*math.Pi*rng.Float64())
+			default:
+				c.U3(q, math.Pi*rng.Float64(), 2*math.Pi*rng.Float64(), 2*math.Pi*rng.Float64())
+			}
+		}
+		count++
+	}
+	for q := 0; q < nQubits; q++ {
+		c.Measure(q)
+	}
+	return c, nil
+}

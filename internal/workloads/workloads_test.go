@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+	"xtalk/internal/noise"
+)
+
+func TestSwapCircuitIdealOutputIsBell(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	c, err := SwapCircuit(topo, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountKind(circuit.KindSWAP) != 0 {
+		t.Fatal("SWAP circuit must be decomposed to CNOTs")
+	}
+	p, measured := noise.IdealProbabilities(c)
+	if len(measured) != 2 {
+		t.Fatalf("measured qubits %v", measured)
+	}
+	if math.Abs(p["00"]-0.5) > 1e-9 || math.Abs(p["11"]-0.5) > 1e-9 {
+		t.Fatalf("ideal SWAP-circuit output %v, want Bell", p)
+	}
+}
+
+func TestSwapCircuitRespectTopology(t *testing.T) {
+	for _, name := range device.AllSystems {
+		topo, err := device.TopologyFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range SwapBenchmarkPairs[name] {
+			c, err := SwapCircuit(topo, pair[0], pair[1])
+			if err != nil {
+				t.Fatalf("%s pair %v: %v", name, pair, err)
+			}
+			for _, g := range c.Gates {
+				if g.Kind.IsTwoQubit() && !topo.HasEdge(g.Qubits[0], g.Qubits[1]) {
+					t.Fatalf("%s pair %v: gate %s off-topology", name, pair, g)
+				}
+			}
+		}
+	}
+}
+
+func TestSwapBenchmarkPairsTouchCrosstalk(t *testing.T) {
+	// The benchmark set should mostly produce circuits containing at least
+	// one high-crosstalk CNOT pair (paper: "we focus on 46 circuits across
+	// the three devices which include at least one pair of high crosstalk
+	// CNOTs").
+	total, withXtalk := 0, 0
+	for _, name := range device.AllSystems {
+		dev := device.MustNew(name, 1)
+		pairs := dev.Cal.HighCrosstalkPairs(3)
+		isHigh := func(e1, e2 device.Edge) bool {
+			p := device.NewEdgePair(e1, e2)
+			for _, hp := range pairs {
+				if hp == p {
+					return true
+				}
+			}
+			return false
+		}
+		for _, bp := range SwapBenchmarkPairs[name] {
+			total++
+			c, err := SwapCircuit(dev.Topo, bp[0], bp[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			two := c.TwoQubitGates()
+			found := false
+			for i := 0; i < len(two) && !found; i++ {
+				for j := i + 1; j < len(two) && !found; j++ {
+					g1, g2 := c.Gates[two[i]], c.Gates[two[j]]
+					e1 := device.NewEdge(g1.Qubits[0], g1.Qubits[1])
+					e2 := device.NewEdge(g2.Qubits[0], g2.Qubits[1])
+					if e1 != e2 && isHigh(e1, e2) {
+						found = true
+					}
+				}
+			}
+			if found {
+				withXtalk++
+			}
+		}
+	}
+	if total != 45 {
+		t.Fatalf("benchmark set has %d pairs, want 45 (17+9+19)", total)
+	}
+	// Two circuits can never contain a pair ((9,14) on Johannesburg is a
+	// single direct CNOT; (3,7) on Boeblingen routes over two edges sharing
+	// qubit 8); every other circuit must include one, as in the paper.
+	if withXtalk < total-4 {
+		t.Fatalf("only %d/%d benchmark circuits touch a crosstalk pair", withXtalk, total)
+	}
+}
+
+func TestQAOACircuitShape(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	for _, region := range QAOARegions {
+		c, err := QAOACircuit(topo, region, 1)
+		if err != nil {
+			t.Fatalf("region %v: %v", region, err)
+		}
+		// Paper: 4 qubits, 9 two-qubit gates.
+		if got := c.CountKind(circuit.KindCNOT); got != 9 {
+			t.Fatalf("region %v: %d CNOTs, want 9", region, got)
+		}
+		if got := c.CountKind(circuit.KindMeasure); got != 4 {
+			t.Fatalf("region %v: %d measures", region, got)
+		}
+		for _, g := range c.Gates {
+			if g.Kind.IsTwoQubit() && !topo.HasEdge(g.Qubits[0], g.Qubits[1]) {
+				t.Fatalf("region %v: CNOT %s off-topology", region, g)
+			}
+		}
+	}
+}
+
+func TestQAOADeterministicPerSeed(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	a, _ := QAOACircuit(topo, QAOARegions[0], 5)
+	b, _ := QAOACircuit(topo, QAOARegions[0], 5)
+	if a.String() != b.String() {
+		t.Fatal("same seed must give identical circuits")
+	}
+	c, _ := QAOACircuit(topo, QAOARegions[0], 6)
+	if a.String() == c.String() {
+		t.Fatal("different seeds should give different parameters")
+	}
+}
+
+func TestQAOAInvalidRegion(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	if _, err := QAOACircuit(topo, []int{0, 13}, 1); err == nil {
+		t.Fatal("expected error for uncoupled chain")
+	}
+}
+
+func TestHiddenShiftIdealOutput(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	region := []int{5, 10, 11, 12}
+	for shift := uint(0); shift < 16; shift++ {
+		for _, redundant := range []bool{false, true} {
+			c, want, err := HiddenShiftCircuit(topo, region, shift, redundant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, _ := noise.IdealProbabilities(c)
+			if math.Abs(p[want]-1) > 1e-9 {
+				t.Fatalf("shift %d redundant=%v: P(%s) = %v, want 1 (dist %v)",
+					shift, redundant, want, p[want], p)
+			}
+		}
+	}
+}
+
+func TestHiddenShiftRedundantHasTripleCNOTs(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	region := []int{5, 10, 11, 12}
+	plain, _, _ := HiddenShiftCircuit(topo, region, 5, false)
+	red, _, _ := HiddenShiftCircuit(topo, region, 5, true)
+	if got := red.CountKind(circuit.KindCNOT); got != 3*plain.CountKind(circuit.KindCNOT) {
+		t.Fatalf("redundant variant has %d CNOTs, want 3x%d", got, plain.CountKind(circuit.KindCNOT))
+	}
+}
+
+func TestSupremacyCircuitShape(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	for _, tc := range []struct{ n, gates int }{{6, 100}, {12, 250}, {18, 500}} {
+		c, err := SupremacyCircuit(topo, tc.n, tc.gates, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonMeasure := len(c.Gates) - c.CountKind(circuit.KindMeasure)
+		if nonMeasure < tc.gates || nonMeasure > tc.gates+tc.n {
+			t.Fatalf("n=%d: %d gates, want ~%d", tc.n, nonMeasure, tc.gates)
+		}
+		for _, g := range c.Gates {
+			if g.Kind.IsTwoQubit() && !topo.HasEdge(g.Qubits[0], g.Qubits[1]) {
+				t.Fatalf("supremacy gate %s off-topology", g)
+			}
+			for _, q := range g.Qubits {
+				if q >= tc.n {
+					t.Fatalf("gate %s uses qubit outside the first %d", g, tc.n)
+				}
+			}
+		}
+	}
+}
+
+func TestSupremacyCircuitErrors(t *testing.T) {
+	topo := device.PoughkeepsieTopology()
+	if _, err := SupremacyCircuit(topo, 25, 100, 1); err == nil {
+		t.Fatal("expected error for too many qubits")
+	}
+	if _, err := SupremacyCircuit(topo, 1, 10, 1); err == nil {
+		t.Fatal("expected error: no edges within 1 qubit")
+	}
+}

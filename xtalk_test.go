@@ -1,0 +1,149 @@
+package xtalk
+
+// End-to-end integration tests of the public facade: the full
+// characterize -> schedule -> execute pipeline the README advertises.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	dev, err := NewDevice(Poughkeepsie, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Characterize(dev, CharOneHopBinPacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := rep.NoiseData(dev, 3)
+	if len(nd.Conditional) == 0 {
+		t.Fatal("characterization found no crosstalk")
+	}
+
+	c := NewCircuit(20)
+	for i := 0; i < 4; i++ {
+		c.CNOT(5, 10)
+		c.CNOT(11, 12)
+	}
+	for _, q := range []int{5, 10, 11, 12} {
+		c.Measure(q)
+	}
+
+	par, err := ParScheduler().Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := NewXtalkScheduler(nd, 0.5).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distPar, err := ExecuteMitigated(dev, par, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distX, err := ExecuteMitigated(dev, xs, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPar := SuccessProbability(distPar, "0000")
+	pX := SuccessProbability(distX, "0000")
+	if pX <= pPar {
+		t.Fatalf("XtalkSched success %.3f should beat ParSched %.3f on a crosstalk-heavy program", pX, pPar)
+	}
+}
+
+func TestFacadeRouting(t *testing.T) {
+	dev, err := NewDevice(Poughkeepsie, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCircuit(20)
+	c.H(0)
+	c.CNOT(0, 13) // non-adjacent: requires routing
+	c.Measure(0)
+	routed, err := Route(c, dev.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range routed.Gates {
+		if g.Kind.IsTwoQubit() && !dev.Topo.HasEdge(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("routed gate %s violates topology", g)
+		}
+	}
+}
+
+func TestFacadeParseAndSchedule(t *testing.T) {
+	dev, err := NewDevice(Johannesburg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+# a Bell pair on an edge
+h q0
+cx q0,q1
+measure q0
+measure q1
+`
+	c, err := ParseCircuit(src, dev.Topo.NQubits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SerialScheduler().Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(dev, s, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 500 {
+		t.Fatalf("shots %d", res.Shots)
+	}
+	ideal := IdealDistribution(c)
+	if ideal["00"] < 0.49 || ideal["11"] < 0.49 {
+		t.Fatalf("ideal Bell distribution %v", ideal)
+	}
+}
+
+func TestFacadeBarrierInsertion(t *testing.T) {
+	dev, err := NewDevice(Poughkeepsie, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := GroundTruthNoiseData(dev, 3)
+	c := NewCircuit(20)
+	c.CNOT(5, 10)
+	c.CNOT(11, 12)
+	c.Measure(10)
+	c.Measure(11)
+	s, err := NewXtalkScheduler(nd, 1).Schedule(c, dev) // omega=1: serialize crosstalk
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := InsertBarriers(s)
+	if !strings.Contains(out.String(), "barrier") {
+		t.Fatalf("expected a barrier in the serialized output:\n%s", out)
+	}
+}
+
+func TestFacadeDayDrift(t *testing.T) {
+	d0, err := NewDeviceForDay(Boeblingen, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := NewDeviceForDay(Boeblingen, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for e, gc := range d0.Cal.Gates {
+		if d3.Cal.Gates[e].Error != gc.Error {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("calibration should drift across days")
+	}
+}
