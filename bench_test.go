@@ -7,6 +7,7 @@ package xtalk
 // reproductions.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -64,7 +65,7 @@ func BenchmarkFig4DailyVariation(b *testing.B) {
 // (Figures 5a-5c) on Johannesburg (the smallest benchmark set).
 func BenchmarkFig5SwapErrorRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig5(device.Johannesburg, 0.5, benchOpts())
+		res, err := experiments.Fig5(context.Background(), device.Johannesburg, 0.5, benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkFig5dDurations(b *testing.B) {
 // BenchmarkFig6ExampleSchedules regenerates the Figure 6 schedule renders.
 func BenchmarkFig6ExampleSchedules(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(benchOpts()); err != nil {
+		if _, err := experiments.Fig6(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +111,7 @@ func BenchmarkFig6ExampleSchedules(b *testing.B) {
 // (Figure 7).
 func BenchmarkFig7Optimality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7(benchOpts()); err != nil {
+		if _, err := experiments.Fig7(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +121,7 @@ func BenchmarkFig7Optimality(b *testing.B) {
 // (Figure 8).
 func BenchmarkFig8QAOA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig8(benchOpts()); err != nil {
+		if _, err := experiments.Fig8(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -130,7 +131,7 @@ func BenchmarkFig8QAOA(b *testing.B) {
 // study (Figure 9, redundant-CNOT variant).
 func BenchmarkFig9HiddenShift(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9(true, benchOpts()); err != nil {
+		if _, err := experiments.Fig9(context.Background(), true, benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}

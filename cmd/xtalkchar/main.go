@@ -1,6 +1,9 @@
 // Command xtalkchar runs a crosstalk characterization campaign on a
 // simulated device and prints the measurement plan, machine-time estimate,
-// measured conditional error rates, and detected high-crosstalk pairs.
+// measured conditional error rates, and detected high-crosstalk pairs. The
+// campaign runs through the compilation pipeline's characterization
+// front-end, so the measured noise data is installed exactly as a scheduling
+// pipeline would consume it.
 //
 // Usage:
 //
@@ -8,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"xtalk/internal/characterize"
 	"xtalk/internal/device"
+	"xtalk/internal/pipeline"
 	"xtalk/internal/rb"
 )
 
@@ -37,18 +42,9 @@ func run(system, policyName string, seed int64, day int, threshold float64) erro
 	if err != nil {
 		return err
 	}
-	var policy characterize.Policy
-	switch policyName {
-	case "all-pairs":
-		policy = characterize.AllPairs
-	case "one-hop":
-		policy = characterize.OneHop
-	case "one-hop+binpack":
-		policy = characterize.OneHopBinPacked
-	case "high-crosstalk-only":
-		policy = characterize.HighCrosstalkOnly
-	default:
-		return fmt.Errorf("unknown policy %q", policyName)
+	policy, err := characterize.ParsePolicy(policyName)
+	if err != nil {
+		return err
 	}
 	var highPairs []device.EdgePair
 	if policy == characterize.HighCrosstalkOnly {
@@ -58,7 +54,8 @@ func run(system, policyName string, seed int64, day int, threshold float64) erro
 	}
 	cfg := rb.DefaultConfig()
 	cfg.Seed = seed
-	rep, err := characterize.Run(dev, policy, highPairs, cfg)
+	p := pipeline.New(dev, pipeline.Config{Threshold: threshold})
+	rep, err := p.Characterize(context.Background(), policy, highPairs, cfg)
 	if err != nil {
 		return err
 	}
@@ -75,8 +72,14 @@ func run(system, policyName string, seed int64, day int, threshold float64) erro
 			m.Pair, m.CondFirst, m.CondSecond, m.IndepFirst, m.IndepSecond, r)
 	}
 	fmt.Println("\ndetected high-crosstalk pairs (threshold", threshold, "x):")
-	for _, p := range rep.HighCrosstalkPairs(threshold) {
-		fmt.Println("  ", p)
+	for _, pr := range rep.HighCrosstalkPairs(threshold) {
+		fmt.Println("  ", pr)
 	}
+	nCond := 0
+	for _, m := range p.Noise.Conditional {
+		nCond += len(m)
+	}
+	fmt.Printf("\nscheduler noise data installed: %d independent rates, %d conditional entries\n",
+		len(p.Noise.Independent), nCond)
 	return nil
 }

@@ -3,16 +3,22 @@
 // corresponding figure (see EXPERIMENTS.md for the paper-vs-measured
 // comparison).
 //
+// The compile-and-execute experiments run through the staged compilation
+// pipeline as concurrent batches; -workers bounds the pool and Ctrl-C
+// cancels in-flight SMT optimization promptly.
+//
 // Usage:
 //
 //	xtalkexp -exp fig5 -system poughkeepsie -shots 2048
-//	xtalkexp -exp all
+//	xtalkexp -exp all -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"xtalk/internal/device"
@@ -29,21 +35,24 @@ func main() {
 		omega     = flag.Float64("omega", 0.5, "crosstalk weight factor for fig5")
 		threshold = flag.Float64("threshold", 3, "high-crosstalk detection ratio")
 		budget    = flag.Duration("budget", 10*time.Second, "per-schedule SMT anytime budget")
+		workers   = flag.Int("workers", 0, "concurrent pipeline workers (0 = sequential; concurrency shares CPU across SMT budgets)")
 	)
 	flag.Parse()
 	experiments.SchedulerBudget = *budget
-	opts := experiments.Options{Seed: *seed, Shots: *shots, Threshold: *threshold}
+	opts := experiments.Options{Seed: *seed, Shots: *shots, Threshold: *threshold, Workers: *workers}
 	systems := device.AllSystems
 	if *system != "" {
 		systems = []device.SystemName{device.SystemName(*system)}
 	}
-	if err := run(*exp, systems, *omega, opts); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *exp, systems, *omega, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, systems []device.SystemName, omega float64, opts experiments.Options) error {
+func run(ctx context.Context, exp string, systems []device.SystemName, omega float64, opts experiments.Options) error {
 	rbCfg := rb.DefaultConfig()
 	rbCfg.Seed = opts.Seed
 	all := exp == "all"
@@ -65,7 +74,7 @@ func run(exp string, systems []device.SystemName, omega float64, opts experiment
 	}
 	if all || exp == "fig5" {
 		for _, name := range systems {
-			res, err := experiments.Fig5(name, omega, opts)
+			res, err := experiments.Fig5(ctx, name, omega, opts)
 			if err != nil {
 				return err
 			}
@@ -73,21 +82,21 @@ func run(exp string, systems []device.SystemName, omega float64, opts experiment
 		}
 	}
 	if all || exp == "fig6" {
-		res, err := experiments.Fig6(opts)
+		res, err := experiments.Fig6(ctx, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if all || exp == "fig7" {
-		res, err := experiments.Fig7(opts)
+		res, err := experiments.Fig7(ctx, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 	}
 	if all || exp == "fig8" {
-		res, err := experiments.Fig8(opts)
+		res, err := experiments.Fig8(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -95,7 +104,7 @@ func run(exp string, systems []device.SystemName, omega float64, opts experiment
 	}
 	if all || exp == "fig9" {
 		for _, redundant := range []bool{false, true} {
-			res, err := experiments.Fig9(redundant, opts)
+			res, err := experiments.Fig9(ctx, redundant, opts)
 			if err != nil {
 				return err
 			}
@@ -110,7 +119,7 @@ func run(exp string, systems []device.SystemName, omega float64, opts experiment
 		fmt.Println(res)
 	}
 	if all || exp == "scalability" {
-		res, err := experiments.Scalability(opts)
+		res, err := experiments.Scalability(ctx, opts)
 		if err != nil {
 			return err
 		}

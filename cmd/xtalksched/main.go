@@ -1,6 +1,7 @@
-// Command xtalksched schedules a circuit (in the library's textual gate-list
-// format) onto a simulated device with SerialSched, ParSched and XtalkSched,
-// prints the three timelines, and reports the modeled error costs.
+// Command xtalksched schedules a circuit (textual gate-list or OpenQASM 2.0)
+// onto a simulated device with SerialSched, ParSched and XtalkSched through
+// the staged compilation pipeline, prints the three timelines, and reports
+// the modeled error costs.
 //
 // Usage:
 //
@@ -15,16 +16,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
+	"time"
 
-	"xtalk/internal/circuit"
 	"xtalk/internal/core"
 	"xtalk/internal/device"
-	"xtalk/internal/qasm"
+	"xtalk/internal/pipeline"
 )
 
 func main() {
@@ -33,15 +34,17 @@ func main() {
 		system = flag.String("system", "poughkeepsie", "poughkeepsie|johannesburg|boeblingen")
 		seed   = flag.Int64("seed", 1, "device seed")
 		omega  = flag.Float64("omega", 0.5, "crosstalk weight factor")
+		budget = flag.Duration("budget", 0, "anytime SMT budget per schedule (0 = run to optimality)")
+		stats  = flag.Bool("stats", false, "print per-stage pipeline statistics")
 	)
 	flag.Parse()
-	if err := run(*in, *system, *seed, *omega); err != nil {
+	if err := run(*in, *system, *seed, *omega, *budget, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalksched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, system string, seed int64, omega float64) error {
+func run(in, system string, seed int64, omega float64, budget time.Duration, stats bool) error {
 	var src []byte
 	var err error
 	if in == "" {
@@ -56,36 +59,33 @@ func run(in, system string, seed int64, omega float64) error {
 	if err != nil {
 		return err
 	}
-	var c *circuit.Circuit
-	if strings.Contains(string(src), "OPENQASM") {
-		c, err = qasm.Parse(string(src))
-	} else {
-		c, err = circuit.ParseText(string(src), dev.Topo.NQubits)
-	}
-	if err != nil {
-		return err
-	}
-	if c.NQubits > dev.Topo.NQubits {
-		return fmt.Errorf("circuit needs %d qubits, device has %d", c.NQubits, dev.Topo.NQubits)
-	}
-	c = c.DecomposeSwaps()
-	nd := core.NoiseDataFromDevice(dev, 3)
-	cfg := core.DefaultXtalkConfig()
-	cfg.Omega = omega
-	for _, sched := range []core.Scheduler{core.SerialSched{}, core.ParSched{}, core.NewXtalkSched(nd, cfg)} {
-		s, err := sched.Schedule(c, dev)
-		if err != nil {
-			return err
+	nd := pipeline.GroundTruthNoise(dev, 3)
+	xc := core.DefaultXtalkConfig()
+	xc.Omega = omega
+	xc.Timeout = budget
+	p := pipeline.New(dev, pipeline.Config{
+		Noise:          nd,
+		Scheduler:      core.NewXtalkSched(nd, xc),
+		DecomposeSwaps: true,
+	})
+	results := p.Batch(context.Background(), []pipeline.Request{
+		{Tag: "serial", Source: string(src), Scheduler: core.SerialSched{}},
+		{Tag: "par", Source: string(src), Scheduler: core.ParSched{}},
+		{Tag: "xtalk", Source: string(src)},
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Tag, r.Err)
 		}
-		fmt.Println(s.Render())
+		fmt.Println(r.Schedule.Render())
 		fmt.Printf("modeled cost (omega=%.2g): %.4f; crosstalk overlaps: %d; est. success: %.3f\n\n",
-			omega, s.Cost(nd, omega), s.CrosstalkOverlapCount(nd), s.SuccessEstimate(nd))
-	}
-	xs, err := core.NewXtalkSched(nd, cfg).Schedule(c, dev)
-	if err != nil {
-		return err
+			omega, r.Schedule.Cost(nd, omega), r.Schedule.CrosstalkOverlapCount(nd), r.Schedule.SuccessEstimate(nd))
 	}
 	fmt.Println("XtalkSched output circuit with barriers:")
-	fmt.Println(core.InsertBarriers(xs))
+	fmt.Println(results[2].Barriered)
+	if stats {
+		fmt.Println("pipeline stage statistics:")
+		fmt.Print(p.StatsString())
+	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module xtalk
+
+go 1.22

@@ -54,6 +54,17 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// ParsePolicy maps a policy's String form back to the Policy (the CLI
+// flag parser).
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{AllPairs, OneHop, OneHopBinPacked, HighCrosstalkOnly} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (want all-pairs|one-hop|one-hop+binpack|high-crosstalk-only)", s)
+}
+
 // Plan is a batched measurement schedule: each batch is a set of pairs whose
 // SRB experiments run in parallel on the device.
 type Plan struct {

@@ -7,6 +7,7 @@ package circuit
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Kind identifies the operation type of a Gate.
@@ -87,6 +88,13 @@ func (g Gate) String() string {
 type Circuit struct {
 	NQubits int
 	Gates   []Gate
+
+	// dagMu guards the memoized dependency DAG (see the DAG method). The
+	// cache is keyed by gate count: Add is the only mutation path and only
+	// ever appends.
+	dagMu    sync.Mutex
+	dagCache *DAG
+	dagLen   int
 }
 
 // New returns an empty circuit over n qubits.

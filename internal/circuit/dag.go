@@ -63,6 +63,20 @@ func BuildDAG(c *Circuit) *DAG {
 	return d
 }
 
+// DAG returns the circuit's dependency DAG, memoized until the circuit
+// grows. Safe for concurrent use: batch compilation schedules the same
+// circuit under several schedulers and validates the results, each of which
+// needs the DAG, so all callers share a single build.
+func (c *Circuit) DAG() *DAG {
+	c.dagMu.Lock()
+	defer c.dagMu.Unlock()
+	if c.dagCache == nil || c.dagLen != len(c.Gates) {
+		c.dagCache = BuildDAG(c)
+		c.dagLen = len(c.Gates)
+	}
+	return c.dagCache
+}
+
 // IsAncestor reports whether gate a is a (transitive) ancestor of gate b.
 func (d *DAG) IsAncestor(a, b int) bool { return d.ancestors[b].get(a) }
 

@@ -26,7 +26,7 @@ func InsertBarriers(s *Schedule) *circuit.Circuit {
 	}
 	sort.SliceStable(gates, func(i, j int) bool { return gates[i].start < gates[j].start })
 
-	dag := circuit.BuildDAG(s.Circ)
+	dag := s.Circ.DAG()
 	out := circuit.New(s.Circ.NQubits)
 	for i, tg := range gates {
 		// If some earlier-finishing gate must precede this one but has no

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"xtalk/internal/circuit"
 	"xtalk/internal/device"
 )
@@ -10,6 +12,27 @@ import (
 type Scheduler interface {
 	Name() string
 	Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error)
+}
+
+// ContextScheduler is implemented by schedulers whose Schedule work can be
+// canceled mid-flight (XtalkSched aborts its SMT search within one
+// conflict-check interval).
+type ContextScheduler interface {
+	Scheduler
+	ScheduleContext(ctx context.Context, c *circuit.Circuit, dev *device.Device) (*Schedule, error)
+}
+
+// ScheduleWithContext schedules c with s, threading ctx down when the
+// scheduler supports cancellation. Baseline schedulers run in microseconds
+// and are only gated by an upfront ctx check.
+func ScheduleWithContext(ctx context.Context, s Scheduler, c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	if cs, ok := s.(ContextScheduler); ok {
+		return cs.ScheduleContext(ctx, c, dev)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Schedule(c, dev)
 }
 
 // SerialSched schedules every instruction sequentially (Table 1): maximal

@@ -182,7 +182,7 @@ func (s *Schedule) QubitLifetime(q int) float64 {
 // Validate checks internal consistency: non-negative starts, dependency
 // order respected, and no time overlap between gates sharing a qubit.
 func (s *Schedule) Validate() error {
-	dag := circuit.BuildDAG(s.Circ)
+	dag := s.Circ.DAG()
 	for _, g := range s.Circ.Gates {
 		if s.Start[g.ID] < -1e-6 {
 			return fmt.Errorf("gate %d (%s) starts at negative time %v", g.ID, g, s.Start[g.ID])

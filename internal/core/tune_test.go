@@ -8,6 +8,9 @@ import (
 )
 
 func TestTuneOmegaPrefersSerializationForCrosstalkHeavyCircuit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow reproduction; run without -short")
+	}
 	dev := device.MustNew(device.Poughkeepsie, 1)
 	nd := NoiseDataFromDevice(dev, 3)
 	// Heavy repeated crosstalk exposure: serializing should win.

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
-	"os"
 	"time"
 
 	"xtalk/internal/circuit"
@@ -36,6 +37,10 @@ type XtalkConfig struct {
 	// Timeout makes the optimization anytime: when it expires the best
 	// incumbent schedule found so far is returned (0 = run to optimality).
 	Timeout time.Duration
+	// DebugAudit enables the SMT solver's model auditing and strict tableau
+	// validation (test-only; very slow). This replaces the old
+	// SMT_DEBUG_AUDIT environment side-channel.
+	DebugAudit bool
 	// SumErrorComposition replaces the paper's max rule (Eq. 6: a gate
 	// overlapping several crosstalk partners pays only the worst conditional
 	// rate) with additive composition (each overlapping partner contributes
@@ -80,7 +85,7 @@ func (x *XtalkSched) Name() string { return fmt.Sprintf("XtalkSched(w=%.2g)", x.
 // OverlapPairKeys returns the gate-ID pairs that receive overlap indicators
 // for this circuit (the pruned CanOlp pairs), smaller ID first.
 func (x *XtalkSched) OverlapPairKeys(c *circuit.Circuit) [][2]int {
-	dag := circuit.BuildDAG(c)
+	dag := c.DAG()
 	two := c.TwoQubitGates()
 	var keys [][2]int
 	for i := 0; i < len(two); i++ {
@@ -99,10 +104,22 @@ func (x *XtalkSched) OverlapPairKeys(c *circuit.Circuit) [][2]int {
 
 // Schedule implements Scheduler.
 func (x *XtalkSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	return x.ScheduleContext(context.Background(), c, dev)
+}
+
+// ScheduleContext implements ContextScheduler: it is Schedule with
+// cancellation threaded into the SMT optimization. When ctx is canceled
+// mid-search the solver aborts within one conflict-check interval; if an
+// anytime incumbent schedule exists it is returned, otherwise the context's
+// error is.
+func (x *XtalkSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sched := newSchedule(c, dev, x.Name())
-	dag := circuit.BuildDAG(c)
+	dag := c.DAG()
 	sol := smt.NewSolver()
-	if os.Getenv("SMT_DEBUG_AUDIT") != "" {
+	if x.Config.DebugAudit {
 		sol.EnableDebugModelAudit()
 		sol.EnableDebugStrict()
 	}
@@ -309,8 +326,18 @@ func (x *XtalkSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule
 	model, ok, err := sol.Minimize(objective, smt.MinimizeOpts{
 		MaxConflicts: x.Config.MaxConflicts,
 		Deadline:     x.Config.Timeout,
+		Cancel:       ctx.Done(),
 	})
 	if err != nil {
+		if errors.Is(err, smt.ErrCanceled) {
+			// Canceled before the first incumbent: report the caller's
+			// cancellation, not a solver failure, and skip the heuristic
+			// fallback (the caller asked us to stop working).
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, err
+		}
 		if x.Config.Timeout > 0 || x.Config.MaxConflicts > 0 {
 			// Anytime budget expired before the first incumbent: fall back
 			// to the greedy crosstalk-aware heuristic so callers still get

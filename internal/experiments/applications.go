@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"xtalk/internal/linalg"
 	"xtalk/internal/metrics"
 	"xtalk/internal/noise"
+	"xtalk/internal/pipeline"
 	"xtalk/internal/workloads"
 )
 
@@ -73,53 +75,61 @@ var Fig8Omegas = []float64{0, 0.03, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0}
 
 // Fig8 runs QAOA circuits on the four crosstalk-prone Poughkeepsie regions
 // across the omega sweep, measuring cross entropy against the noise-free
-// distribution.
-func Fig8(opts Options) (*Fig8Result, error) {
+// distribution. The whole (region × omega) grid — plus each region's
+// crosstalk-free reference — compiles and executes as one pipeline batch.
+func Fig8(ctx context.Context, opts Options) (*Fig8Result, error) {
 	dev, err := device.New(device.Poughkeepsie, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
+	nd := pipeline.GroundTruthNoise(dev, opts.Threshold)
 	res := &Fig8Result{}
-	var ideals, freeCEs []float64
-	lossAt := map[float64][]float64{}
+	p := execPipeline(dev, nd, opts)
+	perRegion := len(Fig8Omegas) + 1 // the omega sweep plus the free reference
+	var reqs []pipeline.Request
+	ideals := make([]metrics.Distribution, len(workloads.QAOARegions))
+	entropies := make([]float64, len(workloads.QAOARegions))
 	for ri, region := range workloads.QAOARegions {
 		c, err := workloads.QAOACircuit(dev.Topo, region, opts.Seed+int64(ri))
 		if err != nil {
 			return nil, err
 		}
 		idealDist, _ := noise.IdealProbabilities(c)
-		ideal := metrics.Distribution(idealDist)
-		entropy := metrics.Entropy(ideal)
-		ideals = append(ideals, entropy)
-		reg := Fig8Region{Qubits: region}
+		ideals[ri] = metrics.Distribution(idealDist)
+		entropies[ri] = metrics.Entropy(ideals[ri])
 		for _, omega := range Fig8Omegas {
-			s, err := core.NewXtalkSched(nd, xtalkConfig(omega)).Schedule(c, dev)
-			if err != nil {
-				return nil, err
-			}
-			dist, err := runSchedule(dev, s, opts.Shots, opts.Seed+int64(ri*100), false)
-			if err != nil {
-				return nil, err
-			}
-			ce := metrics.CrossEntropy(ideal, dist)
-			reg.Points = append(reg.Points, Fig8Point{Omega: omega, CrossEntropy: ce})
-			lossAt[omega] = append(lossAt[omega], ce-entropy)
+			reqs = append(reqs, pipeline.Request{
+				Tag:       fmt.Sprintf("region %v w=%.2g", region, omega),
+				Circuit:   c,
+				Scheduler: core.NewXtalkSched(nd, xtalkConfig(omega)),
+				Seed:      opts.Seed + int64(ri*100),
+			})
 		}
 		// Crosstalk-free band: the same circuit, max parallel, with
 		// crosstalk disabled (the paper's crosstalk-free hardware regions).
-		par, err := core.ParSched{}.Schedule(c, dev)
-		if err != nil {
-			return nil, err
+		reqs = append(reqs, pipeline.Request{
+			Tag:     fmt.Sprintf("region %v free", region),
+			Circuit: c, Scheduler: core.ParSched{},
+			Seed: opts.Seed + int64(ri*100) + 7, DisableCrosstalk: true,
+		})
+	}
+	results, err := batchChecked(ctx, p, reqs)
+	if err != nil {
+		return nil, err
+	}
+	var freeCEs []float64
+	lossAt := map[float64][]float64{}
+	for ri, region := range workloads.QAOARegions {
+		reg := Fig8Region{Qubits: region}
+		for oi, omega := range Fig8Omegas {
+			ce := metrics.CrossEntropy(ideals[ri], results[ri*perRegion+oi].Dist)
+			reg.Points = append(reg.Points, Fig8Point{Omega: omega, CrossEntropy: ce})
+			lossAt[omega] = append(lossAt[omega], ce-entropies[ri])
 		}
-		freeDist, err := runSchedule(dev, par, opts.Shots, opts.Seed+int64(ri*100)+7, true)
-		if err != nil {
-			return nil, err
-		}
-		freeCEs = append(freeCEs, metrics.CrossEntropy(ideal, freeDist))
+		freeCEs = append(freeCEs, metrics.CrossEntropy(ideals[ri], results[ri*perRegion+len(Fig8Omegas)].Dist))
 		res.Regions = append(res.Regions, reg)
 	}
-	res.TheoreticalIdeal = linalg.Mean(ideals)
+	res.TheoreticalIdeal = linalg.Mean(entropies)
 	res.CrosstalkFreeIdeal = linalg.Mean(freeCEs)
 	res.CrosstalkFreeStd = linalg.StdDev(freeCEs)
 	best, bestLoss := 0.0, 0.0
@@ -190,33 +200,45 @@ func (r *Fig9Result) String() string {
 }
 
 // Fig9 runs Hidden Shift instances on the four Poughkeepsie regions across
-// the omega sweep. Error rate is the fraction of trials that did not return
-// the expected shift string (after readout mitigation).
-func Fig9(redundant bool, opts Options) (*Fig9Result, error) {
+// the omega sweep as one pipeline batch. Error rate is the fraction of
+// trials that did not return the expected shift string (after readout
+// mitigation).
+func Fig9(ctx context.Context, redundant bool, opts Options) (*Fig9Result, error) {
 	dev, err := device.New(device.Poughkeepsie, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
+	nd := pipeline.GroundTruthNoise(dev, opts.Threshold)
 	res := &Fig9Result{Redundant: redundant}
-	errAt := map[float64][]float64{}
+	p := execPipeline(dev, nd, opts)
+	var reqs []pipeline.Request
+	wants := make([]string, len(workloads.QAOARegions))
 	for ri, region := range workloads.QAOARegions {
 		shift := uint(5 + ri) // fixed, region-dependent shift
 		c, want, err := workloads.HiddenShiftCircuit(dev.Topo, region, shift%16, redundant)
 		if err != nil {
 			return nil, err
 		}
-		reg := Fig9Region{Qubits: region}
+		wants[ri] = want
 		for _, omega := range Fig8Omegas {
-			s, err := core.NewXtalkSched(nd, xtalkConfig(omega)).Schedule(c, dev)
-			if err != nil {
-				return nil, err
-			}
-			dist, err := runSchedule(dev, s, opts.Shots, opts.Seed+int64(ri*10), false)
-			if err != nil {
-				return nil, err
-			}
-			e := 1 - metrics.SuccessProbability(dist, want)
+			reqs = append(reqs, pipeline.Request{
+				Tag:       fmt.Sprintf("region %v w=%.2g", region, omega),
+				Circuit:   c,
+				Scheduler: core.NewXtalkSched(nd, xtalkConfig(omega)),
+				Seed:      opts.Seed + int64(ri*10),
+			})
+		}
+	}
+	results, err := batchChecked(ctx, p, reqs)
+	if err != nil {
+		return nil, err
+	}
+	errAt := map[float64][]float64{}
+	for ri, region := range workloads.QAOARegions {
+		reg := Fig9Region{Qubits: region}
+		for oi, omega := range Fig8Omegas {
+			dist := results[ri*len(Fig8Omegas)+oi].Dist
+			e := 1 - metrics.SuccessProbability(dist, wants[ri])
 			reg.Points = append(reg.Points, Fig9Point{Omega: omega, Error: e})
 			errAt[omega] = append(errAt[omega], e)
 		}
@@ -285,8 +307,11 @@ var ScalabilityBudget = 60 * time.Second
 // Scalability times XtalkSched compilation on random supremacy-style
 // circuits. Large instances use the compact error encoding and an anytime
 // budget, mirroring the paper's note that SMT compile times are bounded by
-// known optimizations.
-func Scalability(opts Options, cases ...struct{ Qubits, Gates int }) (*ScalabilityResult, error) {
+// known optimizations. Instances run sequentially through a compile-only
+// pipeline (the measurement is per-instance compile latency, which
+// concurrent compilation would distort); the reported time is the
+// pipeline's schedule-stage timing.
+func Scalability(ctx context.Context, opts Options, cases ...struct{ Qubits, Gates int }) (*ScalabilityResult, error) {
 	if len(cases) == 0 {
 		cases = ScalabilityCases
 	}
@@ -294,7 +319,8 @@ func Scalability(opts Options, cases ...struct{ Qubits, Gates int }) (*Scalabili
 	if err != nil {
 		return nil, err
 	}
-	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
+	nd := pipeline.GroundTruthNoise(dev, opts.Threshold)
+	p := pipeline.New(dev, pipeline.Config{Noise: nd})
 	res := &ScalabilityResult{}
 	for _, tc := range cases {
 		c, err := workloads.SupremacyCircuit(dev.Topo, tc.Qubits, tc.Gates, opts.Seed)
@@ -305,19 +331,17 @@ func Scalability(opts Options, cases ...struct{ Qubits, Gates int }) (*Scalabili
 		cfg.CompactErrorEncoding = true
 		cfg.Timeout = ScalabilityBudget
 		x := core.NewXtalkSched(nd, cfg)
-		start := time.Now()
-		s, err := x.Schedule(c, dev)
-		if err != nil {
-			return nil, err
-		}
-		elapsed := time.Since(start)
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("scalability: invalid schedule for %d gates: %w", tc.Gates, err)
+		r := p.Run(ctx, pipeline.Request{
+			Tag:     fmt.Sprintf("%dq/%dg", tc.Qubits, tc.Gates),
+			Circuit: c, Scheduler: x,
+		})
+		if r.Err != nil {
+			return nil, fmt.Errorf("scalability %s: %w", r.Tag, r.Err)
 		}
 		res.Rows = append(res.Rows, ScalabilityRow{
 			Qubits:       tc.Qubits,
 			Gates:        tc.Gates,
-			CompileTime:  elapsed,
+			CompileTime:  r.StageElapsed("schedule"),
 			OverlapPairs: len(x.OverlapPairKeys(c)),
 		})
 	}

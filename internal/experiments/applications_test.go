@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"xtalk/internal/device"
@@ -11,8 +12,11 @@ import (
 )
 
 func TestFig8QAOAShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	opts := Options{Seed: 1, Shots: 384, Threshold: 3}
-	res, err := Fig8(opts)
+	res, err := Fig8(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,12 +73,15 @@ func TestFig8QAOAShape(t *testing.T) {
 }
 
 func TestFig9SusceptibilityContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	opts := Options{Seed: 1, Shots: 384, Threshold: 3}
-	plain, err := Fig9(false, opts)
+	plain, err := Fig9(context.Background(), false, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	red, err := Fig9(true, opts)
+	red, err := Fig9(context.Background(), true, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

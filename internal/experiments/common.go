@@ -9,14 +9,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"xtalk/internal/core"
 	"xtalk/internal/device"
-	"xtalk/internal/metrics"
-	"xtalk/internal/noise"
+	"xtalk/internal/pipeline"
 )
 
 // Options are shared experiment knobs.
@@ -28,6 +28,12 @@ type Options struct {
 	Shots int
 	// Threshold is the high-crosstalk detection ratio (paper: 3).
 	Threshold float64
+	// Workers bounds the drivers' concurrent batch compilation. The
+	// default (0) compiles sequentially: concurrent SMT searches share
+	// CPU, so budget-limited instances would return worse,
+	// machine-dependent incumbents and distort the reproduced figures.
+	// Set Workers explicitly to trade schedule quality for throughput.
+	Workers int
 }
 
 // DefaultOptions returns the standard experiment configuration.
@@ -50,27 +56,35 @@ func xtalkConfig(omega float64) core.XtalkConfig {
 	return cfg
 }
 
-// runSchedule executes a schedule on the device and returns the
-// readout-mitigated outcome distribution.
-func runSchedule(dev *device.Device, s *core.Schedule, shots int, seed int64, disableXtalk bool) (metrics.Distribution, error) {
-	res, err := noise.NewExecutor(dev).Run(s, noise.Options{
-		Shots:            shots,
-		Seed:             seed,
-		DisableCrosstalk: disableXtalk,
+// execPipeline builds the drivers' standard execute+mitigate pipeline over
+// a device: schedule (per-request scheduler) → barriers → execute →
+// readout-mitigate, batched over Options.Workers (sequential by default —
+// see Options.Workers).
+func execPipeline(dev *device.Device, nd *core.NoiseData, opts Options) *pipeline.Pipeline {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	return pipeline.New(dev, pipeline.Config{
+		Noise:    nd,
+		Budget:   SchedulerBudget,
+		Shots:    opts.Shots,
+		Mitigate: true,
+		Workers:  workers,
 	})
-	if err != nil {
-		return nil, err
+}
+
+// batchChecked runs a batch and fails hard on the first item error (the
+// drivers reproduce fixed figures: a missing row is a driver bug, not a
+// partial result to tolerate).
+func batchChecked(ctx context.Context, p *pipeline.Pipeline, reqs []pipeline.Request) ([]*pipeline.Result, error) {
+	results := p.Batch(ctx, reqs)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Tag, r.Err)
+		}
 	}
-	raw := metrics.Distribution(res.Probabilities())
-	flips := make([]float64, len(res.MeasuredQubits))
-	for i, q := range res.MeasuredQubits {
-		flips[i] = dev.Cal.Qubits[q].ReadoutError
-	}
-	mitigated, err := metrics.MitigateReadout(raw, flips)
-	if err != nil {
-		return nil, err
-	}
-	return mitigated, nil
+	return results, nil
 }
 
 // table renders rows with a header, aligning columns by padding.

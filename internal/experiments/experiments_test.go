@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -77,6 +78,9 @@ func TestFig10ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig3DetectsGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	res, err := Fig3(device.Johannesburg, fastOpts(), fastRB())
 	if err != nil {
 		t.Fatal(err)
@@ -96,6 +100,9 @@ func TestFig3DetectsGroundTruth(t *testing.T) {
 }
 
 func TestFig4PairSetStableAndBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	res, err := Fig4(fastOpts(), fastRB(), 4)
 	if err != nil {
 		t.Fatal(err)
@@ -134,8 +141,11 @@ func TestFig4PairSetStableAndBounded(t *testing.T) {
 }
 
 func TestFig5ImprovementShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	opts := fastOpts()
-	res, err := Fig5(device.Johannesburg, 0.5, opts)
+	res, err := Fig5(context.Background(), device.Johannesburg, 0.5, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +176,7 @@ func SwapPairsJohannesburg() [][2]int {
 }
 
 func TestFig6RendersThreeSchedules(t *testing.T) {
-	res, err := Fig6(fastOpts())
+	res, err := Fig6(context.Background(), fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,8 +195,11 @@ func TestFig6RendersThreeSchedules(t *testing.T) {
 }
 
 func TestFig7NearOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	opts := fastOpts()
-	res, err := Fig7(opts)
+	res, err := Fig7(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,12 +213,15 @@ func TestFig7NearOptimal(t *testing.T) {
 }
 
 func TestScalabilitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment reproduction; run without -short")
+	}
 	opts := fastOpts()
 	cases := []struct{ Qubits, Gates int }{{6, 100}, {10, 150}}
 	oldBudget := ScalabilityBudget
 	ScalabilityBudget = 20e9 // 20s anytime budget per instance
 	defer func() { ScalabilityBudget = oldBudget }()
-	res, err := Scalability(opts, cases...)
+	res, err := Scalability(context.Background(), opts, cases...)
 	if err != nil {
 		t.Fatal(err)
 	}

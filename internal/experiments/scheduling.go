@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"xtalk/internal/device"
 	"xtalk/internal/linalg"
 	"xtalk/internal/metrics"
+	"xtalk/internal/pipeline"
 	"xtalk/internal/workloads"
 )
 
@@ -75,39 +77,50 @@ func safeRatio(a, b float64) float64 {
 // Fig5 runs the SWAP benchmark for one device: each qubit pair's circuit is
 // scheduled by SerialSched, ParSched and XtalkSched(omega), executed against
 // the device's ground-truth noise, and scored by Bell-state error after
-// readout mitigation.
-func Fig5(name device.SystemName, omega float64, opts Options) (*Fig5Result, error) {
+// readout mitigation. All (pair, scheduler) compilations run as one
+// concurrent pipeline batch.
+func Fig5(ctx context.Context, name device.SystemName, omega float64, opts Options) (*Fig5Result, error) {
 	dev, err := device.New(name, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
+	nd := pipeline.GroundTruthNoise(dev, opts.Threshold)
 	res := &Fig5Result{System: name, Omega: omega}
-	cfg := xtalkConfig(omega)
-	var improvements, durRatios []float64
-	for i, pair := range workloads.SwapBenchmarkPairs[name] {
+	p := execPipeline(dev, nd, opts)
+	xs := core.NewXtalkSched(nd, xtalkConfig(omega))
+	pairs := workloads.SwapBenchmarkPairs[name]
+	var reqs []pipeline.Request
+	for i, pair := range pairs {
 		c, err := workloads.SwapCircuit(dev.Topo, pair[0], pair[1])
 		if err != nil {
 			return nil, err
 		}
+		for _, sched := range []core.Scheduler{core.SerialSched{}, core.ParSched{}, xs} {
+			reqs = append(reqs, pipeline.Request{
+				Tag:       fmt.Sprintf("pair %d,%d %s", pair[0], pair[1], sched.Name()),
+				Circuit:   c,
+				Scheduler: sched,
+				Seed:      opts.Seed + int64(i),
+			})
+		}
+	}
+	results, err := batchChecked(ctx, p, reqs)
+	if err != nil {
+		return nil, err
+	}
+	var improvements, durRatios []float64
+	for i, pair := range pairs {
 		row := Fig5Row{QubitPair: pair, PathLength: dev.Topo.Distance(pair[0], pair[1])}
-		for _, sched := range []core.Scheduler{core.SerialSched{}, core.ParSched{}, core.NewXtalkSched(nd, cfg)} {
-			s, err := sched.Schedule(c, dev)
-			if err != nil {
-				return nil, err
-			}
-			dist, err := runSchedule(dev, s, opts.Shots, opts.Seed+int64(i), false)
-			if err != nil {
-				return nil, err
-			}
-			e := metrics.BellStateError(dist)
-			switch sched.(type) {
-			case core.SerialSched:
-				row.ErrSerial, row.DurSerial = e, s.Makespan()
-			case core.ParSched:
-				row.ErrPar, row.DurPar = e, s.Makespan()
+		for k := 0; k < 3; k++ {
+			r := results[3*i+k]
+			e := metrics.BellStateError(r.Dist)
+			switch k {
+			case 0:
+				row.ErrSerial, row.DurSerial = e, r.Schedule.Makespan()
+			case 1:
+				row.ErrPar, row.DurPar = e, r.Schedule.Makespan()
 			default:
-				row.ErrXtalk, row.DurXtalk = e, s.Makespan()
+				row.ErrXtalk, row.DurXtalk = e, r.Schedule.Makespan()
 			}
 		}
 		res.Rows = append(res.Rows, row)
@@ -148,13 +161,13 @@ func (r *Fig6Result) String() string {
 
 // Fig6 schedules the paper's example path (SWAP 0,5; SWAP 5,10; SWAP 13,12;
 // SWAP 12,11; CNOT 10,11 — the explicit route from Section 8.3) with all
-// three algorithms.
-func Fig6(opts Options) (*Fig6Result, error) {
+// three algorithms as one compile-only pipeline batch.
+func Fig6(ctx context.Context, opts Options) (*Fig6Result, error) {
 	dev, err := device.New(device.Poughkeepsie, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
+	nd := pipeline.GroundTruthNoise(dev, opts.Threshold)
 	c := circuit.New(20)
 	c.U2(0, 0, math.Pi)
 	c.SWAP(0, 5)
@@ -165,19 +178,23 @@ func Fig6(opts Options) (*Fig6Result, error) {
 	c.Measure(10)
 	c.Measure(11)
 	dc := c.DecomposeSwaps()
-	ser, err := core.SerialSched{}.Schedule(dc, dev)
+	p := pipeline.New(dev, pipeline.Config{Noise: nd, Workers: opts.Workers})
+	results, err := batchChecked(ctx, p, []pipeline.Request{
+		{Tag: "serial", Circuit: dc, Scheduler: core.SerialSched{}},
+		{Tag: "par", Circuit: dc, Scheduler: core.ParSched{}},
+		{Tag: "xtalk", Circuit: dc, Scheduler: core.NewXtalkSched(nd, xtalkConfig(0.5))},
+	})
 	if err != nil {
 		return nil, err
 	}
-	par, err := core.ParSched{}.Schedule(dc, dev)
-	if err != nil {
-		return nil, err
-	}
-	xt, err := core.NewXtalkSched(nd, xtalkConfig(0.5)).Schedule(dc, dev)
-	if err != nil {
-		return nil, err
-	}
-	return &Fig6Result{Serial: ser, Par: par, Xtalk: xt, BarrieredCircuit: core.InsertBarriers(xt)}, nil
+	return &Fig6Result{
+		Serial: results[0].Schedule,
+		Par:    results[1].Schedule,
+		Xtalk:  results[2].Schedule,
+		// The barrier-insertion stage already materialized the executable
+		// circuit for the XtalkSched schedule.
+		BarrieredCircuit: results[2].Barriered,
+	}, nil
 }
 
 // Fig7Row compares XtalkSched against the crosstalk-free ideal for one
@@ -222,42 +239,45 @@ func (r *Fig7Result) String() string {
 // pair, the XtalkSched schedule runs on the real (crosstalk-active) device,
 // and the ideal reference runs the maximally parallel schedule with
 // crosstalk disabled — the simulated analogue of the paper's crosstalk-free
-// hardware regions.
-func Fig7(opts Options) (*Fig7Result, error) {
+// hardware regions. Both arms of every pair batch through one pipeline.
+func Fig7(ctx context.Context, opts Options) (*Fig7Result, error) {
 	dev, err := device.New(device.Poughkeepsie, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	nd := core.NoiseDataFromDevice(dev, opts.Threshold)
-	cfg := xtalkConfig(0.5)
-	res := &Fig7Result{}
-	var gaps []float64
-	for i, pair := range workloads.SwapBenchmarkPairs[device.Poughkeepsie] {
+	nd := pipeline.GroundTruthNoise(dev, opts.Threshold)
+	p := execPipeline(dev, nd, opts)
+	xs := core.NewXtalkSched(nd, xtalkConfig(0.5))
+	pairs := workloads.SwapBenchmarkPairs[device.Poughkeepsie]
+	var reqs []pipeline.Request
+	for i, pair := range pairs {
 		c, err := workloads.SwapCircuit(dev.Topo, pair[0], pair[1])
 		if err != nil {
 			return nil, err
 		}
-		xs, err := core.NewXtalkSched(nd, cfg).Schedule(c, dev)
-		if err != nil {
-			return nil, err
-		}
-		distX, err := runSchedule(dev, xs, opts.Shots, opts.Seed+int64(i), false)
-		if err != nil {
-			return nil, err
-		}
-		par, err := core.ParSched{}.Schedule(c, dev)
-		if err != nil {
-			return nil, err
-		}
-		distIdeal, err := runSchedule(dev, par, opts.Shots, opts.Seed+int64(i)+500, true)
-		if err != nil {
-			return nil, err
-		}
+		reqs = append(reqs,
+			pipeline.Request{
+				Tag:     fmt.Sprintf("pair %d,%d xtalk", pair[0], pair[1]),
+				Circuit: c, Scheduler: xs, Seed: opts.Seed + int64(i),
+			},
+			pipeline.Request{
+				Tag:     fmt.Sprintf("pair %d,%d ideal", pair[0], pair[1]),
+				Circuit: c, Scheduler: core.ParSched{}, Seed: opts.Seed + int64(i) + 500,
+				DisableCrosstalk: true,
+			})
+	}
+	results, err := batchChecked(ctx, p, reqs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{}
+	var gaps []float64
+	for i, pair := range pairs {
 		row := Fig7Row{
 			QubitPair:       pair,
 			PathLength:      dev.Topo.Distance(pair[0], pair[1]),
-			XtalkSchedError: metrics.BellStateError(distX),
-			IdealError:      metrics.BellStateError(distIdeal),
+			XtalkSchedError: metrics.BellStateError(results[2*i].Dist),
+			IdealError:      metrics.BellStateError(results[2*i+1].Dist),
 		}
 		res.Rows = append(res.Rows, row)
 		gaps = append(gaps, row.XtalkSchedError-row.IdealError)

@@ -1,0 +1,33 @@
+package pipeline
+
+import (
+	"sync"
+
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+)
+
+// noiseKey identifies one device calibration + detection threshold: the
+// synthesized calibration is fully determined by (system, seed, day).
+type noiseKey struct {
+	name      device.SystemName
+	seed      int64
+	day       int
+	threshold float64
+}
+
+var noiseCache sync.Map // noiseKey -> *core.NoiseData
+
+// GroundTruthNoise extracts the device's ground-truth NoiseData at the
+// given high-crosstalk threshold, memoized per (system, seed, day,
+// threshold): a batch compiling many circuits against the same calibration
+// pays for the extraction once. The returned NoiseData is shared across
+// callers and must be treated as read-only.
+func GroundTruthNoise(dev *device.Device, threshold float64) *core.NoiseData {
+	k := noiseKey{name: dev.Name, seed: dev.Seed, day: dev.Day, threshold: threshold}
+	if v, ok := noiseCache.Load(k); ok {
+		return v.(*core.NoiseData)
+	}
+	v, _ := noiseCache.LoadOrStore(k, core.NoiseDataFromDevice(dev, threshold))
+	return v.(*core.NoiseData)
+}

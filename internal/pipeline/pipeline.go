@@ -1,0 +1,375 @@
+// Package pipeline is the staged compilation pipeline of the paper's
+// toolchain (Figure 2): Parse → Route → Schedule → InsertBarriers → Execute
+// → Mitigate. It is the one implementation of the end-to-end flow that the
+// public facade, the CLI tools and the experiment drivers all share.
+//
+// A Pipeline is built once per device and noise-data input and then compiles
+// any number of circuits through its stage stack, either one at a time (Run)
+// or as a concurrent batch over a bounded worker pool (Batch). Every stage
+// is context-aware: canceling the context aborts in-flight SMT optimization
+// within one conflict-check interval and fails the remaining batch items
+// fast, each carrying the cancellation error (fail-soft: one item's failure
+// never aborts its siblings).
+//
+// The stage stack is pluggable — Config.Stages replaces the default stack
+// with any []Stage — and instrumented: per-stage wall-clock totals, counts
+// and error counts accumulate in the pipeline and per-item timings ride on
+// each Result.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xtalk/internal/characterize"
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+	"xtalk/internal/metrics"
+	"xtalk/internal/noise"
+	"xtalk/internal/rb"
+)
+
+// Request is one compilation work item.
+type Request struct {
+	// Tag is an opaque caller label echoed on the Result.
+	Tag string
+	// Circuit is the program to compile. When nil, Source is parsed instead.
+	Circuit *circuit.Circuit
+	// Source is textual program input: OpenQASM 2.0 when it contains an
+	// OPENQASM declaration, the library's gate-list format otherwise.
+	Source string
+	// Scheduler overrides the pipeline's scheduler for this item (omega
+	// sweeps and scheduler comparisons batch one request per scheduler).
+	Scheduler core.Scheduler
+	// Shots overrides the pipeline's execution shot count when positive.
+	Shots int
+	// Seed seeds this item's noisy execution.
+	Seed int64
+	// DisableCrosstalk executes on the crosstalk-free version of the device
+	// (the paper's "crosstalk-free hardware region" baselines).
+	DisableCrosstalk bool
+}
+
+// StageTiming is one stage's wall-clock cost for one request.
+type StageTiming struct {
+	Stage   string
+	Elapsed time.Duration
+}
+
+// Result is the outcome of compiling (and optionally executing) one Request.
+// Fields are populated progressively as stages run; on failure Err records
+// the failing stage and the fields of completed stages remain valid.
+type Result struct {
+	Tag string
+	Req Request
+	// Circuit is the current IR: parsed, then rewritten in place by the
+	// routing/decomposition stages.
+	Circuit *circuit.Circuit
+	// Schedule is the timed schedule produced by the Schedule stage.
+	Schedule *core.Schedule
+	// Barriered is the executable circuit with the schedule's serialization
+	// decisions enforced by barriers.
+	Barriered *circuit.Circuit
+	// Raw is the noisy-execution histogram (execution pipelines only).
+	Raw *noise.Result
+	// Dist is the outcome distribution: readout-mitigated when the pipeline
+	// mitigates, empirical otherwise (execution pipelines only).
+	Dist metrics.Distribution
+	// Timings records per-stage wall-clock durations for this item.
+	Timings []StageTiming
+	// Err is the first stage error (nil on success). Batch never aborts on
+	// a failed item; check Err per item.
+	Err error
+}
+
+// StageElapsed returns this item's wall-clock cost in the named stage
+// (0 when the stage did not run).
+func (r *Result) StageElapsed(stage string) time.Duration {
+	for _, t := range r.Timings {
+		if t.Stage == stage {
+			return t.Elapsed
+		}
+	}
+	return 0
+}
+
+// Config shapes a Pipeline.
+type Config struct {
+	// Noise is the scheduler's characterization input. When nil the
+	// device's ground truth is extracted at Threshold (memoized per
+	// calibration — see GroundTruthNoise).
+	Noise *core.NoiseData
+	// Threshold is the high-crosstalk detection ratio used when Noise is
+	// nil (default 3, the paper's setting).
+	Threshold float64
+	// Omega is the crosstalk weight factor for the default scheduler. The
+	// zero value means the paper default 0.5; pass a negative value for
+	// the true omega=0 (decoherence-only) ablation. Ignored when Scheduler
+	// is set.
+	Omega float64
+	// Budget is the per-schedule anytime SMT budget for the default
+	// scheduler (0 = run to optimality). Ignored when Scheduler is set.
+	Budget time.Duration
+	// Scheduler overrides the default XtalkSched.
+	Scheduler core.Scheduler
+	// Route lowers circuits onto the device topology (meet-in-the-middle
+	// SWAP insertion) before scheduling.
+	Route bool
+	// DecomposeSwaps rewrites SWAP gates into three CNOTs before
+	// scheduling, as the hardware requires.
+	DecomposeSwaps bool
+	// Shots enables the execution stage with this default shot count
+	// (0 = compile-only pipeline).
+	Shots int
+	// Mitigate applies readout-error mitigation to executed results (the
+	// paper applies it to all reported numbers).
+	Mitigate bool
+	// Workers bounds Batch concurrency (default GOMAXPROCS).
+	Workers int
+	// Stages replaces the default stage stack entirely. The stack is run
+	// in order for every request; all other stage-selection fields above
+	// are ignored.
+	Stages []Stage
+}
+
+// Pipeline compiles circuits for one device through a fixed stage stack.
+// All methods are safe for concurrent use once the pipeline is built, except
+// Characterize (which swaps the noise input and must not race Run/Batch).
+type Pipeline struct {
+	Dev   *device.Device
+	Noise *core.NoiseData
+
+	cfg       Config
+	sched     core.Scheduler
+	autoSched bool // sched was derived from cfg, rebuild on Characterize
+	stages    []Stage
+
+	mu    sync.Mutex
+	stats map[string]*StageStats
+	order []string // stage names in first-seen order, for stable reports
+}
+
+// New builds a pipeline over dev. See Config for the knobs; the zero Config
+// is a compile-only ground-truth-noise XtalkSched pipeline.
+func New(dev *device.Device, cfg Config) *Pipeline {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	nd := cfg.Noise
+	if nd == nil {
+		nd = GroundTruthNoise(dev, cfg.Threshold)
+	}
+	p := &Pipeline{Dev: dev, Noise: nd, cfg: cfg, stats: map[string]*StageStats{}}
+	p.sched = cfg.Scheduler
+	if p.sched == nil {
+		p.sched = p.buildScheduler()
+		p.autoSched = true
+	}
+	p.stages = cfg.Stages
+	if p.stages == nil {
+		p.stages = defaultStages(cfg)
+	}
+	return p
+}
+
+func (p *Pipeline) buildScheduler() core.Scheduler {
+	xc := core.DefaultXtalkConfig()
+	if p.cfg.Omega > 0 {
+		xc.Omega = p.cfg.Omega
+	} else if p.cfg.Omega < 0 {
+		xc.Omega = 0
+	}
+	xc.Timeout = p.cfg.Budget
+	return core.NewXtalkSched(p.Noise, xc)
+}
+
+func defaultStages(cfg Config) []Stage {
+	st := []Stage{ParseStage{}}
+	if cfg.Route {
+		st = append(st, RouteStage{})
+	}
+	if cfg.DecomposeSwaps {
+		st = append(st, DecomposeStage{})
+	}
+	st = append(st, ScheduleStage{}, BarrierStage{})
+	if cfg.Shots > 0 {
+		st = append(st, ExecuteStage{})
+		if cfg.Mitigate {
+			st = append(st, MitigateStage{})
+		}
+	}
+	return st
+}
+
+// Scheduler returns the scheduler a request will use: its own override or
+// the pipeline default.
+func (p *Pipeline) Scheduler(req *Request) core.Scheduler {
+	if req.Scheduler != nil {
+		return req.Scheduler
+	}
+	return p.sched
+}
+
+// Characterize runs an SRB crosstalk-characterization campaign on the
+// pipeline's device and installs the measured noise data as the scheduler
+// input, replacing ground truth: the default scheduler is rebuilt over the
+// measured data, and an explicitly configured *core.XtalkSched is rebuilt
+// with its own config. Other explicit scheduler types keep their
+// construction-time noise (read p.Noise and reconfigure them yourself).
+// highPairs seeds the HighCrosstalkOnly policy (from a previous full
+// campaign). Not safe to call concurrently with Run/Batch.
+func (p *Pipeline) Characterize(ctx context.Context, policy characterize.Policy, highPairs []device.EdgePair, cfg rb.Config) (*characterize.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := characterize.Run(p.Dev, policy, highPairs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Noise = rep.NoiseData(p.Dev, p.cfg.Threshold)
+	if p.autoSched {
+		p.sched = p.buildScheduler()
+	} else if xs, ok := p.sched.(*core.XtalkSched); ok {
+		p.sched = core.NewXtalkSched(p.Noise, xs.Config)
+	}
+	return rep, nil
+}
+
+// Run compiles one request through the stage stack. The returned Result
+// always carries the request tag; Err records the first failing stage.
+func (p *Pipeline) Run(ctx context.Context, req Request) *Result {
+	res := &Result{Tag: req.Tag, Req: req, Circuit: req.Circuit}
+	for _, st := range p.stages {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			break
+		}
+		t0 := time.Now()
+		err := st.Run(ctx, p, res)
+		d := time.Since(t0)
+		res.Timings = append(res.Timings, StageTiming{Stage: st.Name(), Elapsed: d})
+		p.record(st.Name(), d, err)
+		if err != nil {
+			res.Err = fmt.Errorf("stage %s: %w", st.Name(), err)
+			break
+		}
+	}
+	return res
+}
+
+// Batch compiles every request concurrently over a bounded worker pool
+// (Config.Workers, default GOMAXPROCS) and returns results in request
+// order. Item failures are fail-soft: each Result carries its own Err and
+// never aborts siblings. Canceling ctx aborts in-flight SMT searches within
+// one conflict-check interval and marks all unstarted items with the
+// context's error, so Batch returns promptly with partial results.
+func (p *Pipeline) Batch(ctx context.Context, reqs []Request) []*Result {
+	out := make([]*Result, len(reqs))
+	workers := p.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(reqs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Canceled: drain the remaining queue without compiling
+					// so callers get one tagged result per request.
+					out[i] = &Result{Tag: reqs[i].Tag, Req: reqs[i], Err: err}
+					continue
+				}
+				out[i] = p.Run(ctx, reqs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// StageStats aggregates one stage's cost across every request a pipeline
+// has processed.
+type StageStats struct {
+	Runs   int
+	Errors int
+	Total  time.Duration
+	Max    time.Duration
+}
+
+func (p *Pipeline) record(stage string, d time.Duration, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats[stage]
+	if s == nil {
+		s = &StageStats{}
+		p.stats[stage] = s
+		p.order = append(p.order, stage)
+	}
+	s.Runs++
+	s.Total += d
+	if d > s.Max {
+		s.Max = d
+	}
+	if err != nil {
+		s.Errors++
+	}
+}
+
+// Stats returns a snapshot of the per-stage aggregates.
+func (p *Pipeline) Stats() map[string]StageStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]StageStats, len(p.stats))
+	for k, v := range p.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// StatsString renders the per-stage aggregates as an aligned table, stages
+// in execution order.
+func (p *Pipeline) StatsString() string {
+	p.mu.Lock()
+	names := append([]string(nil), p.order...)
+	stats := make([]StageStats, len(names))
+	for i, n := range names {
+		stats[i] = *p.stats[n]
+	}
+	p.mu.Unlock()
+	if len(names) == 0 {
+		return "pipeline: no stages run\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("stage           runs  errs  total        max          mean\n")
+	for i, n := range names {
+		s := stats[i]
+		mean := time.Duration(0)
+		if s.Runs > 0 {
+			mean = s.Total / time.Duration(s.Runs)
+		}
+		fmt.Fprintf(&sb, "%-14s  %4d  %4d  %-11v  %-11v  %v\n",
+			n, s.Runs, s.Errors, s.Total.Round(time.Microsecond),
+			s.Max.Round(time.Microsecond), mean.Round(time.Microsecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+	"xtalk/internal/metrics"
+	"xtalk/internal/noise"
+	"xtalk/internal/qasm"
+	"xtalk/internal/transpile"
+)
+
+// Stage is one step of a compilation pipeline. Stages read and extend the
+// Result in place; returning an error fails the item (fail-soft within a
+// batch). Custom stages may be mixed freely with the built-in ones via
+// Config.Stages.
+type Stage interface {
+	Name() string
+	Run(ctx context.Context, p *Pipeline, res *Result) error
+}
+
+// ParseStage materializes the circuit IR: it passes a pre-built
+// Request.Circuit through untouched, otherwise parses Request.Source as
+// OpenQASM 2.0 (when it contains an OPENQASM declaration) or the library's
+// textual gate-list format.
+type ParseStage struct{}
+
+// Name implements Stage.
+func (ParseStage) Name() string { return "parse" }
+
+// Run implements Stage.
+func (ParseStage) Run(_ context.Context, p *Pipeline, res *Result) error {
+	if res.Circuit != nil {
+		return checkFits(res.Circuit, p.Dev)
+	}
+	if res.Req.Source == "" {
+		return errors.New("request has neither Circuit nor Source")
+	}
+	var c *circuit.Circuit
+	var err error
+	if strings.Contains(res.Req.Source, "OPENQASM") {
+		c, err = qasm.Parse(res.Req.Source)
+	} else {
+		c, err = circuit.ParseText(res.Req.Source, p.Dev.Topo.NQubits)
+	}
+	if err != nil {
+		return err
+	}
+	res.Circuit = c
+	return checkFits(c, p.Dev)
+}
+
+// checkFits guards every downstream stage (schedulers and the executor
+// index per-qubit calibration arrays) against circuits wider than the
+// device.
+func checkFits(c *circuit.Circuit, dev *device.Device) error {
+	if c.NQubits > dev.Topo.NQubits {
+		return fmt.Errorf("circuit needs %d qubits, device has %d", c.NQubits, dev.Topo.NQubits)
+	}
+	return nil
+}
+
+// RouteStage lowers the circuit onto the device topology, inserting
+// meet-in-the-middle SWAP chains for non-adjacent CNOTs.
+type RouteStage struct{}
+
+// Name implements Stage.
+func (RouteStage) Name() string { return "route" }
+
+// Run implements Stage.
+func (RouteStage) Run(_ context.Context, p *Pipeline, res *Result) error {
+	routed, _, err := transpile.Route(res.Circuit, p.Dev.Topo)
+	if err != nil {
+		return err
+	}
+	res.Circuit = routed
+	return nil
+}
+
+// DecomposeStage rewrites SWAP gates into three back-to-back CNOTs, the
+// hardware-compliant form the schedulers expect.
+type DecomposeStage struct{}
+
+// Name implements Stage.
+func (DecomposeStage) Name() string { return "decompose" }
+
+// Run implements Stage.
+func (DecomposeStage) Run(_ context.Context, _ *Pipeline, res *Result) error {
+	res.Circuit = res.Circuit.DecomposeSwaps()
+	return nil
+}
+
+// ScheduleStage assigns start times with the request's scheduler (or the
+// pipeline default), threading cancellation into the SMT search, and
+// validates the result.
+type ScheduleStage struct{}
+
+// Name implements Stage.
+func (ScheduleStage) Name() string { return "schedule" }
+
+// Run implements Stage.
+func (ScheduleStage) Run(ctx context.Context, p *Pipeline, res *Result) error {
+	s, err := core.ScheduleWithContext(ctx, p.Scheduler(&res.Req), res.Circuit, p.Dev)
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("invalid schedule: %w", err)
+	}
+	res.Schedule = s
+	return nil
+}
+
+// BarrierStage converts the schedule into an executable circuit whose
+// barriers enforce the serialization decisions (Section 6's post-pass).
+type BarrierStage struct{}
+
+// Name implements Stage.
+func (BarrierStage) Name() string { return "barriers" }
+
+// Run implements Stage.
+func (BarrierStage) Run(_ context.Context, _ *Pipeline, res *Result) error {
+	res.Barriered = core.InsertBarriers(res.Schedule)
+	return nil
+}
+
+// ExecuteStage runs the schedule on the device's ground-truth noise model
+// and records the raw histogram plus its empirical distribution.
+type ExecuteStage struct{}
+
+// Name implements Stage.
+func (ExecuteStage) Name() string { return "execute" }
+
+// Run implements Stage.
+func (ExecuteStage) Run(ctx context.Context, p *Pipeline, res *Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	shots := res.Req.Shots
+	if shots <= 0 {
+		shots = p.cfg.Shots
+	}
+	raw, err := noise.NewExecutor(p.Dev).Run(res.Schedule, noise.Options{
+		Shots:            shots,
+		Seed:             res.Req.Seed,
+		DisableCrosstalk: res.Req.DisableCrosstalk,
+	})
+	if err != nil {
+		return err
+	}
+	res.Raw = raw
+	res.Dist = metrics.Distribution(raw.Probabilities())
+	return nil
+}
+
+// MitigateStage replaces the empirical distribution with its readout-error
+// mitigated counterpart (the paper applies readout mitigation to every
+// reported result).
+type MitigateStage struct{}
+
+// Name implements Stage.
+func (MitigateStage) Name() string { return "mitigate" }
+
+// Run implements Stage.
+func (MitigateStage) Run(_ context.Context, p *Pipeline, res *Result) error {
+	dist, err := Mitigated(p.Dev, res.Raw)
+	if err != nil {
+		return err
+	}
+	res.Dist = dist
+	return nil
+}
+
+// Mitigated applies readout-error mitigation to a raw execution result
+// using the device's per-qubit readout error rates. This is the one shared
+// implementation of the flow previously copy-pasted across the facade and
+// the experiment harness.
+func Mitigated(dev *device.Device, raw *noise.Result) (metrics.Distribution, error) {
+	dist := metrics.Distribution(raw.Probabilities())
+	flips := make([]float64, len(raw.MeasuredQubits))
+	for i, q := range raw.MeasuredQubits {
+		flips[i] = dev.Cal.Qubits[q].ReadoutError
+	}
+	return metrics.MitigateReadout(dist, flips)
+}

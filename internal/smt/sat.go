@@ -70,6 +70,10 @@ type satSolver struct {
 	// (checked periodically), making optimization anytime.
 	deadline      time.Time
 	deadlineCheck int
+	// cancel, when non-nil, aborts solve with the caller's cancellation
+	// error as soon as the channel closes (checked at the same interval as
+	// the deadline).
+	cancel <-chan struct{}
 }
 
 func newSatSolver(theory theoryHooks) *satSolver {
@@ -392,6 +396,16 @@ func (s *satSolver) solve(maxConflicts int64) (bool, error) {
 	restartNum := int64(1)
 	budget := luby(restartNum) * 100
 	for {
+		if s.cancel != nil {
+			// A non-blocking channel poll is cheap enough to run every
+			// iteration; latency to abort is then bounded by one
+			// propagate + theory-check round.
+			select {
+			case <-s.cancel:
+				return false, ErrCanceled
+			default:
+			}
+		}
 		if !s.deadline.IsZero() {
 			s.deadlineCheck++
 			if s.deadlineCheck%64 == 0 && time.Now().After(s.deadline) {

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -476,7 +477,16 @@ type MinimizeOpts struct {
 	// Deadline makes Minimize anytime: when the wall clock budget expires
 	// the best incumbent found so far is returned (0 = no deadline).
 	Deadline time.Duration
+	// Cancel aborts the optimization when the channel closes (typically a
+	// context.Context's Done channel). The solver notices within one
+	// conflict-check interval. When an incumbent exists it is returned as
+	// the anytime answer; otherwise Minimize fails with ErrCanceled.
+	Cancel <-chan struct{}
 }
+
+// ErrCanceled is returned by Minimize when its Cancel channel closes before
+// any incumbent model has been found.
+var ErrCanceled = errors.New("smt: optimization canceled")
 
 // Minimize finds a model minimizing obj (within opts.Eps) by branch and
 // bound: every time the SAT+theory search finds a feasible assignment, the
@@ -506,6 +516,7 @@ func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, erro
 	} else {
 		s.sat.deadline = time.Time{}
 	}
+	s.sat.cancel = opt.Cancel
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		sat, err := s.sat.solve(opt.MaxConflicts)
 		if err != nil {

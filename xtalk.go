@@ -12,6 +12,13 @@
 //	sched, _ := xtalk.NewXtalkScheduler(nd, 0.5).Schedule(c, dev)
 //	res, _ := xtalk.Execute(dev, sched, 8192, 1)             // noisy execution
 //
+// The staged pipeline (internal/pipeline) is the production path: it runs
+// the same flow as a pluggable stage stack with concurrent batch
+// compilation, context cancellation and per-stage statistics:
+//
+//	p := xtalk.NewPipeline(dev, xtalk.PipelineConfig{Shots: 8192, Mitigate: true})
+//	results := p.Batch(ctx, []xtalk.CompileRequest{{Circuit: c1}, {Circuit: c2}})
+//
 // Deeper control lives in the internal packages; this facade re-exports the
 // pieces a downstream user needs for the end-to-end pipeline.
 package xtalk
@@ -23,6 +30,7 @@ import (
 	"xtalk/internal/device"
 	"xtalk/internal/metrics"
 	"xtalk/internal/noise"
+	"xtalk/internal/pipeline"
 	"xtalk/internal/qasm"
 	"xtalk/internal/rb"
 	"xtalk/internal/transpile"
@@ -64,6 +72,17 @@ type (
 	CharacterizationPolicy = characterize.Policy
 	// RBConfig shapes randomized-benchmarking experiments.
 	RBConfig = rb.Config
+	// Pipeline is the staged compilation pipeline (Parse → Route → Schedule
+	// → InsertBarriers → Execute → Mitigate) with concurrent batch support.
+	Pipeline = pipeline.Pipeline
+	// PipelineConfig shapes a Pipeline.
+	PipelineConfig = pipeline.Config
+	// PipelineStage is one pluggable step of a Pipeline's stage stack.
+	PipelineStage = pipeline.Stage
+	// CompileRequest is one work item submitted to a Pipeline.
+	CompileRequest = pipeline.Request
+	// CompileResult is a Pipeline's per-item outcome.
+	CompileResult = pipeline.Result
 )
 
 // The three modeled IBMQ systems.
@@ -133,10 +152,17 @@ func NewXtalkSchedulerWithConfig(nd *NoiseData, cfg XtalkConfig) Scheduler {
 	return core.NewXtalkSched(nd, cfg)
 }
 
+// NewPipeline builds a staged compilation pipeline over the device. See
+// PipelineConfig for the knobs; the zero config is a compile-only
+// ground-truth-noise XtalkSched pipeline.
+func NewPipeline(dev *Device, cfg PipelineConfig) *Pipeline { return pipeline.New(dev, cfg) }
+
 // GroundTruthNoiseData extracts perfect characterization data from the
-// device (useful for testing; real flows use Characterize).
+// device (useful for testing; real flows use Characterize). Results are
+// memoized per (system, seed, day, threshold) and shared: treat them as
+// read-only.
 func GroundTruthNoiseData(dev *Device, threshold float64) *NoiseData {
-	return core.NoiseDataFromDevice(dev, threshold)
+	return pipeline.GroundTruthNoise(dev, threshold)
 }
 
 // DefaultRBConfig is a fast RB experiment shape (scaled-down from the
@@ -182,12 +208,7 @@ func ExecuteMitigated(dev *Device, s *Schedule, shots int, seed int64) (Distribu
 	if err != nil {
 		return nil, err
 	}
-	raw := metrics.Distribution(res.Probabilities())
-	flips := make([]float64, len(res.MeasuredQubits))
-	for i, q := range res.MeasuredQubits {
-		flips[i] = dev.Cal.Qubits[q].ReadoutError
-	}
-	return metrics.MitigateReadout(raw, flips)
+	return pipeline.Mitigated(dev, res)
 }
 
 // IdealDistribution computes the noise-free outcome distribution of a

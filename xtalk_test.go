@@ -9,6 +9,9 @@ import (
 )
 
 func TestEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow reproduction; run without -short")
+	}
 	dev, err := NewDevice(Poughkeepsie, 1)
 	if err != nil {
 		t.Fatal(err)
