@@ -8,6 +8,7 @@ package xtalk
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -276,6 +277,43 @@ func BenchmarkAblationHeuristicVsExact(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSchedulerDeviceSizes tracks scheduler cost as devices grow: the
+// same QAOA-chain and supremacy workloads compiled on 20-qubit (preset),
+// 27-qubit (Falcon heavy-hex), 40-qubit (grid) and 65-qubit (Hummingbird
+// heavy-hex) devices, so the perf trajectory captures scaling beyond the
+// paper's fixed 20 qubits.
+func BenchmarkSchedulerDeviceSizes(b *testing.B) {
+	for _, spec := range []string{"poughkeepsie", "heavyhex:27", "grid:5x8", "heavyhex:65"} {
+		dev := device.MustNewFromSpec(spec, 1)
+		nd := core.NoiseDataFromDevice(dev, 3)
+		qaoa, _, err := workloads.QAOAChainCircuit(dev.Topo, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sup, err := workloads.SupremacyCircuit(dev.Topo, dev.Topo.NQubits, 3*dev.Topo.NQubits, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultXtalkConfig()
+		cfg.CompactErrorEncoding = true
+		cfg.Timeout = 2 * time.Second
+		b.Run(fmt.Sprintf("%s/%dq/qaoa", spec, dev.Topo.NQubits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewXtalkSched(nd, cfg).Schedule(qaoa, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/%dq/supremacy", spec, dev.Topo.NQubits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewXtalkSched(nd, cfg).Schedule(sup, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkRBExperiment measures one simultaneous-RB measurement, the unit

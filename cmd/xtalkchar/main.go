@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	xtalkchar -system poughkeepsie -policy one-hop+binpack
+//	xtalkchar -device poughkeepsie -policy one-hop+binpack
+//	xtalkchar -device grid:4x5 -policy one-hop
 package main
 
 import (
@@ -24,21 +25,26 @@ import (
 
 func main() {
 	var (
-		system    = flag.String("system", "poughkeepsie", "poughkeepsie|johannesburg|boeblingen")
+		devSpec   = flag.String("device", "", "device spec: "+device.SpecGrammar)
+		system    = flag.String("system", "poughkeepsie", "deprecated alias for -device")
 		policy    = flag.String("policy", "one-hop+binpack", "all-pairs|one-hop|one-hop+binpack|high-crosstalk-only")
 		seed      = flag.Int64("seed", 1, "device + experiment seed")
 		day       = flag.Int("day", 0, "calibration day (drift model)")
 		threshold = flag.Float64("threshold", 3, "high-crosstalk detection ratio")
 	)
 	flag.Parse()
-	if err := run(*system, *policy, *seed, *day, *threshold); err != nil {
+	spec := *devSpec
+	if spec == "" {
+		spec = *system
+	}
+	if err := run(spec, *policy, *seed, *day, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkchar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(system, policyName string, seed int64, day int, threshold float64) error {
-	dev, err := device.NewForDay(device.SystemName(system), seed, day)
+func run(spec, policyName string, seed int64, day int, threshold float64) error {
+	dev, err := device.NewFromSpecForDay(spec, seed, day)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 // Usage:
 //
 //	xtalkexp -exp fig5 -system poughkeepsie -shots 2048
+//	xtalkexp -exp devicescale -devices linear:12,grid:5x8,heavyhex:65
 //	xtalkexp -exp all -workers 4
 package main
 
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"xtalk/internal/device"
@@ -28,8 +30,9 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|scalability|all")
+		exp       = flag.String("exp", "all", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|scalability|devicescale|all")
 		system    = flag.String("system", "", "system for fig3/fig5 (default: all three)")
+		devices   = flag.String("devices", "", "comma-separated device specs for devicescale (default: the built-in sweep; specs: "+device.SpecGrammar+")")
 		shots     = flag.Int("shots", 2048, "trials per circuit execution")
 		seed      = flag.Int64("seed", 1, "master seed")
 		omega     = flag.Float64("omega", 0.5, "crosstalk weight factor for fig5")
@@ -44,15 +47,19 @@ func main() {
 	if *system != "" {
 		systems = []device.SystemName{device.SystemName(*system)}
 	}
+	var specs []string
+	if *devices != "" {
+		specs = strings.Split(*devices, ",")
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *exp, systems, *omega, opts); err != nil {
+	if err := run(ctx, *exp, systems, specs, *omega, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, exp string, systems []device.SystemName, omega float64, opts experiments.Options) error {
+func run(ctx context.Context, exp string, systems []device.SystemName, specs []string, omega float64, opts experiments.Options) error {
 	rbCfg := rb.DefaultConfig()
 	rbCfg.Seed = opts.Seed
 	all := exp == "all"
@@ -125,8 +132,15 @@ func run(ctx context.Context, exp string, systems []device.SystemName, omega flo
 		}
 		fmt.Println(res)
 	}
+	if all || exp == "devicescale" {
+		res, err := experiments.DeviceScale(ctx, opts, specs...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
 	switch exp {
-	case "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "scalability":
+	case "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "scalability", "devicescale":
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q", exp)

@@ -1,11 +1,14 @@
 // Command xtalksched schedules a circuit (textual gate-list or OpenQASM 2.0)
 // onto a simulated device with SerialSched, ParSched and XtalkSched through
 // the staged compilation pipeline, prints the three timelines, and reports
-// the modeled error costs.
+// the modeled error costs. The device is any spec the device package
+// accepts: a preset or a generated topology.
 //
 // Usage:
 //
-//	xtalksched -in circuit.txt -system poughkeepsie -omega 0.5
+//	xtalksched -in circuit.txt -device poughkeepsie -omega 0.5
+//	xtalksched -device grid:5x8 -workload qaoa          # built-in workload
+//	xtalksched -device heavyhex:27 -workload supremacy:80
 //
 // Input format (one gate per line):
 //
@@ -21,41 +24,107 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"xtalk/internal/circuit"
 	"xtalk/internal/core"
 	"xtalk/internal/device"
 	"xtalk/internal/pipeline"
+	"xtalk/internal/workloads"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input circuit file (default: stdin)")
-		system = flag.String("system", "poughkeepsie", "poughkeepsie|johannesburg|boeblingen")
-		seed   = flag.Int64("seed", 1, "device seed")
-		omega  = flag.Float64("omega", 0.5, "crosstalk weight factor")
-		budget = flag.Duration("budget", 0, "anytime SMT budget per schedule (0 = run to optimality)")
-		stats  = flag.Bool("stats", false, "print per-stage pipeline statistics")
+		in       = flag.String("in", "", "input circuit file (default: stdin unless -workload is set)")
+		devSpec  = flag.String("device", "", "device spec: "+device.SpecGrammar)
+		system   = flag.String("system", "poughkeepsie", "deprecated alias for -device")
+		seed     = flag.Int64("seed", 1, "device seed")
+		omega    = flag.Float64("omega", 0.5, "crosstalk weight factor")
+		budget   = flag.Duration("budget", 0, "anytime SMT budget per schedule (0 = run to optimality)")
+		stats    = flag.Bool("stats", false, "print per-stage pipeline statistics")
+		workload = flag.String("workload", "", "generate a built-in circuit instead of reading input: qaoa[:K]|supremacy[:GATES]|swap[:A,B]")
 	)
 	flag.Parse()
-	if err := run(*in, *system, *seed, *omega, *budget, *stats); err != nil {
+	spec := *devSpec
+	if spec == "" {
+		spec = *system
+	}
+	if err := run(*in, spec, *workload, *seed, *omega, *budget, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalksched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, system string, seed int64, omega float64, budget time.Duration, stats bool) error {
-	var src []byte
-	var err error
-	if in == "" {
-		src, err = io.ReadAll(os.Stdin)
-	} else {
-		src, err = os.ReadFile(in)
+// buildWorkload generates a built-in benchmark circuit sized to the device.
+func buildWorkload(dev *device.Device, workload string, seed int64) (*circuit.Circuit, error) {
+	kind, arg, _ := strings.Cut(workload, ":")
+	topo := dev.Topo
+	switch kind {
+	case "qaoa":
+		k := 4
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("bad qaoa chain length %q", arg)
+			}
+			k = v
+		}
+		c, qubits, err := workloads.QAOAChainCircuit(topo, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("QAOA on %s, chain %v\n\n", topo.Name, qubits)
+		return c, nil
+	case "supremacy":
+		gates := 4 * topo.NQubits
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("bad supremacy gate count %q", arg)
+			}
+			gates = v
+		}
+		fmt.Printf("supremacy-style random circuit on %s, %d gates\n\n", topo.Name, gates)
+		return workloads.SupremacyCircuit(topo, topo.NQubits, gates, seed)
+	case "swap":
+		a, b := -1, -1
+		if arg != "" {
+			as, bs, ok := strings.Cut(arg, ",")
+			if !ok {
+				return nil, fmt.Errorf("swap wants A,B qubits, got %q", arg)
+			}
+			var err error
+			if a, err = strconv.Atoi(as); err != nil {
+				return nil, fmt.Errorf("bad swap qubit %q", as)
+			}
+			if b, err = strconv.Atoi(bs); err != nil {
+				return nil, fmt.Errorf("bad swap qubit %q", bs)
+			}
+			if a < 0 || b < 0 || a >= topo.NQubits || b >= topo.NQubits || a == b {
+				return nil, fmt.Errorf("swap qubits %d,%d out of range for %d-qubit device", a, b, topo.NQubits)
+			}
+		} else {
+			// Default: the most distant qubit pair on the device.
+			best := -1
+			for p := 0; p < topo.NQubits; p++ {
+				for q := p + 1; q < topo.NQubits; q++ {
+					if d := topo.Distance(p, q); d > best {
+						best, a, b = d, p, q
+					}
+				}
+			}
+		}
+		fmt.Printf("SWAP benchmark on %s, qubits %d -> %d\n\n", topo.Name, a, b)
+		return workloads.SwapCircuit(topo, a, b)
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want qaoa|supremacy|swap)", workload)
 	}
-	if err != nil {
-		return err
-	}
-	dev, err := device.New(device.SystemName(system), seed)
+}
+
+func run(in, spec, workload string, seed int64, omega float64, budget time.Duration, stats bool) error {
+	dev, err := device.NewFromSpec(spec, seed)
 	if err != nil {
 		return err
 	}
@@ -68,11 +137,34 @@ func run(in, system string, seed int64, omega float64, budget time.Duration, sta
 		Scheduler:      core.NewXtalkSched(nd, xc),
 		DecomposeSwaps: true,
 	})
-	results := p.Batch(context.Background(), []pipeline.Request{
-		{Tag: "serial", Source: string(src), Scheduler: core.SerialSched{}},
-		{Tag: "par", Source: string(src), Scheduler: core.ParSched{}},
-		{Tag: "xtalk", Source: string(src)},
-	})
+	var reqs []pipeline.Request
+	if workload != "" {
+		c, err := buildWorkload(dev, workload, seed)
+		if err != nil {
+			return err
+		}
+		reqs = []pipeline.Request{
+			{Tag: "serial", Circuit: c, Scheduler: core.SerialSched{}},
+			{Tag: "par", Circuit: c, Scheduler: core.ParSched{}},
+			{Tag: "xtalk", Circuit: c},
+		}
+	} else {
+		var src []byte
+		if in == "" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(in)
+		}
+		if err != nil {
+			return err
+		}
+		reqs = []pipeline.Request{
+			{Tag: "serial", Source: string(src), Scheduler: core.SerialSched{}},
+			{Tag: "par", Source: string(src), Scheduler: core.ParSched{}},
+			{Tag: "xtalk", Source: string(src)},
+		}
+	}
+	results := p.Batch(context.Background(), reqs)
 	for _, r := range results {
 		if r.Err != nil {
 			return fmt.Errorf("%s: %w", r.Tag, r.Err)

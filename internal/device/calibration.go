@@ -118,6 +118,41 @@ func NewForDay(name SystemName, seed int64, day int) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	return synthesize(topo, name, seed, day, groundTruthCrosstalkPairs[name]), nil
+}
+
+// generatedCrosstalkPairs synthesizes a ground-truth crosstalk pair set for
+// a generated topology: a seeded random subset of the 1-hop simultaneous
+// pairs, at roughly the density the paper measured on the 20-qubit presets
+// (~10 strong pairs over 23 couplings). The set depends only on (name,
+// seed), so it stays stable across calibration days like the presets' does.
+func generatedCrosstalkPairs(topo *Topology, name SystemName, seed int64) [][2]Edge {
+	oneHop := topo.PairsAtDistance(1)
+	if len(oneHop) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(hashString(string(name)))<<2 ^ 0x7a197))
+	rng.Shuffle(len(oneHop), func(i, j int) { oneHop[i], oneHop[j] = oneHop[j], oneHop[i] })
+	k := (len(topo.Edges) + 1) / 2
+	if k < 1 {
+		k = 1
+	}
+	if k > len(oneHop) {
+		k = len(oneHop)
+	}
+	out := make([][2]Edge, 0, k)
+	for _, p := range oneHop[:k] {
+		out = append(out, [2]Edge{p.First, p.Second})
+	}
+	return out
+}
+
+// synthesize builds one day's calibration snapshot over an arbitrary
+// topology. All per-qubit and per-edge distributions follow the paper's
+// measured ranges and scale with the topology's qubit count and edge set;
+// xtalkPairs lists the 1-hop gate pairs that exhibit ground-truth crosstalk
+// (the presets' hand-curated sets, or a generated set for spec'd devices).
+func synthesize(topo *Topology, name SystemName, seed int64, day int, xtalkPairs [][2]Edge) *Device {
 	base := rand.New(rand.NewSource(seed ^ int64(hashString(string(name)))))
 	cal := &Calibration{
 		Qubits:      make([]QubitCal, topo.NQubits),
@@ -162,7 +197,7 @@ func NewForDay(name SystemName, seed int64, day int) (*Device, error) {
 		f      float64
 	}
 	var factors []dirFactor
-	for _, pair := range groundTruthCrosstalkPairs[name] {
+	for _, pair := range xtalkPairs {
 		gi, gj := pair[0], pair[1]
 		if gi.SharesQubit(gj) {
 			panic(fmt.Sprintf("device: ground-truth crosstalk pair %v shares a qubit", pair))
@@ -184,7 +219,14 @@ func NewForDay(name SystemName, seed int64, day int) (*Device, error) {
 		}
 		return math.Exp((drift.Float64()*2 - 1) * math.Log(spread))
 	}
-	for e, gc := range cal.Gates {
+	// Iterate topo.Edges (sorted), not the cal.Gates map: map order is
+	// randomized per run, and each driftFactor call consumes the sequential
+	// drift RNG, so ranging over the map would assign different drifts to
+	// different gates on every construction — breaking the guarantee that
+	// equal (name, seed, day) yields identical calibrations, which the
+	// ground-truth noise cache depends on.
+	for _, e := range topo.Edges {
+		gc := cal.Gates[e]
 		gc.Error = clampProb(gc.Error * driftFactor(1.25))
 		cal.Gates[e] = gc
 	}
@@ -198,7 +240,7 @@ func NewForDay(name SystemName, seed int64, day int) (*Device, error) {
 		}
 		cal.Conditional[df.gi][df.gj] = cond
 	}
-	return &Device{Name: name, Topo: topo, Cal: cal, Seed: seed, Day: day}, nil
+	return &Device{Name: name, Topo: topo, Cal: cal, Seed: seed, Day: day}
 }
 
 // GateDuration returns the duration (ns) of the given gate kind on the

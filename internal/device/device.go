@@ -1,11 +1,21 @@
-// Package device models the NISQ hardware targeted by the paper: the
-// coupling topologies of the three 20-qubit IBMQ systems (Poughkeepsie,
-// Johannesburg, Boeblingen), their daily calibration data (gate error rates,
-// gate durations, T1/T2 coherence times, readout error), and a ground-truth
-// crosstalk map. Real hardware is unavailable, so calibration values are
-// synthesized from seeded RNGs with the distributions the paper reports
-// (CNOT error 0.5-6.5% mean 1.8%, readout ~4.8%, T1/T2 10-100us, crosstalk
-// degradation up to 11x on 1-hop pairs, daily drift up to 2-3x).
+// Package device models the NISQ hardware targeted by the paper: coupling
+// topologies, daily calibration data (gate error rates, gate durations,
+// T1/T2 coherence times, readout error), and a ground-truth crosstalk map.
+//
+// Two topology sources exist. The presets are the paper's three 20-qubit
+// IBMQ systems (Poughkeepsie, Johannesburg, Boeblingen). The generators
+// build parameterized families at arbitrary scale — Linear, Ring, Grid,
+// IBM-style HeavyHex (Falcon/Hummingbird/Eagle class) and Random connected
+// graphs — selected uniformly through the Spec string syntax (ParseSpec,
+// NewFromSpec), e.g. "grid:5x8", "heavyhex:27", "poughkeepsie".
+//
+// Real hardware is unavailable, so calibration values are synthesized from
+// seeded RNGs with the distributions the paper reports (CNOT error 0.5-6.5%
+// mean 1.8%, readout ~4.8%, T1/T2 10-100us, crosstalk degradation up to 11x
+// on 1-hop pairs, daily drift up to 2-3x). Synthesis scales with qubit
+// count and edge density, so generated devices of any size get physically
+// plausible calibrations; generated topologies additionally get a seeded
+// ground-truth crosstalk pair set over their 1-hop simultaneous pairs.
 package device
 
 import (

@@ -1,0 +1,184 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file generates parameterized coupling topologies beyond the three
+// IBMQ presets, so schedulers and experiments can run at arbitrary scale:
+// paths, rings, 2D grids, IBM-style heavy-hex lattices (Falcon/Hummingbird/
+// Eagle class) and random connected graphs. Every generator returns a
+// *Topology whose Name is the canonical device spec (see ParseSpec), so a
+// generated device round-trips through the spec syntax.
+
+// LinearTopology returns a path of n qubits: 0-1-2-...-(n-1).
+func LinearTopology(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("device: linear topology needs >= 2 qubits, got %d", n)
+	}
+	edges := make([]Edge, 0, n-1)
+	for q := 0; q+1 < n; q++ {
+		edges = append(edges, NewEdge(q, q+1))
+	}
+	return NewTopology(fmt.Sprintf("linear:%d", n), n, edges), nil
+}
+
+// RingTopology returns a cycle of n qubits: the path 0-...-(n-1) closed by
+// the edge (n-1)-0.
+func RingTopology(n int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("device: ring topology needs >= 3 qubits, got %d", n)
+	}
+	edges := make([]Edge, 0, n)
+	for q := 0; q+1 < n; q++ {
+		edges = append(edges, NewEdge(q, q+1))
+	}
+	edges = append(edges, NewEdge(n-1, 0))
+	return NewTopology(fmt.Sprintf("ring:%d", n), n, edges), nil
+}
+
+// GridTopology returns a rows x cols 2D lattice. Qubit (r, c) has index
+// r*cols + c and couples to its horizontal and vertical neighbours.
+func GridTopology(rows, cols int) (*Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("device: grid topology needs >= 2 qubits, got %dx%d", rows, cols)
+	}
+	var edges []Edge
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, NewEdge(id(r, c), id(r, c+1)))
+			}
+			if r+1 < rows {
+				edges = append(edges, NewEdge(id(r, c), id(r+1, c)))
+			}
+		}
+	}
+	return NewTopology(fmt.Sprintf("grid:%dx%d", rows, cols), rows*cols, edges), nil
+}
+
+// falcon27Pairs is the 27-qubit IBM Falcon coupling map (the heavy-hex
+// distance-3 device family: ibmq_mumbai, ibm_hanoi, ...).
+var falcon27Pairs = [][2]int{
+	{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8}, {6, 7},
+	{7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14}, {12, 13}, {12, 15},
+	{13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21}, {19, 20},
+	{19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+}
+
+// HeavyHexQubits returns the qubit count of the heavy-hex lattice of odd
+// code distance d: 27 (d=3, Falcon), 65 (d=5, Hummingbird), 127 (d=7,
+// Eagle), and (5d^2+2d-5)/2 beyond.
+func HeavyHexQubits(d int) (int, error) {
+	if d < 3 || d%2 == 0 {
+		return 0, fmt.Errorf("device: heavy-hex distance must be odd and >= 3, got %d", d)
+	}
+	if d == 3 {
+		return 27, nil
+	}
+	return (5*d*d + 2*d - 5) / 2, nil
+}
+
+// HeavyHexTopology returns the IBM-style heavy-hex lattice of odd code
+// distance d. d=3 is the exact 27-qubit Falcon coupling map; d >= 5 follows
+// the Hummingbird/Eagle construction — d qubit rows of length 2d+1 (the
+// first and last rows trimmed by one qubit) joined by (d+1)/2 bridge qubits
+// per gap at alternating columns — giving 65 qubits at d=5 and 127 at d=7.
+func HeavyHexTopology(d int) (*Topology, error) {
+	n, err := HeavyHexQubits(d)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("heavyhex:%d", n)
+	if d == 3 {
+		return NewTopology(name, 27, edgesFromPairs(falcon27Pairs)), nil
+	}
+	// Levels alternate qubit rows (even) and bridge rows (odd) on a
+	// (2d+1)-wide column band. Qubit row r occupies all columns, except the
+	// first row is trimmed on the right and the last on the left. Bridge row
+	// r holds (d+1)/2 qubits at columns 0,4,8,... (even r) or 2,6,10,...
+	// (odd r), each coupled to the same column of the rows above and below.
+	width := 2*d + 1
+	levels := 2*d - 1
+	id := make([][]int, levels) // id[level][col] = qubit id, -1 if absent
+	next := 0
+	for lv := 0; lv < levels; lv++ {
+		id[lv] = make([]int, width)
+		for c := 0; c < width; c++ {
+			id[lv][c] = -1
+			if lv%2 == 0 { // qubit row r = lv/2
+				if lv == 0 && c == width-1 {
+					continue
+				}
+				if lv == levels-1 && c == 0 {
+					continue
+				}
+			} else { // bridge row r = (lv-1)/2
+				start := 2 * ((lv / 2) % 2)
+				if c < start || (c-start)%4 != 0 {
+					continue
+				}
+			}
+			id[lv][c] = next
+			next++
+		}
+	}
+	if next != n {
+		panic(fmt.Sprintf("device: heavy-hex d=%d built %d qubits, want %d", d, next, n))
+	}
+	var edges []Edge
+	for lv := 0; lv < levels; lv += 2 {
+		for c := 0; c+1 < width; c++ {
+			if id[lv][c] >= 0 && id[lv][c+1] >= 0 {
+				edges = append(edges, NewEdge(id[lv][c], id[lv][c+1]))
+			}
+		}
+	}
+	for lv := 1; lv < levels; lv += 2 {
+		for c := 0; c < width; c++ {
+			if id[lv][c] >= 0 {
+				edges = append(edges, NewEdge(id[lv][c], id[lv-1][c]), NewEdge(id[lv][c], id[lv+1][c]))
+			}
+		}
+	}
+	return NewTopology(name, n, edges), nil
+}
+
+// RandomTopology returns a random connected graph over n qubits with
+// approximately the given average degree, deterministically from seed: a
+// random spanning tree guarantees connectivity, then extra random edges are
+// added until ceil(n*degree/2) edges exist (or the graph is complete).
+func RandomTopology(n, degree int, seed int64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("device: random topology needs >= 2 qubits, got %d", n)
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("device: random topology needs average degree >= 1, got %d", degree)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[Edge]bool{}
+	var edges []Edge
+	add := func(e Edge) bool {
+		if e.A == e.B || seen[e] {
+			return false
+		}
+		seen[e] = true
+		edges = append(edges, e)
+		return true
+	}
+	// Random spanning tree: attach each new vertex to a uniformly random
+	// earlier one.
+	for v := 1; v < n; v++ {
+		add(NewEdge(v, rng.Intn(v)))
+	}
+	target := (n*degree + 1) / 2
+	if max := n * (n - 1) / 2; target > max {
+		target = max
+	}
+	for len(edges) < target {
+		add(NewEdge(rng.Intn(n), rng.Intn(n)))
+	}
+	return NewTopology(fmt.Sprintf("random:%d,%d,%d", n, degree, seed), n, edges), nil
+}

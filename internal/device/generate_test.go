@@ -1,0 +1,176 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkWellFormed asserts the topology is connected, has the expected qubit
+// and edge counts, and contains no self-loops or duplicate edges (NewTopology
+// dedups, so a mismatch in edge count exposes generator duplicates).
+func checkWellFormed(t *testing.T, topo *Topology, wantQubits, wantEdges int) {
+	t.Helper()
+	if topo.NQubits != wantQubits {
+		t.Fatalf("%s: %d qubits, want %d", topo.Name, topo.NQubits, wantQubits)
+	}
+	if wantEdges >= 0 && len(topo.Edges) != wantEdges {
+		t.Fatalf("%s: %d edges, want %d", topo.Name, len(topo.Edges), wantEdges)
+	}
+	deg := make([]int, topo.NQubits)
+	for _, e := range topo.Edges {
+		if e.A == e.B || e.A < 0 || e.B >= topo.NQubits {
+			t.Fatalf("%s: invalid edge %s", topo.Name, e)
+		}
+		deg[e.A]++
+		deg[e.B]++
+	}
+	for q := 0; q < topo.NQubits; q++ {
+		if topo.Distance(0, q) < 0 {
+			t.Fatalf("%s: qubit %d unreachable from 0", topo.Name, q)
+		}
+		if deg[q] == 0 {
+			t.Fatalf("%s: qubit %d has no couplings", topo.Name, q)
+		}
+	}
+}
+
+func TestLinearTopology(t *testing.T) {
+	for _, n := range []int{2, 5, 20, 64} {
+		topo, err := LinearTopology(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWellFormed(t, topo, n, n-1)
+		if d := topo.Distance(0, n-1); d != n-1 {
+			t.Fatalf("linear:%d: end-to-end distance %d, want %d", n, d, n-1)
+		}
+	}
+	if _, err := LinearTopology(1); err == nil {
+		t.Fatal("linear:1 should be rejected")
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	for _, n := range []int{3, 8, 33} {
+		topo, err := RingTopology(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWellFormed(t, topo, n, n)
+		// Antipodal distance halves relative to the path.
+		if d := topo.Distance(0, n/2); d != n/2 {
+			t.Fatalf("ring:%d: distance(0,%d) = %d, want %d", n, n/2, d, n/2)
+		}
+		for q := 0; q < n; q++ {
+			if len(topo.Neighbors(q)) != 2 {
+				t.Fatalf("ring:%d: qubit %d degree %d, want 2", n, q, len(topo.Neighbors(q)))
+			}
+		}
+	}
+	if _, err := RingTopology(2); err == nil {
+		t.Fatal("ring:2 should be rejected")
+	}
+}
+
+func TestGridTopology(t *testing.T) {
+	for _, tc := range []struct{ rows, cols int }{{1, 5}, {2, 2}, {4, 5}, {5, 8}, {8, 8}} {
+		topo, err := GridTopology(tc.rows, tc.cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEdges := tc.rows*(tc.cols-1) + tc.cols*(tc.rows-1)
+		checkWellFormed(t, topo, tc.rows*tc.cols, wantEdges)
+		// Manhattan distance between opposite corners.
+		if d := topo.Distance(0, tc.rows*tc.cols-1); d != tc.rows-1+tc.cols-1 {
+			t.Fatalf("grid:%dx%d: corner distance %d, want %d", tc.rows, tc.cols, d, tc.rows+tc.cols-2)
+		}
+	}
+	if _, err := GridTopology(1, 1); err == nil {
+		t.Fatal("grid:1x1 should be rejected")
+	}
+}
+
+func TestHeavyHexTopology(t *testing.T) {
+	// The IBM device family sizes: Falcon 27, Hummingbird 65, Eagle 127.
+	for _, tc := range []struct{ d, qubits int }{{3, 27}, {5, 65}, {7, 127}, {9, 209}} {
+		topo, err := HeavyHexTopology(tc.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWellFormed(t, topo, tc.qubits, -1)
+		// Heavy-hex is low-degree by design: no qubit couples to more than 3
+		// neighbours (the paper's motivation for the lattice).
+		for q := 0; q < topo.NQubits; q++ {
+			if len(topo.Neighbors(q)) > 3 {
+				t.Fatalf("heavyhex d=%d: qubit %d degree %d > 3", tc.d, q, len(topo.Neighbors(q)))
+			}
+		}
+	}
+	for _, bad := range []int{1, 2, 4} {
+		if _, err := HeavyHexTopology(bad); err == nil {
+			t.Fatalf("heavy-hex distance %d should be rejected", bad)
+		}
+	}
+}
+
+func TestRandomTopologyConnectedAndDeterministic(t *testing.T) {
+	for _, tc := range []struct{ n, deg int }{{2, 1}, {10, 2}, {24, 3}, {50, 4}} {
+		topo, err := RandomTopology(tc.n, tc.deg, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWellFormed(t, topo, tc.n, -1)
+		if len(topo.Edges) < tc.n-1 {
+			t.Fatalf("random:%d: %d edges below spanning tree", tc.n, len(topo.Edges))
+		}
+		// Average degree approximately hit (exact unless it exceeds complete).
+		want := (tc.n*tc.deg + 1) / 2
+		if max := tc.n * (tc.n - 1) / 2; want > max {
+			want = max
+		}
+		if want < tc.n-1 {
+			want = tc.n - 1
+		}
+		if len(topo.Edges) != want {
+			t.Fatalf("random:%d,%d: %d edges, want %d", tc.n, tc.deg, len(topo.Edges), want)
+		}
+	}
+	a, _ := RandomTopology(24, 3, 7)
+	b, _ := RandomTopology(24, 3, 7)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed produced different random topologies")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed produced different random topologies")
+		}
+	}
+	c, _ := RandomTopology(24, 3, 8)
+	same := len(a.Edges) == len(c.Edges)
+	if same {
+		for i := range a.Edges {
+			if a.Edges[i] != c.Edges[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical random topologies")
+	}
+}
+
+func TestGeneratedTopologyNamesAreCanonicalSpecs(t *testing.T) {
+	for _, spec := range []string{"linear:8", "ring:12", "grid:4x5", "heavyhex:27", "random:24,3,7"} {
+		topo, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.Name != spec {
+			t.Fatalf("ParseSpec(%q).Name = %q, want the canonical spec", spec, topo.Name)
+		}
+		if !strings.Contains(topo.Name, ":") {
+			t.Fatalf("generated topology name %q does not look like a spec", topo.Name)
+		}
+	}
+}

@@ -54,7 +54,10 @@ func BoeblingenTopology() *Topology {
 	}))
 }
 
-// SystemName identifies one of the three modeled systems.
+// SystemName identifies a modeled device: one of the three IBMQ presets
+// below, or the canonical Spec of a generated topology (see ParseSpec). It
+// keys calibration synthesis and the ground-truth noise cache, so two
+// devices with equal (SystemName, Seed, Day) have identical calibrations.
 type SystemName string
 
 // The modeled systems.

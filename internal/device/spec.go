@@ -1,0 +1,186 @@
+package device
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec is the textual device-model syntax accepted everywhere a device is
+// named: the public facade, pipeline construction and all CLI tools. A spec
+// is either a preset system name or a topology generator with parameters:
+//
+//	poughkeepsie | johannesburg | boeblingen   the paper's 20-qubit presets
+//	linear:N                                   path of N qubits
+//	ring:N                                     cycle of N qubits
+//	grid:RxC                                   R x C 2D lattice
+//	heavyhex:Q                                 IBM heavy-hex lattice with Q
+//	                                           qubits (27, 65, 127, ...); an
+//	                                           odd Q <= 21 is read as the
+//	                                           code distance instead
+//	random:N,DEG,SEED                          random connected graph over N
+//	                                           qubits with average degree DEG,
+//	                                           generated from SEED
+//
+// Specs are case-insensitive; String returns the canonical lower-case form
+// that round-trips through ParseSpec.
+type Spec string
+
+// String returns the canonical form of the spec (lower-cased, heavy-hex
+// normalized to its qubit count). Invalid specs render verbatim.
+func (s Spec) String() string {
+	if topo, err := ParseSpec(string(s)); err == nil {
+		if sys, ok := presetFor(string(s)); ok {
+			return string(sys)
+		}
+		return topo.Name
+	}
+	return string(s)
+}
+
+// SpecGrammar is a one-line summary of the spec syntax for CLI usage text.
+const SpecGrammar = "poughkeepsie|johannesburg|boeblingen|linear:N|ring:N|grid:RxC|heavyhex:Q|random:N,DEG,SEED"
+
+// presetFor reports whether the spec names one of the three IBMQ presets.
+func presetFor(spec string) (SystemName, bool) {
+	switch SystemName(strings.ToLower(strings.TrimSpace(spec))) {
+	case Poughkeepsie:
+		return Poughkeepsie, true
+	case Johannesburg:
+		return Johannesburg, true
+	case Boeblingen:
+		return Boeblingen, true
+	}
+	return "", false
+}
+
+// ParseSpec parses a device spec (see Spec for the grammar) and returns its
+// coupling topology. Preset names return the corresponding IBMQ coupling
+// map; generator specs return a topology whose Name is the canonical spec.
+func ParseSpec(spec string) (*Topology, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	if sys, ok := presetFor(s); ok {
+		return TopologyFor(sys)
+	}
+	kind, arg, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("device: unknown system %q (want %s)", spec, SpecGrammar)
+	}
+	switch kind {
+	case "linear":
+		n, err := atoi(spec, arg)
+		if err != nil {
+			return nil, err
+		}
+		return LinearTopology(n)
+	case "ring":
+		n, err := atoi(spec, arg)
+		if err != nil {
+			return nil, err
+		}
+		return RingTopology(n)
+	case "grid":
+		rs, cs, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("device: spec %q: grid wants ROWSxCOLS, e.g. grid:5x8", spec)
+		}
+		rows, err := atoi(spec, rs)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := atoi(spec, cs)
+		if err != nil {
+			return nil, err
+		}
+		return GridTopology(rows, cols)
+	case "heavyhex":
+		v, err := atoi(spec, arg)
+		if err != nil {
+			return nil, err
+		}
+		d, err := heavyHexDistanceFor(v)
+		if err != nil {
+			return nil, fmt.Errorf("device: spec %q: %w", spec, err)
+		}
+		return HeavyHexTopology(d)
+	case "random":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("device: spec %q: random wants N,DEGREE,SEED, e.g. random:24,3,7", spec)
+		}
+		n, err := atoi(spec, parts[0])
+		if err != nil {
+			return nil, err
+		}
+		deg, err := atoi(spec, parts[1])
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("device: spec %q: bad seed %q", spec, parts[2])
+		}
+		return RandomTopology(n, deg, seed)
+	default:
+		return nil, fmt.Errorf("device: unknown topology generator %q (want %s)", kind, SpecGrammar)
+	}
+}
+
+func atoi(spec, s string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("device: spec %q: bad number %q", spec, s)
+	}
+	return v, nil
+}
+
+// heavyHexDistanceFor maps a heavyhex spec argument to a code distance: a
+// known device qubit count (27, 65, 127, ...) selects its lattice, a small
+// odd value is the distance itself.
+func heavyHexDistanceFor(v int) (int, error) {
+	var sizes []int
+	for d := 3; d <= 25; d += 2 {
+		q, _ := HeavyHexQubits(d)
+		if q == v {
+			return d, nil
+		}
+		sizes = append(sizes, q)
+	}
+	if v >= 3 && v <= 21 && v%2 == 1 {
+		return v, nil
+	}
+	return 0, fmt.Errorf("heavyhex wants a device size %v or an odd distance 3-21, got %d", sizes[:4], v)
+}
+
+// NewFromSpec synthesizes a device for the given spec on calibration day 0.
+// Presets are identical to New; generated topologies get synthetic
+// calibration data drawn from the same distributions, scaled to their qubit
+// count and edge density, including a generated ground-truth crosstalk pair
+// set over their 1-hop simultaneous pairs.
+func NewFromSpec(spec string, seed int64) (*Device, error) {
+	return NewFromSpecForDay(spec, seed, 0)
+}
+
+// MustNewFromSpec is NewFromSpec but panics on error; for tests, examples
+// and benchmarks with known-good specs.
+func MustNewFromSpec(spec string, seed int64) *Device {
+	d, err := NewFromSpec(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewFromSpecForDay synthesizes the spec'd device's calibration snapshot of
+// the given day (see NewForDay for the drift model).
+func NewFromSpecForDay(spec string, seed int64, day int) (*Device, error) {
+	if sys, ok := presetFor(spec); ok {
+		return NewForDay(sys, seed, day)
+	}
+	topo, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	name := SystemName(topo.Name)
+	return synthesize(topo, name, seed, day, generatedCrosstalkPairs(topo, name, seed)), nil
+}

@@ -1,0 +1,228 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecPresets(t *testing.T) {
+	for _, name := range AllSystems {
+		topo, err := ParseSpec(string(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := TopologyFor(name)
+		if topo.NQubits != want.NQubits || len(topo.Edges) != len(want.Edges) {
+			t.Fatalf("%s: spec parse differs from TopologyFor", name)
+		}
+	}
+	// Case- and whitespace-insensitive.
+	if _, err := ParseSpec("  Poughkeepsie "); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSpecRoundTrips(t *testing.T) {
+	for _, tc := range []struct {
+		spec   string
+		qubits int
+	}{
+		{"linear:8", 8},
+		{"ring:16", 16},
+		{"grid:5x8", 40},
+		{"grid:1x2", 2},
+		{"heavyhex:27", 27},
+		{"heavyhex:3", 27},  // distance form normalizes to qubit count
+		{"heavyhex:65", 65}, // Hummingbird
+		{"heavyhex:5", 65},
+		{"heavyhex:127", 127}, // Eagle
+		{"random:24,3,7", 24},
+		{"GRID:5X8", 40}, // case-insensitive
+	} {
+		topo, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if topo.NQubits != tc.qubits {
+			t.Fatalf("%s: %d qubits, want %d", tc.spec, topo.NQubits, tc.qubits)
+		}
+		// The canonical name parses back to the identical topology.
+		again, err := ParseSpec(topo.Name)
+		if err != nil {
+			t.Fatalf("round-trip of %s -> %s: %v", tc.spec, topo.Name, err)
+		}
+		if again.Name != topo.Name || again.NQubits != topo.NQubits || len(again.Edges) != len(topo.Edges) {
+			t.Fatalf("round-trip of %s changed the topology", tc.spec)
+		}
+		for i := range topo.Edges {
+			if topo.Edges[i] != again.Edges[i] {
+				t.Fatalf("round-trip of %s changed edge %d", tc.spec, i)
+			}
+		}
+		// Spec.String canonicalizes regardless of input casing.
+		if got := Spec(strings.ToUpper(tc.spec)).String(); got != topo.Name {
+			t.Fatalf("Spec(%q).String() = %q, want %q", strings.ToUpper(tc.spec), got, topo.Name)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "tokyo", "linear", "linear:x", "linear:1", "ring:2", "grid:5",
+		"grid:0x4", "heavyhex:28", "heavyhex:4", "random:24,3", "random:a,b,c",
+		"torus:4x4",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNewFromSpecPresetMatchesNew(t *testing.T) {
+	a := MustNewFromSpec("poughkeepsie", 5)
+	b := MustNew(Poughkeepsie, 5)
+	if a.Name != b.Name {
+		t.Fatalf("names differ: %q vs %q", a.Name, b.Name)
+	}
+	for e, gc := range a.Cal.Gates {
+		if b.Cal.Gates[e] != gc {
+			t.Fatalf("spec-built preset calibration differs at %s", e)
+		}
+	}
+	for q := range a.Cal.Qubits {
+		if a.Cal.Qubits[q] != b.Cal.Qubits[q] {
+			t.Fatalf("spec-built preset qubit cal differs at %d", q)
+		}
+	}
+}
+
+// TestGeneratedCalibrationPhysicalBounds checks synthetic calibrations at
+// several non-20-qubit sizes: probabilities clamped to [0, 0.5], T1/T2
+// strictly positive, durations in the modeled band, and every ground-truth
+// crosstalk pair 1-hop with a bounded conditional error.
+func TestGeneratedCalibrationPhysicalBounds(t *testing.T) {
+	for _, spec := range []string{"linear:8", "ring:12", "grid:4x5", "grid:5x8", "heavyhex:27", "heavyhex:65", "random:24,3,7"} {
+		dev, err := NewFromSpec(spec, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev.Topo.NQubits != len(dev.Cal.Qubits) {
+			t.Fatalf("%s: %d qubit cals for %d qubits", spec, len(dev.Cal.Qubits), dev.Topo.NQubits)
+		}
+		if len(dev.Cal.Gates) != len(dev.Topo.Edges) {
+			t.Fatalf("%s: %d gate cals for %d edges", spec, len(dev.Cal.Gates), len(dev.Topo.Edges))
+		}
+		for q, qc := range dev.Cal.Qubits {
+			if qc.T1 <= 0 || qc.T2 <= 0 {
+				t.Fatalf("%s q%d: non-positive coherence T1=%v T2=%v", spec, q, qc.T1, qc.T2)
+			}
+			if qc.ReadoutError < 0 || qc.ReadoutError > 0.5 {
+				t.Fatalf("%s q%d: readout error %v out of [0, 0.5]", spec, q, qc.ReadoutError)
+			}
+			if qc.Error1Q < 0 || qc.Error1Q > 0.5 {
+				t.Fatalf("%s q%d: 1q error %v out of [0, 0.5]", spec, q, qc.Error1Q)
+			}
+		}
+		for e, gc := range dev.Cal.Gates {
+			if gc.Error < 0 || gc.Error > 0.5 {
+				t.Fatalf("%s %s: CNOT error %v out of [0, 0.5]", spec, e, gc.Error)
+			}
+			if gc.Duration < 200 || gc.Duration > 600 {
+				t.Fatalf("%s %s: duration %v out of band", spec, e, gc.Duration)
+			}
+		}
+		for gi, m := range dev.Cal.Conditional {
+			for gj, cond := range m {
+				if d := dev.Topo.GateDistance(gi, gj); d != 1 {
+					t.Fatalf("%s: crosstalk pair (%s,%s) at distance %d, want 1", spec, gi, gj, d)
+				}
+				if cond <= 0 || cond > 0.45 {
+					t.Fatalf("%s: conditional error %v out of (0, 0.45]", spec, cond)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedDevicesHaveCrosstalkPairs(t *testing.T) {
+	for _, spec := range []string{"grid:4x5", "heavyhex:27", "ring:12"} {
+		dev := MustNewFromSpec(spec, 1)
+		if pairs := dev.Cal.HighCrosstalkPairs(3); len(pairs) == 0 {
+			t.Fatalf("%s: no high-crosstalk pairs synthesized", spec)
+		}
+	}
+	// A 3-ring has no simultaneous pairs at all: synthesis must not panic
+	// and must produce an empty crosstalk map.
+	dev := MustNewFromSpec("ring:3", 1)
+	if len(dev.Cal.Conditional) != 0 {
+		t.Fatal("ring:3 cannot have crosstalk pairs")
+	}
+}
+
+func TestGeneratedDriftStablePairSet(t *testing.T) {
+	base := MustNewFromSpec("grid:4x5", 3)
+	basePairs := base.Cal.HighCrosstalkPairs(3)
+	if len(basePairs) == 0 {
+		t.Fatal("no pairs on day 0")
+	}
+	for day := 1; day <= 4; day++ {
+		dev, err := NewFromSpecForDay("grid:4x5", 3, day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dayPairs := dev.Cal.HighCrosstalkPairs(3)
+		if len(dayPairs) != len(basePairs) {
+			t.Fatalf("day %d: pair set size changed: %d vs %d", day, len(dayPairs), len(basePairs))
+		}
+		for i := range dayPairs {
+			if dayPairs[i] != basePairs[i] {
+				t.Fatalf("day %d: pair set changed", day)
+			}
+		}
+	}
+}
+
+func TestSpecDeterministicSynthesis(t *testing.T) {
+	a := MustNewFromSpec("heavyhex:27", 42)
+	b := MustNewFromSpec("heavyhex:27", 42)
+	for e, gc := range a.Cal.Gates {
+		if b.Cal.Gates[e] != gc {
+			t.Fatalf("same seed produced different calibration for %s", e)
+		}
+	}
+	// Day > 0 exercises the drift path, which draws a sequential RNG per
+	// gate: equal (spec, seed, day) must still give identical calibrations
+	// (the ground-truth noise cache keys on exactly that tuple).
+	for _, spec := range []string{"grid:4x5", "poughkeepsie"} {
+		d1, err := NewFromSpecForDay(spec, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := NewFromSpecForDay(spec, 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e, gc := range d1.Cal.Gates {
+			if d2.Cal.Gates[e] != gc {
+				t.Fatalf("%s day 2: same (seed, day) produced different calibration for %s", spec, e)
+			}
+		}
+		for gi, m := range d1.Cal.Conditional {
+			for gj, c := range m {
+				if d2.Cal.Conditional[gi][gj] != c {
+					t.Fatalf("%s day 2: conditional %s|%s differs", spec, gi, gj)
+				}
+			}
+		}
+	}
+	c := MustNewFromSpec("heavyhex:27", 43)
+	same := true
+	for e, gc := range a.Cal.Gates {
+		if c.Cal.Gates[e] != gc {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical calibration")
+	}
+}

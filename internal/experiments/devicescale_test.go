@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestDeviceScaleOnGeneratedTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-device compile sweep; run without -short")
+	}
+	specs := []string{"linear:8", "grid:3x4", "heavyhex:27"}
+	res, err := DeviceScale(context.Background(), fastOpts(), specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(specs) {
+		t.Fatalf("rows %d, want %d", len(res.Rows), len(specs))
+	}
+	for i, row := range res.Rows {
+		if row.Spec != specs[i] {
+			t.Fatalf("row %d spec %q, want %q", i, row.Spec, specs[i])
+		}
+		if len(row.QAOAChain) != 4 {
+			t.Fatalf("%s: QAOA chain %v, want 4 qubits", row.Spec, row.QAOAChain)
+		}
+		// XtalkSched optimizes exactly the modeled cost behind
+		// SuccessEstimate, so at optimality it can never lose to ParSched;
+		// the anytime budget can leave a slightly worse incumbent, hence
+		// the small tolerance.
+		if row.SuccessXtalk < row.SuccessPar-0.05 {
+			t.Fatalf("%s: XtalkSched success %.3f well below ParSched %.3f", row.Spec, row.SuccessXtalk, row.SuccessPar)
+		}
+		if row.SuccessXtalk <= 0 || row.SuccessXtalk > 1 {
+			t.Fatalf("%s: success estimate %.3f out of (0, 1]", row.Spec, row.SuccessXtalk)
+		}
+		if row.CompileTime <= 0 {
+			t.Fatalf("%s: no compile time recorded", row.Spec)
+		}
+	}
+	// Devices must be in growing order in the default-style sweep here.
+	if res.Rows[0].Qubits >= res.Rows[2].Qubits {
+		t.Fatal("sweep not ordered by size")
+	}
+	s := res.String()
+	for _, want := range []string{"Device scale", "heavyhex:27", "compile"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q\n%s", want, s)
+		}
+	}
+}

@@ -155,6 +155,18 @@ type Pipeline struct {
 	order []string // stage names in first-seen order, for stable reports
 }
 
+// NewFromSpec builds a pipeline over the device described by a device spec
+// (preset name or topology generator — see device.ParseSpec for the
+// grammar), synthesized with the given calibration seed and day. It is the
+// uniform spec-string entry point shared by the facade and the CLI tools.
+func NewFromSpec(spec string, seed int64, day int, cfg Config) (*Pipeline, error) {
+	dev, err := device.NewFromSpecForDay(spec, seed, day)
+	if err != nil {
+		return nil, err
+	}
+	return New(dev, cfg), nil
+}
+
 // New builds a pipeline over dev. See Config for the knobs; the zero Config
 // is a compile-only ground-truth-noise XtalkSched pipeline.
 func New(dev *device.Device, cfg Config) *Pipeline {

@@ -3,6 +3,12 @@
 // qubits, QAOA hardware-efficient ansatz circuits, Hidden Shift circuits
 // (with an optional crosstalk-susceptible redundant-CNOT variant), and
 // quantum-supremacy-style random circuits for scalability studies.
+//
+// Every generator takes the target *device.Topology, so workloads size
+// themselves to any device — the three IBMQ presets or generator-backed
+// topologies of arbitrary scale. Chain discovers connected qubit chains on
+// arbitrary topologies, letting the chain-shaped workloads (QAOA, Hidden
+// Shift) run without the hand-picked preset regions.
 package workloads
 
 import (
@@ -101,6 +107,93 @@ func QAOACircuit(topo *device.Topology, qubits []int, seed int64) (*circuit.Circ
 		c.Measure(q)
 	}
 	return c, nil
+}
+
+// chainSearchBudget bounds the total DFS expansions of one Chain call.
+// Finding a longest simple path is NP-hard, so near-device-sized chain
+// requests on cyclic topologies could otherwise search for unbounded time;
+// the budget keeps Chain deterministic and fast-failing (a few ms) while
+// being far above what workload-sized chains (k <= ~16) ever need.
+const chainSearchBudget = 1 << 20
+
+// Chain returns k distinct qubits forming a simple path on the topology
+// (each consecutive pair coupled), found by depth-limited DFS from the
+// lowest-numbered feasible start. Chain-shaped workloads (QAOA, Hidden
+// Shift) use it to size themselves to arbitrary generated devices. The
+// search is budgeted (chainSearchBudget expansions): very long chains on
+// large cyclic topologies may fail with a budget error even when a chain
+// exists.
+func Chain(topo *device.Topology, k int) ([]int, error) {
+	if k < 1 || k > topo.NQubits {
+		return nil, fmt.Errorf("workloads: chain of %d qubits impossible on %d-qubit device", k, topo.NQubits)
+	}
+	used := make([]bool, topo.NQubits)
+	budget := chainSearchBudget
+	var dfs func(path []int) []int
+	dfs = func(path []int) []int {
+		if len(path) == k {
+			return path
+		}
+		if budget <= 0 {
+			return nil
+		}
+		budget--
+		for _, nb := range topo.Neighbors(path[len(path)-1]) {
+			if used[nb] {
+				continue
+			}
+			used[nb] = true
+			if found := dfs(append(path, nb)); found != nil {
+				return found
+			}
+			used[nb] = false
+		}
+		return nil
+	}
+	for start := 0; start < topo.NQubits; start++ {
+		used[start] = true
+		if found := dfs([]int{start}); found != nil {
+			return found, nil
+		}
+		used[start] = false
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("workloads: %d-qubit chain search on %s exceeded its budget", k, topo.Name)
+	}
+	return nil, fmt.Errorf("workloads: no %d-qubit chain on %s", k, topo.Name)
+}
+
+// CrosstalkProneChain returns a 4-qubit chain a-b-c-d whose alternating
+// CNOTs (a,b) and (c,d) form a ground-truth high-crosstalk pair at the
+// given detection threshold — the generalization of the paper's hand-picked
+// Poughkeepsie QAOA regions (Figure 8) to arbitrary devices. When the
+// device has no such chain, it falls back to Chain(topo, 4).
+func CrosstalkProneChain(dev *device.Device, threshold float64) ([]int, error) {
+	topo := dev.Topo
+	for _, p := range dev.Cal.HighCrosstalkPairs(threshold) {
+		for _, e1 := range [][2]int{{p.First.A, p.First.B}, {p.First.B, p.First.A}} {
+			for _, e2 := range [][2]int{{p.Second.A, p.Second.B}, {p.Second.B, p.Second.A}} {
+				if topo.HasEdge(e1[1], e2[0]) {
+					return []int{e1[0], e1[1], e2[0], e2[1]}, nil
+				}
+			}
+		}
+	}
+	return Chain(topo, 4)
+}
+
+// QAOAChainCircuit builds a QAOA instance (see QAOACircuit) on an
+// automatically discovered k-qubit chain of the topology, returning the
+// circuit and the chosen physical qubits. This is the device-agnostic entry
+// point: it works on any connected topology with a long-enough path, where
+// QAOACircuit requires the caller to know a coupled chain.
+func QAOAChainCircuit(topo *device.Topology, k int, seed int64) (*circuit.Circuit, []int, error) {
+	qubits, err := Chain(topo, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := QAOACircuit(topo, qubits, seed)
+	return c, qubits, err
 }
 
 // HiddenShiftCircuit builds a Hidden Shift instance (Section 9.3) on the

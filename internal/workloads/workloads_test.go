@@ -2,7 +2,9 @@ package workloads
 
 import (
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"xtalk/internal/circuit"
 	"xtalk/internal/device"
@@ -189,6 +191,154 @@ func TestSupremacyCircuitShape(t *testing.T) {
 					t.Fatalf("gate %s uses qubit outside the first %d", g, tc.n)
 				}
 			}
+		}
+	}
+}
+
+func TestChainOnGeneratedTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		k    int
+	}{
+		{"linear:8", 8}, {"ring:12", 12}, {"grid:4x5", 9},
+		{"heavyhex:27", 6}, {"random:24,3,7", 5}, {"poughkeepsie", 8},
+	} {
+		topo, err := device.ParseSpec(tc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := Chain(topo, tc.k)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if len(chain) != tc.k {
+			t.Fatalf("%s: chain %v, want %d qubits", tc.spec, chain, tc.k)
+		}
+		seen := map[int]bool{}
+		for i, q := range chain {
+			if seen[q] {
+				t.Fatalf("%s: chain %v repeats qubit %d", tc.spec, chain, q)
+			}
+			seen[q] = true
+			if i > 0 && !topo.HasEdge(chain[i-1], q) {
+				t.Fatalf("%s: chain step %d-%d is not a coupling", tc.spec, chain[i-1], q)
+			}
+		}
+	}
+}
+
+func TestChainSearchBudgetBoundsLongestPath(t *testing.T) {
+	// A device-sized chain on a cyclic random graph is a longest-path
+	// search (NP-hard); the expansion budget must fail it in milliseconds
+	// rather than hanging.
+	topo, err := device.RandomTopology(40, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = Chain(topo, 40)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("chain search not bounded: %v", elapsed)
+	}
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("expected budget error, got %v", err)
+	}
+}
+
+func TestChainErrors(t *testing.T) {
+	topo, _ := device.LinearTopology(4)
+	if _, err := Chain(topo, 5); err == nil {
+		t.Fatal("chain longer than device should fail")
+	}
+	if _, err := Chain(topo, 0); err == nil {
+		t.Fatal("empty chain should fail")
+	}
+	// A star graph has no 4-chain even though it has 4+ qubits.
+	star := device.NewTopology("star", 5, []device.Edge{
+		device.NewEdge(0, 1), device.NewEdge(0, 2), device.NewEdge(0, 3), device.NewEdge(0, 4),
+	})
+	if _, err := Chain(star, 4); err == nil {
+		t.Fatal("star graph cannot host a 4-chain")
+	}
+}
+
+func TestCrosstalkProneChain(t *testing.T) {
+	for _, spec := range []string{"grid:4x5", "heavyhex:27", "poughkeepsie", "ring:12"} {
+		dev, err := device.NewFromSpec(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := CrosstalkProneChain(dev, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chain) != 4 {
+			t.Fatalf("%s: chain %v", spec, chain)
+		}
+		for i := 0; i+1 < len(chain); i++ {
+			if !dev.Topo.HasEdge(chain[i], chain[i+1]) {
+				t.Fatalf("%s: chain %v step %d not coupled", spec, chain, i)
+			}
+		}
+		// These devices all have high-crosstalk pairs, so the alternating
+		// CNOTs of the chain must form one.
+		p := device.NewEdgePair(device.NewEdge(chain[0], chain[1]), device.NewEdge(chain[2], chain[3]))
+		found := false
+		for _, hp := range dev.Cal.HighCrosstalkPairs(3) {
+			if hp == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: chain %v does not straddle a high-crosstalk pair", spec, chain)
+		}
+	}
+	// ring:3 has no simultaneous pairs, so the plain-chain fallback runs —
+	// and errors, because a 3-ring has no 4-qubit chain.
+	if _, err := CrosstalkProneChain(device.MustNewFromSpec("ring:3", 1), 3); err == nil {
+		t.Fatal("ring:3 cannot host a 4-qubit chain")
+	}
+	// linear:5 may or may not have crosstalk pairs; either path must yield a
+	// valid 4-chain.
+	if chain, err := CrosstalkProneChain(device.MustNewFromSpec("linear:5", 1), 3); err != nil || len(chain) != 4 {
+		t.Fatalf("linear:5 chain %v err %v", chain, err)
+	}
+}
+
+func TestQAOAChainCircuitOnGrid(t *testing.T) {
+	topo, err := device.GridTopology(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, qubits, err := QAOAChainCircuit(topo, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qubits) != 4 {
+		t.Fatalf("chain %v", qubits)
+	}
+	if got := c.CountKind(circuit.KindCNOT); got != 9 {
+		t.Fatalf("%d CNOTs, want 9", got)
+	}
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() && !topo.HasEdge(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("CNOT %s off-topology", g)
+		}
+	}
+}
+
+func TestSupremacyCircuitOnGeneratedTopology(t *testing.T) {
+	topo, err := device.HeavyHexTopology(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SupremacyCircuit(topo, topo.NQubits, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() && !topo.HasEdge(g.Qubits[0], g.Qubits[1]) {
+			t.Fatalf("supremacy gate %s off-topology", g)
 		}
 	}
 }

@@ -38,11 +38,15 @@ import (
 
 // Re-exported core types.
 type (
-	// Device is a simulated 20-qubit IBMQ system with calibration data and
-	// ground-truth crosstalk.
+	// Device is a simulated quantum system — an IBMQ preset or a generated
+	// topology — with calibration data and ground-truth crosstalk.
 	Device = device.Device
-	// SystemName selects one of the three modeled systems.
+	// SystemName identifies a modeled device: a preset name or the
+	// canonical spec of a generated topology.
 	SystemName = device.SystemName
+	// DeviceSpec is the textual device syntax (preset names and topology
+	// generators such as "grid:5x8" or "heavyhex:27"); see device.Spec.
+	DeviceSpec = device.Spec
 	// Edge is an undirected CNOT coupling.
 	Edge = device.Edge
 	// EdgePair is an unordered pair of couplings (a simultaneous-CNOT
@@ -108,6 +112,29 @@ func NewDevice(name SystemName, seed int64) (*Device, error) { return device.New
 // (error rates drift, the crosstalk pair set stays stable — Figure 4).
 func NewDeviceForDay(name SystemName, seed int64, day int) (*Device, error) {
 	return device.NewForDay(name, seed, day)
+}
+
+// NewDeviceFromSpec synthesizes a device from a device spec: a preset name
+// or a topology generator ("linear:N", "ring:N", "grid:RxC", "heavyhex:Q",
+// "random:N,DEG,SEED"). Generated topologies receive synthetic calibration
+// scaled to their size, including a seeded ground-truth crosstalk pair set.
+func NewDeviceFromSpec(spec string, seed int64) (*Device, error) {
+	return device.NewFromSpec(spec, seed)
+}
+
+// NewDeviceFromSpecForDay is NewDeviceFromSpec on a later calibration day.
+func NewDeviceFromSpecForDay(spec string, seed int64, day int) (*Device, error) {
+	return device.NewFromSpecForDay(spec, seed, day)
+}
+
+// ParseTopology parses a device spec into its coupling topology without
+// synthesizing calibration data.
+func ParseTopology(spec string) (*Topology, error) { return device.ParseSpec(spec) }
+
+// NewPipelineFromSpec builds a staged compilation pipeline over the device
+// described by a device spec (see NewDeviceFromSpec).
+func NewPipelineFromSpec(spec string, seed int64, day int, cfg PipelineConfig) (*Pipeline, error) {
+	return pipeline.NewFromSpec(spec, seed, day, cfg)
 }
 
 // NewCircuit returns an empty circuit over n qubits.

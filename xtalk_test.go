@@ -4,8 +4,12 @@ package xtalk
 // characterize -> schedule -> execute pipeline the README advertises.
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
+
+	"xtalk/internal/workloads"
 )
 
 func TestEndToEndPipeline(t *testing.T) {
@@ -128,6 +132,57 @@ func TestFacadeBarrierInsertion(t *testing.T) {
 	out := InsertBarriers(s)
 	if !strings.Contains(out.String(), "barrier") {
 		t.Fatalf("expected a barrier in the serialized output:\n%s", out)
+	}
+}
+
+// TestFacadeSpecPipelineOnGeneratedDevice compiles and executes a QAOA
+// circuit end-to-end (schedule -> barriers -> execute -> mitigate) on a
+// non-preset, generator-backed topology built entirely from a device spec.
+func TestFacadeSpecPipelineOnGeneratedDevice(t *testing.T) {
+	p, err := NewPipelineFromSpec("grid:5x8", 1, 0, PipelineConfig{
+		Shots:    256,
+		Mitigate: true,
+		Budget:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dev.Topo.NQubits != 40 {
+		t.Fatalf("grid:5x8 has %d qubits, want 40", p.Dev.Topo.NQubits)
+	}
+	c, chain, err := workloads.QAOAChainCircuit(p.Dev.Topo, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 4 {
+		t.Fatalf("chain %v", chain)
+	}
+	res := p.Run(context.Background(), CompileRequest{Tag: "qaoa", Circuit: c, Seed: 3})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Schedule == nil || res.Barriered == nil {
+		t.Fatal("pipeline did not produce a schedule + barriered circuit")
+	}
+	var total float64
+	for _, v := range res.Dist {
+		total += v
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("mitigated distribution mass %v", total)
+	}
+}
+
+// TestFacadeSpecErrors checks the spec grammar is enforced uniformly.
+func TestFacadeSpecErrors(t *testing.T) {
+	if _, err := NewDeviceFromSpec("torus:4x4", 1); err == nil {
+		t.Fatal("bad spec should fail")
+	}
+	if _, err := NewPipelineFromSpec("grid:0x4", 1, 0, PipelineConfig{}); err == nil {
+		t.Fatal("bad spec should fail pipeline construction")
+	}
+	if _, err := ParseTopology("heavyhex:65"); err != nil {
+		t.Fatal(err)
 	}
 }
 
