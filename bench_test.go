@@ -316,6 +316,40 @@ func BenchmarkSchedulerDeviceSizes(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedEngine compares the monolithic SMT scheduler against the
+// conflict-partitioned engine on device-filling supremacy circuits under
+// the same 2-second anytime budget, across device sizes up to the 65-qubit
+// Hummingbird class. scripts/bench_sched.sh wraps this benchmark and emits
+// BENCH_sched.json (ns/op per device size and engine) so successive PRs
+// have a comparable scheduler perf trajectory.
+func BenchmarkSchedEngine(b *testing.B) {
+	for _, spec := range []string{"linear:12", "heavyhex:27", "grid:5x8", "heavyhex:65"} {
+		dev := device.MustNewFromSpec(spec, 1)
+		nd := core.NoiseDataFromDevice(dev, 3)
+		sup, err := workloads.SupremacyCircuit(dev.Topo, dev.Topo.NQubits, 3*dev.Topo.NQubits, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultXtalkConfig()
+		cfg.CompactErrorEncoding = true
+		cfg.Timeout = 2 * time.Second
+		b.Run(fmt.Sprintf("%s/%dq/monolithic", spec, dev.Topo.NQubits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewXtalkSched(nd, cfg).Schedule(sup, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/%dq/partitioned", spec, dev.Topo.NQubits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewPartitionedXtalkSched(nd, cfg, core.PartitionOpts{}).Schedule(sup, dev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRBExperiment measures one simultaneous-RB measurement, the unit
 // of characterization cost.
 func BenchmarkRBExperiment(b *testing.B) {

@@ -37,24 +37,45 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input circuit file (default: stdin unless -workload is set)")
-		devSpec  = flag.String("device", "", "device spec: "+device.SpecGrammar)
-		system   = flag.String("system", "poughkeepsie", "deprecated alias for -device")
-		seed     = flag.Int64("seed", 1, "device seed")
-		omega    = flag.Float64("omega", 0.5, "crosstalk weight factor")
-		budget   = flag.Duration("budget", 0, "anytime SMT budget per schedule (0 = run to optimality)")
-		stats    = flag.Bool("stats", false, "print per-stage pipeline statistics")
-		workload = flag.String("workload", "", "generate a built-in circuit instead of reading input: qaoa[:K]|supremacy[:GATES]|swap[:A,B]")
+		in        = flag.String("in", "", "input circuit file (default: stdin unless -workload is set)")
+		devSpec   = flag.String("device", "", "device spec: "+device.SpecGrammar)
+		system    = flag.String("system", "poughkeepsie", "deprecated alias for -device")
+		seed      = flag.Int64("seed", 1, "device seed")
+		omega     = flag.Float64("omega", 0.5, "crosstalk weight factor")
+		budget    = flag.Duration("budget", 0, "anytime SMT budget per schedule (0 = run to optimality)")
+		stats     = flag.Bool("stats", false, "print per-stage pipeline statistics")
+		partition = flag.Bool("partition", false, "use the conflict-partitioned scheduling engine (split the circuit into components and windows, one small SMT instance each)")
+		window    = flag.Int("window", 0, "max two-qubit gates per window SMT instance (implies -partition; 0 = default cap)")
+		portfolio = flag.Bool("portfolio", false, "race the SMT engine against the greedy heuristic under -budget and keep the best schedule")
+		workload  = flag.String("workload", "", "generate a built-in circuit instead of reading input: qaoa[:K]|supremacy[:GATES]|swap[:A,B]")
 	)
 	flag.Parse()
 	spec := *devSpec
 	if spec == "" {
 		spec = *system
 	}
-	if err := run(*in, spec, *workload, *seed, *omega, *budget, *stats); err != nil {
+	opts := runOpts{
+		omega:     *omega,
+		budget:    *budget,
+		stats:     *stats,
+		partition: *partition || *window > 0,
+		window:    *window,
+		portfolio: *portfolio,
+	}
+	if err := run(*in, spec, *workload, *seed, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalksched:", err)
 		os.Exit(1)
 	}
+}
+
+// runOpts bundles the scheduling knobs of the CLI.
+type runOpts struct {
+	omega     float64
+	budget    time.Duration
+	stats     bool
+	partition bool
+	window    int
+	portfolio bool
 }
 
 // buildWorkload generates a built-in benchmark circuit sized to the device.
@@ -123,18 +144,25 @@ func buildWorkload(dev *device.Device, workload string, seed int64) (*circuit.Ci
 	}
 }
 
-func run(in, spec, workload string, seed int64, omega float64, budget time.Duration, stats bool) error {
+func run(in, spec, workload string, seed int64, opts runOpts) error {
 	dev, err := device.NewFromSpec(spec, seed)
 	if err != nil {
 		return err
 	}
 	nd := pipeline.GroundTruthNoise(dev, 3)
-	xc := core.DefaultXtalkConfig()
-	xc.Omega = omega
-	xc.Timeout = budget
+	pomega := opts.omega
+	if pomega == 0 {
+		pomega = -1 // pipeline convention: negative selects the true omega=0 ablation
+	}
+	// Let the pipeline build the scheduler: Partition/Portfolio then share
+	// its Workers-sized solve pool, so window solves run concurrently.
 	p := pipeline.New(dev, pipeline.Config{
 		Noise:          nd,
-		Scheduler:      core.NewXtalkSched(nd, xc),
+		Omega:          pomega,
+		Budget:         opts.budget,
+		Partition:      opts.partition,
+		WindowGates:    opts.window,
+		Portfolio:      opts.portfolio,
 		DecomposeSwaps: true,
 	})
 	var reqs []pipeline.Request
@@ -170,12 +198,18 @@ func run(in, spec, workload string, seed int64, omega float64, budget time.Durat
 			return fmt.Errorf("%s: %w", r.Tag, r.Err)
 		}
 		fmt.Println(r.Schedule.Render())
-		fmt.Printf("modeled cost (omega=%.2g): %.4f; crosstalk overlaps: %d; est. success: %.3f\n\n",
-			omega, r.Schedule.Cost(nd, omega), r.Schedule.CrosstalkOverlapCount(nd), r.Schedule.SuccessEstimate(nd))
+		fmt.Printf("modeled cost (omega=%.2g): %.4f; crosstalk overlaps: %d; est. success: %.3f\n",
+			opts.omega, r.Schedule.Cost(nd, opts.omega), r.Schedule.CrosstalkOverlapCount(nd), r.Schedule.SuccessEstimate(nd))
+		if st := r.Schedule.Stats; st.Windows > 0 {
+			// Solver effort: window counts plus the SAT core's
+			// decision/conflict counters (smt.Solver.Stats).
+			fmt.Printf("solver effort: %s (schedule stage: %v)\n", st, r.StageElapsed("schedule").Round(time.Millisecond))
+		}
+		fmt.Println()
 	}
 	fmt.Println("XtalkSched output circuit with barriers:")
 	fmt.Println(results[2].Barriered)
-	if stats {
+	if opts.stats {
 		fmt.Println("pipeline stage statistics:")
 		fmt.Print(p.StatsString())
 	}

@@ -22,14 +22,37 @@ func (h *HeuristicXtalkSched) Name() string { return "HeuristicXtalkSched" }
 // Schedule implements Scheduler.
 func (h *HeuristicXtalkSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
 	s := newSchedule(c, dev, h.Name())
-	avail := make([]float64, c.NQubits)
+	ids := make([]int, len(c.Gates))
+	for i := range ids {
+		ids[i] = i
+	}
+	makespan := placeGreedy(s, ids, make([]float64, c.NQubits), h.Noise, h.Omega)
+	placeMeasures(s, makespan)
+	return s, nil
+}
+
+// placeGreedy list-schedules the given gates (which must appear in circuit,
+// i.e. topological, order) onto s, starting from the per-qubit availability
+// times in avail. Gates go ASAP except that a two-qubit gate is delayed past
+// an already-placed overlapping high-crosstalk partner iff the modeled
+// crosstalk cost of overlapping exceeds the modeled decoherence cost of
+// waiting. Measure gates are skipped — callers pin them to the common
+// readout slot afterwards (placeMeasures). avail is updated in place. The
+// return value is the makespan over the placed gates.
+//
+// The partitioned engine reuses this as the per-window completion path when
+// a window's SMT budget expires or its context is canceled, which is why it
+// operates on a gate subset with caller-supplied availability.
+func placeGreedy(s *Schedule, gates []int, avail []float64, nd *NoiseData, omega float64) float64 {
+	c := s.Circ
 	type placed struct {
 		id   int
 		edge device.Edge
 	}
 	var placedTwo []placed
 	makespan := 0.0
-	for _, g := range c.Gates {
+	for _, id := range gates {
+		g := c.Gates[id]
 		if g.Kind == circuit.KindMeasure {
 			continue
 		}
@@ -46,23 +69,23 @@ func (h *HeuristicXtalkSched) Schedule(c *circuit.Circuit, dev *device.Device) (
 			for changed := true; changed; {
 				changed = false
 				for _, p := range placedTwo {
-					if !h.Noise.IsHighCrosstalkPair(e, p.edge) {
+					if !nd.IsHighCrosstalkPair(e, p.edge) {
 						continue
 					}
 					pStart, pFin := s.Start[p.id], s.Finish(p.id)
 					if t >= pFin-1e-9 || t+s.Duration[g.ID] <= pStart+1e-9 {
 						continue // no overlap
 					}
-					condCost := errCost(h.Noise.ConditionalError(e, p.edge)) +
-						errCost(h.Noise.ConditionalError(p.edge, e)) -
-						errCost(h.Noise.Independent[e]) -
-						errCost(h.Noise.Independent[p.edge])
+					condCost := errCost(nd.ConditionalError(e, p.edge)) +
+						errCost(nd.ConditionalError(p.edge, e)) -
+						errCost(nd.Independent[e]) -
+						errCost(nd.Independent[p.edge])
 					delay := pFin - t
 					var decoCost float64
 					for _, q := range g.Qubits {
-						decoCost += delay / h.Noise.Coherence[q]
+						decoCost += delay / nd.Coherence[q]
 					}
-					if h.Omega*condCost > (1-h.Omega)*decoCost {
+					if omega*condCost > (1-omega)*decoCost {
 						t = pFin
 						changed = true
 					}
@@ -79,6 +102,5 @@ func (h *HeuristicXtalkSched) Schedule(c *circuit.Circuit, dev *device.Device) (
 			makespan = f
 		}
 	}
-	placeMeasures(s, makespan)
-	return s, nil
+	return makespan
 }

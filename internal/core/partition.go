@@ -1,0 +1,176 @@
+package core
+
+import (
+	"xtalk/internal/circuit"
+)
+
+// DefaultMaxWindowGates caps the two-qubit gates per window SMT instance of
+// the partitioned engine. SMT search effort grows superlinearly in the
+// overlap-indicator count, so bounding each window keeps every instance in
+// the solver's fast regime; 12 two-qubit gates is comfortably below the
+// cliff the devicescale sweep exposes.
+const DefaultMaxWindowGates = 12
+
+// Window is one SMT sub-instance of a partitioned scheduling problem: a
+// dependency-closed (from below, within its component) slice of a conflict
+// component. Windows are solved in window-local time starting at 0 and
+// stitched after their component's earlier windows with a barrier-respecting
+// offset.
+type Window struct {
+	// Component indexes the conflict component the window belongs to.
+	Component int
+	// Gates lists the member gate IDs in circuit (= topological) order.
+	// Measure gates are never members: the stitcher pins every readout to
+	// the common slot at the global makespan afterwards (the IBMQ
+	// all-readouts-simultaneous constraint).
+	Gates []int
+}
+
+// TwoQubitCount returns the number of two-qubit gates in the window.
+func (w *Window) TwoQubitCount(c *circuit.Circuit) int {
+	n := 0
+	for _, id := range w.Gates {
+		if c.Gates[id].Kind.IsTwoQubit() {
+			n++
+		}
+	}
+	return n
+}
+
+// Partition is the decomposition of one circuit's scheduling problem into
+// independent SMT windows (see PartitionCircuit).
+type Partition struct {
+	// Windows in solve order: the windows of one component are consecutive
+	// and dependency-ordered; distinct components share no qubits and no
+	// high-crosstalk pairs, so their schedules overlay at t=0 without
+	// interacting.
+	Windows []Window
+	// Components is the number of connected components of the conflict
+	// graph over non-measure gates.
+	Components int
+	// Measures lists the measure gate IDs, which are excluded from every
+	// window.
+	Measures []int
+}
+
+// Monolithic reports whether decomposition found nothing to split: at most
+// one window over at most one component. The partitioned engine then runs
+// the monolithic encoding instead, which also restores the exact
+// readout-synchronization constraint — this is what makes partitioned
+// scheduling cost-identical to the monolithic path on single-component
+// circuits that fit in one window.
+func (p *Partition) Monolithic() bool {
+	return p.Components <= 1 && len(p.Windows) <= 1
+}
+
+// PartitionCircuit builds the crosstalk conflict graph of the circuit —
+// vertices are gates; edges connect gates that share a qubit (the
+// dependency chains of the DAG) or form a pruned CanOlp high-crosstalk pair
+// — splits it into connected components, and cuts each component into
+// dependency-closed time windows of at most maxWindowGates two-qubit gates
+// (<= 0 selects DefaultMaxWindowGates).
+//
+// Key soundness property: any two gates in *different* components can never
+// interact. They share no qubit (shared-qubit chains are conflict edges),
+// neither depends on the other (dependencies are shared-qubit chains), and
+// they are not a high-crosstalk pair (such a pair is either
+// concurrency-compatible — then it is a CanOlp conflict edge — or ordered
+// by a shared-qubit chain). Components may therefore be scheduled
+// independently and overlaid in time.
+func PartitionCircuit(c *circuit.Circuit, nd *NoiseData, maxWindowGates int) *Partition {
+	if maxWindowGates <= 0 {
+		maxWindowGates = DefaultMaxWindowGates
+	}
+	dag := c.DAG()
+	uf := newUnionFind(len(c.Gates))
+	for _, g := range c.Gates {
+		for _, p := range dag.Pred[g.ID] {
+			uf.union(g.ID, p)
+		}
+	}
+	for _, pair := range crosstalkOverlapPairs(c, nd) {
+		uf.union(pair[0], pair[1])
+	}
+
+	// Group non-measure gates by component, components ordered by their
+	// smallest gate ID (deterministic regardless of union order).
+	part := &Partition{}
+	compOf := map[int]int{} // union-find root -> component index
+	var compGates [][]int
+	for _, g := range c.Gates {
+		if g.Kind == circuit.KindMeasure {
+			part.Measures = append(part.Measures, g.ID)
+			continue
+		}
+		root := uf.find(g.ID)
+		ci, ok := compOf[root]
+		if !ok {
+			ci = len(compGates)
+			compOf[root] = ci
+			compGates = append(compGates, nil)
+		}
+		compGates[ci] = append(compGates[ci], g.ID)
+	}
+	part.Components = len(compGates)
+
+	// Cut each component into windows along circuit order. Any prefix of a
+	// topological order is dependency-closed, so a window never needs a
+	// successor from an earlier window; cross-window CanOlp pairs simply
+	// lose their overlap option (the stitcher serializes windows), which is
+	// the approximation that buys the solve-time decomposition.
+	for ci, gates := range compGates {
+		win := Window{Component: ci}
+		twoQ := 0
+		for _, id := range gates {
+			if c.Gates[id].Kind.IsTwoQubit() {
+				if twoQ >= maxWindowGates {
+					part.Windows = append(part.Windows, win)
+					win = Window{Component: ci}
+					twoQ = 0
+				}
+				twoQ++
+			}
+			win.Gates = append(win.Gates, id)
+		}
+		if len(win.Gates) > 0 {
+			part.Windows = append(part.Windows, win)
+		}
+	}
+	return part
+}
+
+// unionFind is a plain disjoint-set forest with path halving and union by
+// size, used to extract conflict components.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

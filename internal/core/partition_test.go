@@ -1,0 +1,383 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+	"xtalk/internal/workloads"
+)
+
+// twoComponentCircuit builds a circuit whose conflict graph has exactly two
+// components on Poughkeepsie: a chain on qubits {0,1,2} and one on
+// {17,18,19}, far enough apart that no high-crosstalk pair couples them.
+// No measures, so monolithic and partitioned scheduling optimize the exact
+// same separable objective.
+func twoComponentCircuit() *circuit.Circuit {
+	c := circuit.New(20)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.CNOT(1, 2)
+	c.CNOT(0, 1)
+	c.H(17)
+	c.CNOT(18, 19)
+	c.CNOT(17, 18)
+	c.CNOT(18, 19)
+	return c
+}
+
+func TestPartitionStructure(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := twoComponentCircuit()
+	c.Measure(2)
+	c.Measure(19)
+	part := PartitionCircuit(c, nd, 2)
+
+	if part.Components != 2 {
+		t.Fatalf("components = %d, want 2", part.Components)
+	}
+	if len(part.Measures) != 2 {
+		t.Fatalf("measures = %v, want 2 entries", part.Measures)
+	}
+	seen := map[int]bool{}
+	lastWinOfComp := map[int]int{}
+	for wi, w := range part.Windows {
+		if got := w.TwoQubitCount(c); got > 2 {
+			t.Fatalf("window %d has %d two-qubit gates, cap 2", wi, got)
+		}
+		if prev, ok := lastWinOfComp[w.Component]; ok && prev != wi-1 {
+			t.Fatalf("component %d windows not consecutive", w.Component)
+		}
+		lastWinOfComp[w.Component] = wi
+		for i, id := range w.Gates {
+			if c.Gates[id].Kind == circuit.KindMeasure {
+				t.Fatalf("measure gate %d inside window %d", id, wi)
+			}
+			if seen[id] {
+				t.Fatalf("gate %d in two windows", id)
+			}
+			seen[id] = true
+			if i > 0 && w.Gates[i-1] >= id {
+				t.Fatalf("window %d gates not in circuit order: %v", wi, w.Gates)
+			}
+		}
+	}
+	for _, g := range c.Gates {
+		if g.Kind != circuit.KindMeasure && !seen[g.ID] {
+			t.Fatalf("gate %d missing from every window", g.ID)
+		}
+	}
+	// Cross-window dependencies must only point backwards within a
+	// component (windows are dependency-closed prefixes).
+	winOf := map[int]int{}
+	for wi, w := range part.Windows {
+		for _, id := range w.Gates {
+			winOf[id] = wi
+		}
+	}
+	dag := c.DAG()
+	for _, w := range part.Windows {
+		for _, id := range w.Gates {
+			for _, p := range dag.Pred[id] {
+				if c.Gates[p].Kind == circuit.KindMeasure {
+					continue
+				}
+				if winOf[p] > winOf[id] {
+					t.Fatalf("gate %d (window %d) depends on later window %d", id, winOf[id], winOf[p])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedMatchesMonolithicSingleWindow is the engine's correctness
+// bar: when the conflict graph is one component fitting one window, the
+// partitioned path must produce a cost-identical (here: start-identical)
+// schedule to the monolithic path.
+func TestPartitionedMatchesMonolithicSingleWindow(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	if testing.Short() {
+		// Same shape, smaller instance: one high-crosstalk SWAP pair keeps
+		// the conflict graph a single component while the full Fig. 6 path
+		// (exercised without -short) would dominate the race-enabled run.
+		small := circuit.New(20)
+		small.SWAP(5, 10)
+		small.SWAP(11, 12)
+		small.Measure(10)
+		small.Measure(11)
+		c = small.DecomposeSwaps()
+	}
+
+	cfg := DefaultXtalkConfig()
+	if testing.Short() {
+		cfg.CompactErrorEncoding = true // same encoding both sides, faster solve
+	}
+	mono, err := NewXtalkSched(nd, cfg).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewPartitionedXtalkSched(nd, cfg, PartitionOpts{MaxWindowGates: 100})
+	partSched, err := ps.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part := PartitionCircuit(c, nd, 100); !part.Monolithic() || part.Components != 1 {
+		t.Fatalf("expected a single-component single-window partition, got %d components / %d windows",
+			part.Components, len(part.Windows))
+	}
+	for i := range mono.Start {
+		if mono.Start[i] != partSched.Start[i] {
+			t.Fatalf("gate %d start differs: monolithic %v vs partitioned %v", i, mono.Start[i], partSched.Start[i])
+		}
+	}
+	cm, cp := mono.Cost(nd, cfg.Omega), partSched.Cost(nd, cfg.Omega)
+	if cm != cp {
+		t.Fatalf("cost differs: monolithic %v vs partitioned %v", cm, cp)
+	}
+	if partSched.Stats.Windows != 1 || partSched.Stats.Components != 1 {
+		t.Fatalf("stats = %+v, want 1 window / 1 component", partSched.Stats)
+	}
+}
+
+// TestPartitionedComponentsMatchMonolithic: on a measure-free circuit whose
+// conflict graph splits into independent components, the joint SMT objective
+// is separable, so the partitioned overlay must match the monolithic cost.
+func TestPartitionedComponentsMatchMonolithic(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := twoComponentCircuit()
+
+	cfg := DefaultXtalkConfig()
+	mono, err := NewXtalkSched(nd, cfg).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewPartitionedXtalkSched(nd, cfg, PartitionOpts{MaxWindowGates: 100})
+	partSched, err := ps.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partSched.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if partSched.Stats.Components != 2 || partSched.Stats.Windows != 2 {
+		t.Fatalf("stats = %+v, want 2 components / 2 windows", partSched.Stats)
+	}
+	cm, cp := mono.Cost(nd, cfg.Omega), partSched.Cost(nd, cfg.Omega)
+	if math.Abs(cm-cp) > 1e-6 {
+		t.Fatalf("cost differs: monolithic %v vs partitioned %v", cm, cp)
+	}
+}
+
+// TestPartitionedMultiWindow drives the windowed path proper: a tight cap
+// forces several windows per component; the stitched schedule must stay
+// valid, keep the readouts simultaneous at the end, and at omega=1 keep the
+// engine's crosstalk-serialization guarantee (in-window overlaps are
+// optimized out, cross-window pairs are serialized by the offsets).
+func TestPartitionedMultiWindow(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+
+	cfg := DefaultXtalkConfig()
+	cfg.Omega = 1
+	ps := NewPartitionedXtalkSched(nd, cfg, PartitionOpts{MaxWindowGates: 3})
+	s, err := ps.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid stitched schedule: %v\n%s", err, s.Render())
+	}
+	if s.Stats.Windows < 2 {
+		t.Fatalf("expected multiple windows, got %+v", s.Stats)
+	}
+	if got := s.CrosstalkOverlapCount(nd); got != 0 {
+		t.Fatalf("omega=1 partitioned schedule left %d crosstalk overlaps\n%s", got, s.Render())
+	}
+	var measureStart []float64
+	for _, g := range c.Gates {
+		if g.Kind == circuit.KindMeasure {
+			measureStart = append(measureStart, s.Start[g.ID])
+		}
+	}
+	for _, v := range measureStart[1:] {
+		if v != measureStart[0] {
+			t.Fatalf("measures not simultaneous: %v", measureStart)
+		}
+	}
+	// Barrier insertion must be able to materialize the stitched ordering.
+	out := InsertBarriers(s)
+	if out.CountKind(circuit.KindCNOT) != c.CountKind(circuit.KindCNOT) {
+		t.Fatal("barrier pass dropped gates")
+	}
+}
+
+// TestPartitionedDeterministicAcrossWorkers: same (circuit, device, seed,
+// config) must yield byte-identical schedules regardless of solve-pool size
+// and GOMAXPROCS (the satellite determinism requirement). No anytime budget:
+// wall-clock budgets are inherently nondeterministic.
+func TestPartitionedDeterministicAcrossWorkers(t *testing.T) {
+	dev := device.MustNewFromSpec("grid:4x5", 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	sup, err := workloads.SupremacyCircuit(dev.Topo, dev.Topo.NQubits, 2*dev.Topo.NQubits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultXtalkConfig()
+	cfg.CompactErrorEncoding = true
+
+	render := func(pool *SolvePool, procs int) string {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		ps := NewPartitionedXtalkSched(nd, cfg, PartitionOpts{MaxWindowGates: 4})
+		ps.Pool = pool
+		s, err := ps.Schedule(sup, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Render()
+	}
+
+	want := render(nil, 1) // sequential reference
+	for _, workers := range []int{1, 4, 8} {
+		if got := render(NewSolvePool(workers), 4); got != want {
+			t.Fatalf("schedule differs with %d workers:\n--- sequential ---\n%s--- %d workers ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestPartitionedCancellationInFlight cancels while window solves are in
+// flight: the engine must either return the incumbent (windows solved so
+// far + heuristic completion, still a valid schedule) or the context error
+// — and must not leak solver goroutines either way.
+func TestPartitionedCancellationInFlight(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	sup, err := workloads.SupremacyCircuit(dev.Topo, 16, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	cfg := DefaultXtalkConfig()
+	ps := NewPartitionedXtalkSched(nd, cfg, PartitionOpts{MaxWindowGates: 8})
+	ps.Pool = NewSolvePool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	s, err := ps.ScheduleContext(ctx, sup, dev)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation not honored promptly: %v", elapsed)
+	}
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled or an incumbent, got %v", err)
+		}
+	} else {
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("incumbent schedule invalid: %v", verr)
+		}
+		if s.Stats.Windows == 0 {
+			t.Fatalf("implausible stats after cancellation: %+v", s.Stats)
+		}
+	}
+
+	// All window goroutines must have drained.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, got)
+	}
+}
+
+// TestPartitionedBudgetFallback: an unreachable budget must still yield a
+// valid schedule via per-window heuristic completion (fail-soft), marked as
+// a fallback.
+func TestPartitionedBudgetFallback(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	cfg := DefaultXtalkConfig()
+	cfg.Timeout = time.Nanosecond
+	ps := NewPartitionedXtalkSched(nd, cfg, PartitionOpts{MaxWindowGates: 3})
+	s, err := ps.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Scheduler, "+fallback") {
+		t.Fatalf("scheduler name %q should carry the fallback marker", s.Scheduler)
+	}
+	if s.Stats.Fallbacks == 0 {
+		t.Fatalf("stats %+v should count heuristic fallbacks", s.Stats)
+	}
+}
+
+func TestPortfolioNeverWorseThanHeuristic(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := swapPathCircuit(t)
+	cfg := DefaultXtalkConfig()
+	pf := NewPortfolioSched(nd, cfg, PartitionOpts{})
+	s, err := pf.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s.Scheduler, "Portfolio[") {
+		t.Fatalf("scheduler name %q should carry the portfolio marker", s.Scheduler)
+	}
+	h, err := (&HeuristicXtalkSched{Noise: nd, Omega: cfg.Omega}).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost(nd, cfg.Omega) > h.Cost(nd, cfg.Omega)+1e-9 {
+		t.Fatalf("portfolio cost %v worse than its own heuristic candidate %v",
+			s.Cost(nd, cfg.Omega), h.Cost(nd, cfg.Omega))
+	}
+}
+
+// TestPortfolioAnytimeUnderTinyBudget: with a budget far too small for any
+// SMT search, the race must still return the heuristic incumbent promptly.
+func TestPortfolioAnytimeUnderTinyBudget(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	sup, err := workloads.SupremacyCircuit(dev.Topo, 16, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultXtalkConfig()
+	cfg.CompactErrorEncoding = true
+	cfg.Timeout = time.Millisecond
+	pf := NewPortfolioSched(nd, cfg, PartitionOpts{})
+	start := time.Now()
+	s, err := pf.Schedule(sup, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("portfolio ignored its budget: %v", elapsed)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+// PortfolioSched races several schedulers over the same circuit and keeps
+// the lowest-cost schedule, scoring each candidate with the paper's Eq. 17
+// objective evaluated on the realized schedule (Schedule.Cost). All
+// candidates share one context — and therefore one cancellation signal and
+// one wall-clock budget (give the SMT candidates the budget via
+// XtalkConfig.Timeout) — which makes the driver anytime: on cancellation or
+// budget expiry every candidate returns its best incumbent and the race
+// still yields the best of them.
+//
+// The default portfolio (NewPortfolioSched) races the greedy heuristic,
+// which produces an instant incumbent, against the conflict-partitioned SMT
+// engine. Ties break toward the earlier candidate, so results are
+// deterministic whenever the candidates are.
+type PortfolioSched struct {
+	Noise *NoiseData
+	// Omega weights the cost comparison between candidates (Eq. 17).
+	Omega float64
+	// Candidates are raced concurrently, each on its own goroutine.
+	Candidates []Scheduler
+}
+
+// NewPortfolioSched builds the default portfolio over the given
+// characterization data: HeuristicXtalkSched raced against
+// PartitionedXtalkSched, both at cfg.Omega, with cfg.Timeout as the shared
+// anytime budget.
+func NewPortfolioSched(nd *NoiseData, cfg XtalkConfig, opts PartitionOpts) *PortfolioSched {
+	part := NewPartitionedXtalkSched(nd, cfg, opts)
+	return &PortfolioSched{
+		Noise: nd,
+		Omega: part.Config.Omega,
+		Candidates: []Scheduler{
+			&HeuristicXtalkSched{Noise: nd, Omega: part.Config.Omega},
+			part,
+		},
+	}
+}
+
+// Name implements Scheduler.
+func (p *PortfolioSched) Name() string { return "PortfolioSched" }
+
+// Schedule implements Scheduler.
+func (p *PortfolioSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	return p.ScheduleContext(context.Background(), c, dev)
+}
+
+// ScheduleContext implements ContextScheduler: run every candidate under
+// the same context, return the lowest-cost result. A candidate's failure is
+// tolerated as long as some candidate produces a schedule; if all fail, the
+// context's error wins (cancellation is not a solver bug), else the first
+// candidate error is reported.
+func (p *PortfolioSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	if len(p.Candidates) == 0 {
+		return nil, fmt.Errorf("portfolio: no candidate schedulers")
+	}
+	scheds := make([]*Schedule, len(p.Candidates))
+	errs := make([]error, len(p.Candidates))
+	var wg sync.WaitGroup
+	for i, cand := range p.Candidates {
+		wg.Add(1)
+		go func(i int, cand Scheduler) {
+			defer wg.Done()
+			scheds[i], errs[i] = ScheduleWithContext(ctx, cand, c, dev)
+		}(i, cand)
+	}
+	wg.Wait()
+
+	best := -1
+	bestCost := 0.0
+	var effort SolveStats
+	for i, s := range scheds {
+		if s == nil {
+			continue
+		}
+		effort.Add(s.Stats)
+		cost := s.Cost(p.Noise, p.Omega)
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("portfolio: %w", err)
+			}
+		}
+		return nil, fmt.Errorf("portfolio: no candidate produced a schedule")
+	}
+	winner := scheds[best]
+	winner.Scheduler = fmt.Sprintf("Portfolio[%s]", winner.Scheduler)
+	// Report the race's total search effort — the budget was spent across
+	// all candidates even when a cheap one wins, and stats consumers gate
+	// on Windows > 0 to decide whether any SMT search ran.
+	winner.Stats = effort
+	return winner, nil
+}
+
+var _ ContextScheduler = (*PortfolioSched)(nil)

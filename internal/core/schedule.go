@@ -95,8 +95,45 @@ type Schedule struct {
 	// Scheduler is the name of the algorithm that produced the schedule.
 	Scheduler string
 	// SolverObjective is the objective value reported by XtalkSched's SMT
-	// optimization (0 for baseline schedulers).
+	// optimization (0 for baseline schedulers). Partitioned schedules report
+	// the sum of the per-window objectives, which ignores cross-window
+	// decoherence gaps; use Cost for the exact realized objective.
 	SolverObjective float64
+	// Stats quantifies the solver effort that produced the schedule (zero
+	// for baseline schedulers).
+	Stats SolveStats
+}
+
+// SolveStats quantifies the SMT search effort behind a schedule.
+type SolveStats struct {
+	// Components is the number of independent components of the crosstalk
+	// conflict graph (0 when the scheduler did not partition).
+	Components int
+	// Windows is the number of SMT instances solved: 1 for the monolithic
+	// encoding, one per window for the partitioned engine, 0 when no SMT
+	// search ran (baselines, pure-heuristic schedules).
+	Windows int
+	// Fallbacks counts windows completed by the greedy heuristic after a
+	// budget or cancellation cut their SMT search short.
+	Fallbacks int
+	// Decisions and Conflicts total the SAT-core search counters across all
+	// instances (see smt.Solver.Stats).
+	Decisions, Conflicts int64
+}
+
+// Add accumulates other into s.
+func (s *SolveStats) Add(other SolveStats) {
+	s.Components += other.Components
+	s.Windows += other.Windows
+	s.Fallbacks += other.Fallbacks
+	s.Decisions += other.Decisions
+	s.Conflicts += other.Conflicts
+}
+
+// String renders the effort counters in one line.
+func (s SolveStats) String() string {
+	return fmt.Sprintf("%d windows (%d components, %d heuristic fallbacks), %d decisions, %d conflicts",
+		s.Windows, s.Components, s.Fallbacks, s.Decisions, s.Conflicts)
 }
 
 func newSchedule(c *circuit.Circuit, dev *device.Device, name string) *Schedule {

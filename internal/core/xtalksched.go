@@ -85,6 +85,15 @@ func (x *XtalkSched) Name() string { return fmt.Sprintf("XtalkSched(w=%.2g)", x.
 // OverlapPairKeys returns the gate-ID pairs that receive overlap indicators
 // for this circuit (the pruned CanOlp pairs), smaller ID first.
 func (x *XtalkSched) OverlapPairKeys(c *circuit.Circuit) [][2]int {
+	return crosstalkOverlapPairs(c, x.Noise)
+}
+
+// crosstalkOverlapPairs enumerates the pruned CanOlp relation of Section
+// 7.2: unordered pairs of two-qubit gates that are concurrency-compatible
+// (no shared qubit, no ancestry) and whose hardware edges form a
+// high-crosstalk pair. These are exactly the pairs that receive overlap
+// indicators in the SMT encoding and the conflict edges of the partitioner.
+func crosstalkOverlapPairs(c *circuit.Circuit, nd *NoiseData) [][2]int {
 	dag := c.DAG()
 	two := c.TwoQubitGates()
 	var keys [][2]int
@@ -94,7 +103,7 @@ func (x *XtalkSched) OverlapPairKeys(c *circuit.Circuit) [][2]int {
 			ga, gb := c.Gates[a], c.Gates[b]
 			ea := device.NewEdge(ga.Qubits[0], ga.Qubits[1])
 			eb := device.NewEdge(gb.Qubits[0], gb.Qubits[1])
-			if dag.CanOverlap(a, b) && x.Noise.IsHighCrosstalkPair(ea, eb) {
+			if dag.CanOverlap(a, b) && nd.IsHighCrosstalkPair(ea, eb) {
 				keys = append(keys, [2]int{a, b})
 			}
 		}
@@ -117,51 +126,126 @@ func (x *XtalkSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, de
 		return nil, err
 	}
 	sched := newSchedule(c, dev, x.Name())
+	st, err := x.solveGates(ctx, c, sched, nil, x.Config.Timeout)
+	if err != nil {
+		if errors.Is(err, smt.ErrCanceled) {
+			// Canceled before the first incumbent: report the caller's
+			// cancellation, not a solver failure, and skip the heuristic
+			// fallback (the caller asked us to stop working).
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, err
+		}
+		if (x.Config.Timeout > 0 || x.Config.MaxConflicts > 0) && !errors.Is(err, errSchedUnsat) {
+			// Anytime budget expired before the first incumbent: fall back
+			// to the greedy crosstalk-aware heuristic so callers still get
+			// a valid, crosstalk-serialized schedule.
+			h := &HeuristicXtalkSched{Noise: x.Noise, Omega: x.Config.Omega}
+			hs, herr := h.Schedule(c, dev)
+			if herr != nil {
+				return nil, fmt.Errorf("xtalksched: %w (heuristic fallback also failed: %v)", err, herr)
+			}
+			hs.Scheduler = x.Name() + "+fallback"
+			// Keep the counters of the expired search: the budget was spent
+			// even though no incumbent came out of it.
+			hs.Stats = SolveStats{Windows: 1, Fallbacks: 1, Decisions: st.decisions, Conflicts: st.conflicts}
+			return hs, nil
+		}
+		return nil, fmt.Errorf("xtalksched: %w", err)
+	}
+	sched.SolverObjective = st.objective
+	sched.Stats = SolveStats{Windows: 1, Decisions: st.decisions, Conflicts: st.conflicts}
+	return sched, nil
+}
+
+// errSchedUnsat reports an unsatisfiable scheduling instance — a bug in the
+// encoding or the input, never something a fallback should paper over.
+var errSchedUnsat = errors.New("scheduling constraints unsatisfiable")
+
+// winStats is one SMT instance's outcome: the minimized objective (including
+// the fixed-cost contribution of partner-free gates) and the SAT-core search
+// effort.
+type winStats struct {
+	objective            float64
+	decisions, conflicts int64
+}
+
+// solveGates encodes the scheduling constraints of Section 7 restricted to
+// the given gate IDs (nil = the whole circuit) and minimizes the weighted
+// objective, writing the optimal start times into sched.Start for exactly
+// those gates. With gates == nil this is the paper's monolithic encoding.
+//
+// When gates is a proper subset, the instance is a *window* of the
+// conflict-partitioned engine: it must be dependency-closed from below
+// within its conflict component (cross-window predecessors are enforced by
+// the stitcher's barrier-respecting offsets, so their edges are dropped
+// here), it is solved in window-local time starting at 0, and it must not
+// contain measure gates — the global all-readouts-simultaneous slot only
+// exists on the full circuit.
+func (x *XtalkSched) solveGates(ctx context.Context, c *circuit.Circuit, sched *Schedule, gates []int, timeout time.Duration) (winStats, error) {
 	dag := c.DAG()
+	if gates == nil {
+		gates = make([]int, len(c.Gates))
+		for i := range gates {
+			gates[i] = i
+		}
+	}
+	in := make([]bool, len(c.Gates))
+	for _, id := range gates {
+		in[id] = true
+	}
 	sol := smt.NewSolver()
 	if x.Config.DebugAudit {
 		sol.EnableDebugModelAudit()
 		sol.EnableDebugStrict()
 	}
 
-	n := len(c.Gates)
 	// Horizon: the fully serial duration is an upper bound on any useful
 	// start time; bounding tau keeps the optimization polytope compact.
 	horizon := device.DefaultMeasureDuration
-	for i := range c.Gates {
-		horizon += sched.Duration[i]
+	for _, id := range gates {
+		horizon += sched.Duration[id]
 	}
-	tau := make([]smt.Var, n)
-	for i := 0; i < n; i++ {
-		tau[i] = sol.Real()
-		sol.Assert(smt.Ge(smt.V(tau[i]), smt.Const(0)))
-		sol.Assert(smt.Le(smt.V(tau[i]), smt.Const(horizon)))
+	tau := make([]smt.Var, len(c.Gates))
+	for _, id := range gates {
+		tau[id] = sol.Real()
+		sol.Assert(smt.Ge(smt.V(tau[id]), smt.Const(0)))
+		sol.Assert(smt.Le(smt.V(tau[id]), smt.Const(horizon)))
 	}
 
-	// Data dependency constraints (Eq. 1).
-	for i := 0; i < n; i++ {
-		for _, p := range dag.Pred[i] {
-			sol.Assert(smt.Ge(smt.V(tau[i]), smt.V(tau[p]).AddConst(sched.Duration[p])))
+	// Data dependency constraints (Eq. 1), restricted to in-instance edges.
+	for _, id := range gates {
+		for _, p := range dag.Pred[id] {
+			if !in[p] {
+				continue
+			}
+			sol.Assert(smt.Ge(smt.V(tau[id]), smt.V(tau[p]).AddConst(sched.Duration[p])))
 		}
 	}
 
 	// IBMQ constraint: all readouts simultaneous.
 	var firstMeasure = -1
-	for _, g := range c.Gates {
-		if g.Kind != circuit.KindMeasure {
+	for _, id := range gates {
+		if c.Gates[id].Kind != circuit.KindMeasure {
 			continue
 		}
 		if firstMeasure < 0 {
-			firstMeasure = g.ID
+			firstMeasure = id
 			continue
 		}
-		sol.Assert(smt.Eq(smt.V(tau[g.ID]), smt.V(tau[firstMeasure])))
+		sol.Assert(smt.Eq(smt.V(tau[id]), smt.V(tau[firstMeasure])))
 	}
 
 	// Overlap candidates: for each two-qubit gate, the concurrency-compatible
 	// two-qubit gates whose hardware edge forms a high-crosstalk pair with
 	// its own (the pruned CanOlp of Section 7.2).
-	two := c.TwoQubitGates()
+	var two []int
+	for _, id := range c.TwoQubitGates() {
+		if in[id] {
+			two = append(two, id)
+		}
+	}
 	edgeOf := func(id int) device.Edge {
 		g := c.Gates[id]
 		return device.NewEdge(g.Qubits[0], g.Qubits[1])
@@ -290,22 +374,23 @@ func (x *XtalkSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, de
 	// qubit, F_q <= every gate start, L_q >= every gate finish, objective
 	// term (1-omega) * (L_q - F_q) / T_q.
 	for _, q := range c.ActiveQubits() {
-		var gates []int
-		for _, g := range c.Gates {
+		var onQubit []int
+		for _, id := range gates {
+			g := c.Gates[id]
 			if g.Kind == circuit.KindBarrier {
 				continue
 			}
 			for _, gq := range g.Qubits {
 				if gq == q {
-					gates = append(gates, g.ID)
+					onQubit = append(onQubit, id)
 				}
 			}
 		}
-		if len(gates) == 0 {
+		if len(onQubit) == 0 {
 			continue
 		}
 		fq, lq := sol.Real(), sol.Real()
-		for _, id := range gates {
+		for _, id := range onQubit {
 			sol.Assert(smt.Le(smt.V(fq), smt.V(tau[id])))
 			sol.Assert(smt.Ge(smt.V(lq), smt.V(tau[id]).AddConst(sched.Duration[id])))
 		}
@@ -319,45 +404,26 @@ func (x *XtalkSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, de
 	}
 
 	// Tie-break: prefer earlier start times so the optimum is compact.
-	for i := 0; i < n; i++ {
-		objective = objective.Add(smt.Term(tau[i], x.Config.TieBreak))
+	for _, id := range gates {
+		objective = objective.Add(smt.Term(tau[id], x.Config.TieBreak))
 	}
 
 	model, ok, err := sol.Minimize(objective, smt.MinimizeOpts{
 		MaxConflicts: x.Config.MaxConflicts,
-		Deadline:     x.Config.Timeout,
+		Deadline:     timeout,
 		Cancel:       ctx.Done(),
 	})
+	decisions, conflicts := sol.Stats()
+	st := winStats{decisions: decisions, conflicts: conflicts}
 	if err != nil {
-		if errors.Is(err, smt.ErrCanceled) {
-			// Canceled before the first incumbent: report the caller's
-			// cancellation, not a solver failure, and skip the heuristic
-			// fallback (the caller asked us to stop working).
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, cerr
-			}
-			return nil, err
-		}
-		if x.Config.Timeout > 0 || x.Config.MaxConflicts > 0 {
-			// Anytime budget expired before the first incumbent: fall back
-			// to the greedy crosstalk-aware heuristic so callers still get
-			// a valid, crosstalk-serialized schedule.
-			h := &HeuristicXtalkSched{Noise: x.Noise, Omega: x.Config.Omega}
-			hs, herr := h.Schedule(c, dev)
-			if herr != nil {
-				return nil, fmt.Errorf("xtalksched: %w (heuristic fallback also failed: %v)", err, herr)
-			}
-			hs.Scheduler = x.Name() + "+fallback"
-			return hs, nil
-		}
-		return nil, fmt.Errorf("xtalksched: %w", err)
+		return st, err
 	}
 	if !ok {
-		return nil, fmt.Errorf("xtalksched: scheduling constraints unsatisfiable")
+		return st, errSchedUnsat
 	}
-	for i := 0; i < n; i++ {
-		sched.Start[i] = math.Max(0, model.Real(tau[i]))
+	for _, id := range gates {
+		sched.Start[id] = math.Max(0, model.Real(tau[id]))
 	}
-	sched.SolverObjective = model.Objective + x.Config.Omega*constCost
-	return sched, nil
+	st.objective = model.Objective + x.Config.Omega*constCost
+	return st, nil
 }

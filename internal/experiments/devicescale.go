@@ -30,9 +30,17 @@ type DeviceScaleRow struct {
 	// SupremacyGates is the size of the random circuit used for the
 	// compile-time measurement.
 	SupremacyGates int
-	// CompileTime is the XtalkSched schedule-stage wall clock on the
-	// supremacy circuit (anytime-budgeted).
+	// CompileTime is the monolithic XtalkSched schedule-stage wall clock on
+	// the supremacy circuit (anytime-budgeted).
 	CompileTime time.Duration
+	// CompilePart is the conflict-partitioned engine's schedule-stage wall
+	// clock on the same circuit under the same budget.
+	CompilePart time.Duration
+	// PartWindows / PartComponents describe the partition the engine found.
+	PartWindows, PartComponents int
+	// CostMono / CostPart compare the realized Eq. 17 cost of the two
+	// engines' schedules (the decomposition's quality price, if any).
+	CostMono, CostPart float64
 }
 
 // DeviceScaleResult is the device-size scalability sweep: the same workload
@@ -57,12 +65,17 @@ func (r *DeviceScaleResult) String() string {
 			fmt.Sprintf("%d/%d", row.OverlapsXtalk, row.OverlapsPar),
 			fmt.Sprintf("%d", row.SupremacyGates),
 			row.CompileTime.Round(time.Millisecond).String(),
+			row.CompilePart.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d/%d", row.PartWindows, row.PartComponents),
+			f3(row.CostMono), f3(row.CostPart),
 		})
 	}
 	var sb strings.Builder
 	sb.WriteString("Device scale — QAOA modeled success and supremacy compile time across topologies\n")
+	sb.WriteString("(compileM = monolithic SMT, compileP = conflict-partitioned engine, same anytime budget)\n")
 	sb.WriteString(table(
-		[]string{"device", "qubits", "edges", "xtalk pairs", "succPar", "succXtalk", "overlaps X/P", "gates", "compile"},
+		[]string{"device", "qubits", "edges", "xtalk pairs", "succPar", "succXtalk", "overlaps X/P", "gates",
+			"compileM", "compileP", "win/comp", "costM", "costP"},
 		rows))
 	return sb.String()
 }
@@ -136,6 +149,21 @@ func DeviceScale(ctx context.Context, opts Options, specs ...string) (*DeviceSca
 			return nil, fmt.Errorf("%s: %w", r.Tag, r.Err)
 		}
 		row.CompileTime = r.StageElapsed("schedule")
+		row.CostMono = r.Schedule.Cost(nd, 0.5)
+		// The same circuit through the conflict-partitioned engine under the
+		// same budget: the decomposition's compile-time win (and its quality
+		// price) per device size.
+		rp := p.Run(ctx, pipeline.Request{
+			Tag: spec + " supremacy partitioned", Circuit: sc,
+			Scheduler: core.NewPartitionedXtalkSched(nd, cfg, core.PartitionOpts{}),
+		})
+		if rp.Err != nil {
+			return nil, fmt.Errorf("%s: %w", rp.Tag, rp.Err)
+		}
+		row.CompilePart = rp.StageElapsed("schedule")
+		row.PartWindows = rp.Schedule.Stats.Windows
+		row.PartComponents = rp.Schedule.Stats.Components
+		row.CostPart = rp.Schedule.Cost(nd, 0.5)
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -38,6 +38,15 @@ func TestDeviceScaleOnGeneratedTopologies(t *testing.T) {
 		if row.CompileTime <= 0 {
 			t.Fatalf("%s: no compile time recorded", row.Spec)
 		}
+		if row.CompilePart <= 0 {
+			t.Fatalf("%s: no partitioned compile time recorded", row.Spec)
+		}
+		if row.PartWindows < 1 || row.PartComponents < 1 {
+			t.Fatalf("%s: implausible partition %d windows / %d components", row.Spec, row.PartWindows, row.PartComponents)
+		}
+		if row.CostPart <= 0 || row.CostMono <= 0 {
+			t.Fatalf("%s: missing schedule costs (mono %v, part %v)", row.Spec, row.CostMono, row.CostPart)
+		}
 	}
 	// Devices must be in growing order in the default-style sweep here.
 	if res.Rows[0].Qubits >= res.Rows[2].Qubits {

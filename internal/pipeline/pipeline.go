@@ -116,6 +116,21 @@ type Config struct {
 	// Budget is the per-schedule anytime SMT budget for the default
 	// scheduler (0 = run to optimality). Ignored when Scheduler is set.
 	Budget time.Duration
+	// Partition routes the default scheduler through the conflict-
+	// partitioned engine: each circuit's crosstalk conflict graph is split
+	// into independent components and bounded windows, every window solved
+	// as its own small SMT instance over the pipeline's solve pool (so
+	// batch compilation overlaps windows across circuits), and the
+	// per-window schedules stitched back with barrier-respecting offsets.
+	// Ignored when Scheduler is set.
+	Partition bool
+	// WindowGates caps the two-qubit gates per window SMT instance when
+	// Partition or Portfolio is on (0 = core.DefaultMaxWindowGates).
+	WindowGates int
+	// Portfolio races the partitioned SMT engine against the greedy
+	// heuristic under the same Budget and keeps the lower-cost schedule
+	// (implies Partition). Ignored when Scheduler is set.
+	Portfolio bool
 	// Scheduler overrides the default XtalkSched.
 	Scheduler core.Scheduler
 	// Route lowers circuits onto the device topology (meet-in-the-middle
@@ -149,10 +164,15 @@ type Pipeline struct {
 	sched     core.Scheduler
 	autoSched bool // sched was derived from cfg, rebuild on Characterize
 	stages    []Stage
+	// pool bounds concurrent SMT window solves across the whole pipeline:
+	// when a batch compiles many circuits with the partitioned engine, all
+	// their windows contend for the same Config.Workers-sized pool.
+	pool *core.SolvePool
 
 	mu    sync.Mutex
 	stats map[string]*StageStats
 	order []string // stage names in first-seen order, for stable reports
+	solve core.SolveStats
 }
 
 // NewFromSpec builds a pipeline over the device described by a device spec
@@ -178,6 +198,11 @@ func New(dev *device.Device, cfg Config) *Pipeline {
 		nd = GroundTruthNoise(dev, cfg.Threshold)
 	}
 	p := &Pipeline{Dev: dev, Noise: nd, cfg: cfg, stats: map[string]*StageStats{}}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p.pool = core.NewSolvePool(workers)
 	p.sched = cfg.Scheduler
 	if p.sched == nil {
 		p.sched = p.buildScheduler()
@@ -198,7 +223,22 @@ func (p *Pipeline) buildScheduler() core.Scheduler {
 		xc.Omega = 0
 	}
 	xc.Timeout = p.cfg.Budget
-	return core.NewXtalkSched(p.Noise, xc)
+	if !p.cfg.Partition && !p.cfg.Portfolio {
+		return core.NewXtalkSched(p.Noise, xc)
+	}
+	part := core.NewPartitionedXtalkSched(p.Noise, xc, core.PartitionOpts{MaxWindowGates: p.cfg.WindowGates})
+	part.Pool = p.pool
+	if p.cfg.Portfolio {
+		return &core.PortfolioSched{
+			Noise: p.Noise,
+			Omega: part.Config.Omega,
+			Candidates: []core.Scheduler{
+				&core.HeuristicXtalkSched{Noise: p.Noise, Omega: part.Config.Omega},
+				part,
+			},
+		}
+	}
+	return part
 }
 
 func defaultStages(cfg Config) []Stage {
@@ -231,8 +271,9 @@ func (p *Pipeline) Scheduler(req *Request) core.Scheduler {
 // Characterize runs an SRB crosstalk-characterization campaign on the
 // pipeline's device and installs the measured noise data as the scheduler
 // input, replacing ground truth: the default scheduler is rebuilt over the
-// measured data, and an explicitly configured *core.XtalkSched is rebuilt
-// with its own config. Other explicit scheduler types keep their
+// measured data, and an explicitly configured library scheduler (XtalkSched,
+// PartitionedXtalkSched, HeuristicXtalkSched, or a PortfolioSched of them)
+// is rebuilt with its own config. Other explicit scheduler types keep their
 // construction-time noise (read p.Noise and reconfigure them yourself).
 // highPairs seeds the HighCrosstalkOnly policy (from a previous full
 // campaign). Not safe to call concurrently with Run/Batch.
@@ -247,10 +288,37 @@ func (p *Pipeline) Characterize(ctx context.Context, policy characterize.Policy,
 	p.Noise = rep.NoiseData(p.Dev, p.cfg.Threshold)
 	if p.autoSched {
 		p.sched = p.buildScheduler()
-	} else if xs, ok := p.sched.(*core.XtalkSched); ok {
-		p.sched = core.NewXtalkSched(p.Noise, xs.Config)
+	} else {
+		p.sched = p.rebuildOnNoise(p.sched)
 	}
 	return rep, nil
+}
+
+// rebuildOnNoise returns s reconstructed over the pipeline's current noise
+// data when its concrete type is one of the library's noise-consuming
+// schedulers (the SMT engines, the greedy heuristic, and portfolios of
+// them, rebuilt candidate by candidate). Unknown scheduler types are
+// returned unchanged — they keep their construction-time noise, as
+// Characterize documents.
+func (p *Pipeline) rebuildOnNoise(s core.Scheduler) core.Scheduler {
+	switch sc := s.(type) {
+	case *core.XtalkSched:
+		return core.NewXtalkSched(p.Noise, sc.Config)
+	case *core.PartitionedXtalkSched:
+		rebuilt := core.NewPartitionedXtalkSched(p.Noise, sc.Config, sc.Opts)
+		rebuilt.Pool = sc.Pool
+		return rebuilt
+	case *core.HeuristicXtalkSched:
+		return &core.HeuristicXtalkSched{Noise: p.Noise, Omega: sc.Omega}
+	case *core.PortfolioSched:
+		cands := make([]core.Scheduler, len(sc.Candidates))
+		for i, c := range sc.Candidates {
+			cands[i] = p.rebuildOnNoise(c)
+		}
+		return &core.PortfolioSched{Noise: p.Noise, Omega: sc.Omega, Candidates: cands}
+	default:
+		return s
+	}
 }
 
 // Run compiles one request through the stage stack. The returned Result
@@ -347,6 +415,23 @@ func (p *Pipeline) record(stage string, d time.Duration, err error) {
 	}
 }
 
+// recordSolve accumulates one schedule's SMT effort counters (windows,
+// components, heuristic fallbacks, SAT decisions/conflicts) into the
+// pipeline's totals. Called by the Schedule stage for every scheduled item.
+func (p *Pipeline) recordSolve(st core.SolveStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.solve.Add(st)
+}
+
+// SolveStats returns the aggregated SMT search effort across every schedule
+// the pipeline has produced.
+func (p *Pipeline) SolveStats() core.SolveStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.solve
+}
+
 // Stats returns a snapshot of the per-stage aggregates.
 func (p *Pipeline) Stats() map[string]StageStats {
 	p.mu.Lock()
@@ -367,6 +452,7 @@ func (p *Pipeline) StatsString() string {
 	for i, n := range names {
 		stats[i] = *p.stats[n]
 	}
+	solve := p.solve
 	p.mu.Unlock()
 	if len(names) == 0 {
 		return "pipeline: no stages run\n"
@@ -382,6 +468,9 @@ func (p *Pipeline) StatsString() string {
 		fmt.Fprintf(&sb, "%-14s  %4d  %4d  %-11v  %-11v  %v\n",
 			n, s.Runs, s.Errors, s.Total.Round(time.Microsecond),
 			s.Max.Round(time.Microsecond), mean.Round(time.Microsecond))
+	}
+	if solve.Windows > 0 {
+		fmt.Fprintf(&sb, "solver: %s\n", solve)
 	}
 	return sb.String()
 }

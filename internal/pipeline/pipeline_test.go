@@ -3,6 +3,7 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -236,6 +237,111 @@ func TestPrecanceledContext(t *testing.T) {
 	res := p.Run(ctx, Request{Tag: "x", Circuit: crosstalkCircuit(1)})
 	if !errors.Is(res.Err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", res.Err)
+	}
+}
+
+// TestBatchPartitionedCancellation: ctx canceled while partitioned window
+// solves are in flight must fail-soft in Batch — every item either carries
+// the cancellation error or a valid incumbent schedule — without leaking
+// window-solver goroutines (run under -race in CI).
+func TestBatchPartitionedCancellation(t *testing.T) {
+	dev := testDev(t)
+	var reqs []Request
+	for i := 0; i < 4; i++ {
+		c, err := workloads.SupremacyCircuit(dev.Topo, 16, 300, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, Request{Tag: string(rune('a' + i)), Circuit: c})
+	}
+	before := runtime.NumGoroutine()
+	p := New(dev, Config{Workers: 2, Partition: true, WindowGates: 20})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	results := p.Batch(ctx, reqs)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("Batch took %v after cancellation, want prompt return", elapsed)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(results), len(reqs))
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		if r.Err != nil {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("item %q failed with %v, want context.Canceled", r.Tag, r.Err)
+			}
+		} else if r.Schedule == nil {
+			t.Fatalf("item %q has neither error nor schedule", r.Tag)
+		} else if err := r.Schedule.Validate(); err != nil {
+			t.Fatalf("item %q incumbent invalid: %v", r.Tag, err)
+		}
+	}
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, got)
+	}
+}
+
+// TestPartitionedBatchDeterministicAcrossWorkers: the same requests through
+// partitioned pipelines with different worker counts must produce
+// byte-identical schedules (no anytime budget involved).
+func TestPartitionedBatchDeterministicAcrossWorkers(t *testing.T) {
+	dev := testDev(t)
+	c, err := workloads.SupremacyCircuit(dev.Topo, dev.Topo.NQubits, 2*dev.Topo.NQubits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []string {
+		p := New(dev, Config{Workers: workers, Partition: true, WindowGates: 4})
+		reqs := []Request{
+			{Tag: "sup", Circuit: c},
+			{Tag: "xt", Circuit: crosstalkCircuit(2)},
+		}
+		results := p.Batch(context.Background(), reqs)
+		var out []string
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, r.Tag, r.Err)
+			}
+			out = append(out, r.Schedule.Render())
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("schedule %d differs between 1 and %d workers:\n%s\nvs\n%s", i, workers, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestPipelineSolveStatsSurfaced: the schedule stage must accumulate
+// per-window solver effort and StatsString must render it.
+func TestPipelineSolveStatsSurfaced(t *testing.T) {
+	dev := testDev(t)
+	p := New(dev, Config{Partition: true, WindowGates: 2, Budget: 5 * time.Second})
+	res := p.Run(context.Background(), Request{Tag: "x", Circuit: crosstalkCircuit(3)})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := p.SolveStats()
+	if st.Windows == 0 || st.Windows != res.Schedule.Stats.Windows {
+		t.Fatalf("pipeline solve stats %+v do not match schedule stats %+v", st, res.Schedule.Stats)
+	}
+	if !strings.Contains(p.StatsString(), "solver:") {
+		t.Fatalf("StatsString missing solver effort line:\n%s", p.StatsString())
 	}
 }
 

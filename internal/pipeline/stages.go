@@ -113,6 +113,7 @@ func (ScheduleStage) Run(ctx context.Context, p *Pipeline, res *Result) error {
 		return fmt.Errorf("invalid schedule: %w", err)
 	}
 	res.Schedule = s
+	p.recordSolve(s.Stats)
 	return nil
 }
 

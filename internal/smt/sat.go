@@ -60,6 +60,13 @@ type satSolver struct {
 	activity []float64
 	varInc   float64
 
+	// phase holds the saved branching polarity per variable (valUnassigned
+	// = no preference, branch false-first). Minimize records each incumbent
+	// model here so successive objective-tightening iterations restart the
+	// search in the neighborhood of the best known solution instead of
+	// re-deriving it from scratch.
+	phase []int8
+
 	seen []bool // scratch for conflict analysis
 
 	conflicts int64
@@ -87,6 +94,7 @@ func (s *satSolver) newVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, -1)
 	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, valUnassigned)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
 	return v
@@ -471,9 +479,17 @@ func (s *satSolver) solve(maxConflicts int64) (bool, error) {
 		s.decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.theory.pushLevel()
-		// Phase heuristic: try false first (schedules prefer fewer overlaps).
-		s.enqueue(mkLit(v, true), -1)
+		// Phase heuristic: follow the saved polarity from the last incumbent
+		// model, else try false first (schedules prefer fewer overlaps).
+		s.enqueue(mkLit(v, s.phase[v] != valTrue), -1)
 	}
+}
+
+// savePhases records the current (full) assignment as the preferred
+// branching polarity of every variable. Called on each incumbent model so
+// the next objective-tightening round reuses the incumbent's structure.
+func (s *satSolver) savePhases() {
+	copy(s.phase, s.assign)
 }
 
 type budgetErr struct{}

@@ -543,6 +543,11 @@ func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, erro
 		m.Objective = val + obj.Constant()
 		s.auditModel(m, "Minimize")
 		best = m
+		// Reuse the incumbent across objective-tightening iterations: saving
+		// its boolean structure as the branching polarity lets the next
+		// round re-derive a (tighter) nearby solution instead of re-solving
+		// from scratch.
+		s.sat.savePhases()
 		// Require strict improvement and continue searching.
 		margin := math.Max(opt.Eps, math.Abs(val)*1e-9)
 		s.Assert(Le(obj.Sub(Const(obj.Constant())), Const(val-margin)))

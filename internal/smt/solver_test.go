@@ -317,6 +317,48 @@ func TestMinimizeBooleanChoice(t *testing.T) {
 	}
 }
 
+// TestMinimizePhaseSaving: every incumbent records its assignment as the
+// saved branching polarity, so objective-tightening iterations restart the
+// search in the incumbent's neighborhood — and the final answer stays the
+// exact optimum.
+func TestMinimizePhaseSaving(t *testing.T) {
+	s := NewSolver()
+	// A chain of independent binary choices, each with a cheap and an
+	// expensive mode, forces several tightening iterations.
+	obj := Const(0)
+	var bools []BoolV
+	for i := 0; i < 6; i++ {
+		b := s.Bool()
+		bools = append(bools, b)
+		c := s.Real()
+		s.Assert(Ge(V(c), Const(0)))
+		s.Assert(Implies(BoolLit(b), Ge(V(c), Const(float64(10+i)))))
+		s.Assert(Implies(Not(BoolLit(b)), Ge(V(c), Const(float64(1+i)))))
+		obj = obj.Add(V(c))
+	}
+	m, ok, err := s.Minimize(obj)
+	if err != nil || !ok {
+		t.Fatalf("Minimize: ok=%v err=%v", ok, err)
+	}
+	want := 0.0
+	for i := 0; i < 6; i++ {
+		want += float64(1 + i)
+	}
+	if math.Abs(m.Objective-want) > 1e-3 {
+		t.Fatalf("objective = %v, want %v", m.Objective, want)
+	}
+	// The saved phases must reflect the final incumbent's boolean structure.
+	for _, b := range bools {
+		if m.Bool(b) {
+			t.Fatal("optimal assignment sets every choice to its cheap mode")
+		}
+		sv := s.boolSatVar[b]
+		if s.sat.phase[sv] == valTrue {
+			t.Fatalf("saved phase for b%d contradicts the incumbent model", int(b))
+		}
+	}
+}
+
 func TestMinimizeSchedulingToy(t *testing.T) {
 	// Two unit jobs on overlapping resources: either serialize (makespan 2)
 	// or overlap with penalty. Classic structure of the paper's encoding.

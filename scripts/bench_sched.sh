@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench_sched.sh — repeatable scheduler perf harness.
+#
+# Runs BenchmarkSchedEngine (monolithic vs conflict-partitioned SMT
+# scheduling on device-filling supremacy circuits, same anytime budget) and
+# emits BENCH_sched.json with ns/op per device size and engine, so future
+# PRs have a comparable perf trajectory.
+#
+# Usage: scripts/bench_sched.sh [output.json]   (default: BENCH_sched.json)
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_sched.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench '^BenchmarkSchedEngine$' -benchtime 1x -timeout 30m . | tee "$tmp"
+
+awk -v goversion="$(go version | awk '{print $3}')" '
+BEGIN {
+	printf "{\n  \"benchmark\": \"BenchmarkSchedEngine\",\n"
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"unit\": \"ns_per_op\",\n  \"results\": [\n"
+}
+/^BenchmarkSchedEngine\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+	sub(/^BenchmarkSchedEngine\//, "", name)
+	if (n++) printf ",\n"
+	printf "    {\"case\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out"

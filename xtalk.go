@@ -179,6 +179,27 @@ func NewXtalkSchedulerWithConfig(nd *NoiseData, cfg XtalkConfig) Scheduler {
 	return core.NewXtalkSched(nd, cfg)
 }
 
+// NewPartitionedScheduler builds the conflict-partitioned scheduling
+// engine: the circuit's crosstalk conflict graph (shared-qubit dependencies
+// plus pruned CanOlp pairs) is split into independent components and
+// bounded time windows, each window is solved as its own small SMT
+// instance, and the per-window schedules are stitched back together with
+// barrier-respecting offsets. windowGates caps the two-qubit gates per
+// window (0 = default). On circuits whose conflict graph is a single
+// component fitting one window it produces schedules cost-identical to the
+// monolithic scheduler.
+func NewPartitionedScheduler(nd *NoiseData, cfg XtalkConfig, windowGates int) Scheduler {
+	return core.NewPartitionedXtalkSched(nd, cfg, core.PartitionOpts{MaxWindowGates: windowGates})
+}
+
+// NewPortfolioScheduler races the partitioned SMT engine against the greedy
+// crosstalk-aware heuristic under cfg.Timeout as the shared anytime budget
+// and returns the lower-cost schedule (anytime: on cancellation or budget
+// expiry the best incumbent across the portfolio wins).
+func NewPortfolioScheduler(nd *NoiseData, cfg XtalkConfig, windowGates int) Scheduler {
+	return core.NewPortfolioSched(nd, cfg, core.PartitionOpts{MaxWindowGates: windowGates})
+}
+
 // NewPipeline builds a staged compilation pipeline over the device. See
 // PipelineConfig for the knobs; the zero config is a compile-only
 // ground-truth-noise XtalkSched pipeline.
