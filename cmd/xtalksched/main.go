@@ -201,8 +201,9 @@ func run(in, spec, workload string, seed int64, opts runOpts) error {
 		fmt.Printf("modeled cost (omega=%.2g): %.4f; crosstalk overlaps: %d; est. success: %.3f\n",
 			opts.omega, r.Schedule.Cost(nd, opts.omega), r.Schedule.CrosstalkOverlapCount(nd), r.Schedule.SuccessEstimate(nd))
 		if st := r.Schedule.Stats; st.Windows > 0 {
-			// Solver effort: window counts plus the SAT core's
-			// decision/conflict counters (smt.Solver.Stats).
+			// Solver effort: window counts, the SAT core's
+			// decision/conflict counters, and the theory-tier split
+			// (difference-logic vs exact-simplex work).
 			fmt.Printf("solver effort: %s (schedule stage: %v)\n", st, r.StageElapsed("schedule").Round(time.Millisecond))
 		}
 		fmt.Println()

@@ -78,7 +78,7 @@ func NewPartitionedXtalkSched(nd *NoiseData, cfg XtalkConfig, opts PartitionOpts
 		cfg.PowersetCap = 6
 	}
 	if cfg.TieBreak == 0 {
-		cfg.TieBreak = 1e-9
+		cfg.TieBreak = 0x1p-30
 	}
 	if opts.MaxWindowGates <= 0 {
 		opts.MaxWindowGates = DefaultMaxWindowGates
@@ -221,6 +221,7 @@ func (p *PartitionedXtalkSched) ScheduleContext(ctx context.Context, c *circuit.
 		}
 		stats.Decisions += out.stats.decisions
 		stats.Conflicts += out.stats.conflicts
+		stats.addTier(out.stats.tier)
 		sched.SolverObjective += out.stats.objective
 	}
 	if err := ctx.Err(); err != nil && smtSolved == 0 {

@@ -11,9 +11,11 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"xtalk/internal/circuit"
 	"xtalk/internal/device"
+	"xtalk/internal/smt"
 )
 
 // NoiseData is the characterization input consumed by the schedulers: the
@@ -119,6 +121,19 @@ type SolveStats struct {
 	// Decisions and Conflicts total the SAT-core search counters across all
 	// instances (see smt.Solver.Stats).
 	Decisions, Conflicts int64
+	// DiffAtoms and LinAtoms count interned theory atoms by classification
+	// across all instances: difference-shaped (x - y <= c, ±x <= c) vs
+	// genuinely multi-term linear. Small (window-sized) instances run their
+	// difference atoms through the eager simplex strategy, larger ones
+	// through the difference engine (see smt.Solver.TierStats).
+	DiffAtoms, LinAtoms int64
+	// DiffConflicts counts negative-cycle conflicts raised by the
+	// difference-logic engine.
+	DiffConflicts int64
+	// SimplexTime is the wall-clock time spent inside the exact rational
+	// simplex (feasibility checks and objective minimization); the rest of
+	// the theory work ran on the native-float difference engine.
+	SimplexTime time.Duration
 }
 
 // Add accumulates other into s.
@@ -128,12 +143,25 @@ func (s *SolveStats) Add(other SolveStats) {
 	s.Fallbacks += other.Fallbacks
 	s.Decisions += other.Decisions
 	s.Conflicts += other.Conflicts
+	s.DiffAtoms += other.DiffAtoms
+	s.LinAtoms += other.LinAtoms
+	s.DiffConflicts += other.DiffConflicts
+	s.SimplexTime += other.SimplexTime
+}
+
+// addTier folds one SMT instance's per-tier theory counters into s.
+func (s *SolveStats) addTier(t smt.TierStats) {
+	s.DiffAtoms += int64(t.DiffAtoms)
+	s.LinAtoms += int64(t.LinAtoms)
+	s.DiffConflicts += t.DiffConflicts
+	s.SimplexTime += t.SimplexTime
 }
 
 // String renders the effort counters in one line.
 func (s SolveStats) String() string {
-	return fmt.Sprintf("%d windows (%d components, %d heuristic fallbacks), %d decisions, %d conflicts",
-		s.Windows, s.Components, s.Fallbacks, s.Decisions, s.Conflicts)
+	return fmt.Sprintf("%d windows (%d components, %d heuristic fallbacks), %d decisions, %d conflicts; theory: %d diff / %d linear atoms, %d cycle conflicts, simplex %v",
+		s.Windows, s.Components, s.Fallbacks, s.Decisions, s.Conflicts,
+		s.DiffAtoms, s.LinAtoms, s.DiffConflicts, s.SimplexTime.Round(time.Microsecond))
 }
 
 func newSchedule(c *circuit.Circuit, dev *device.Device, name string) *Schedule {

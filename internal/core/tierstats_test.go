@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xtalk/internal/circuit"
+)
+
+// TestScheduleStatsTierCounters: every SMT-backed schedule reports which
+// theory tier did the work — the scheduling encoding is difference-dominated,
+// so difference atoms must dominate and the exact simplex must account some
+// (small) share of the solve time. This is what the xtalksched summary line
+// prints per schedule.
+func TestScheduleStatsTierCounters(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := circuit.New(20)
+	c.CNOT(5, 10)
+	c.CNOT(11, 12)
+	c.Measure(10)
+	c.Measure(11)
+
+	s, err := NewXtalkSched(nd, DefaultXtalkConfig()).Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats
+	if st.Windows != 1 {
+		t.Fatalf("windows = %d, want 1", st.Windows)
+	}
+	if st.DiffAtoms == 0 {
+		t.Fatalf("no difference-tier atoms recorded: %+v", st)
+	}
+	if st.DiffAtoms < st.LinAtoms {
+		t.Fatalf("scheduling encoding should be difference-dominated: %d diff vs %d linear", st.DiffAtoms, st.LinAtoms)
+	}
+	if st.SimplexTime <= 0 {
+		t.Fatalf("simplex time not accounted: %+v", st)
+	}
+	line := st.String()
+	for _, want := range []string{"theory:", "diff", "simplex"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("Stats line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestPartitionedStatsAggregateTiers: the partitioned engine sums per-window
+// tier counters into the schedule's Stats.
+func TestPartitionedStatsAggregateTiers(t *testing.T) {
+	dev := testDevice(t)
+	nd := NoiseDataFromDevice(dev, 3)
+	c := twoComponentCircuit()
+	c.Measure(2)
+	c.Measure(19)
+
+	ps := NewPartitionedXtalkSched(nd, DefaultXtalkConfig(), PartitionOpts{MaxWindowGates: 2})
+	s, err := ps.Schedule(c, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.Windows < 2 {
+		t.Fatalf("expected a multi-window solve, got %d windows", s.Stats.Windows)
+	}
+	if s.Stats.DiffAtoms == 0 {
+		t.Fatalf("tier counters not aggregated across windows: %+v", s.Stats)
+	}
+	if s.Stats.SimplexTime <= 0 {
+		t.Fatalf("simplex time not aggregated: %+v", s.Stats)
+	}
+}

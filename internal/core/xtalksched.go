@@ -30,7 +30,8 @@ type XtalkConfig struct {
 	// constraints (Eq. 11-13), for ablation.
 	DisableAlignment bool
 	// TieBreak adds a tiny per-ns cost on every start time so the optimum is
-	// left-compacted. Default 1e-9.
+	// left-compacted. Default 2^-30 (a one-bit dyadic: exact-rational tableau
+	// arithmetic on objective rows stays cheap).
 	TieBreak float64
 	// MaxConflicts bounds SMT search effort (0 = unlimited).
 	MaxConflicts int64
@@ -56,7 +57,7 @@ type XtalkConfig struct {
 
 // DefaultXtalkConfig returns the paper's default configuration (omega=0.5).
 func DefaultXtalkConfig() XtalkConfig {
-	return XtalkConfig{Omega: 0.5, PowersetCap: 6, TieBreak: 1e-9}
+	return XtalkConfig{Omega: 0.5, PowersetCap: 6, TieBreak: 0x1p-30}
 }
 
 // XtalkSched is the paper's crosstalk-adaptive scheduler: it encodes gate
@@ -74,7 +75,7 @@ func NewXtalkSched(nd *NoiseData, cfg XtalkConfig) *XtalkSched {
 		cfg.PowersetCap = 6
 	}
 	if cfg.TieBreak == 0 {
-		cfg.TieBreak = 1e-9
+		cfg.TieBreak = 0x1p-30
 	}
 	return &XtalkSched{Noise: nd, Config: cfg}
 }
@@ -150,12 +151,14 @@ func (x *XtalkSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, de
 			// Keep the counters of the expired search: the budget was spent
 			// even though no incumbent came out of it.
 			hs.Stats = SolveStats{Windows: 1, Fallbacks: 1, Decisions: st.decisions, Conflicts: st.conflicts}
+			hs.Stats.addTier(st.tier)
 			return hs, nil
 		}
 		return nil, fmt.Errorf("xtalksched: %w", err)
 	}
 	sched.SolverObjective = st.objective
 	sched.Stats = SolveStats{Windows: 1, Decisions: st.decisions, Conflicts: st.conflicts}
+	sched.Stats.addTier(st.tier)
 	return sched, nil
 }
 
@@ -164,11 +167,12 @@ func (x *XtalkSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, de
 var errSchedUnsat = errors.New("scheduling constraints unsatisfiable")
 
 // winStats is one SMT instance's outcome: the minimized objective (including
-// the fixed-cost contribution of partner-free gates) and the SAT-core search
-// effort.
+// the fixed-cost contribution of partner-free gates), the SAT-core search
+// effort, and the theory tiers' activity split.
 type winStats struct {
 	objective            float64
 	decisions, conflicts int64
+	tier                 smt.TierStats
 }
 
 // solveGates encodes the scheduling constraints of Section 7 restricted to
@@ -414,7 +418,7 @@ func (x *XtalkSched) solveGates(ctx context.Context, c *circuit.Circuit, sched *
 		Cancel:       ctx.Done(),
 	})
 	decisions, conflicts := sol.Stats()
-	st := winStats{decisions: decisions, conflicts: conflicts}
+	st := winStats{decisions: decisions, conflicts: conflicts, tier: sol.TierStats()}
 	if err != nil {
 		return st, err
 	}

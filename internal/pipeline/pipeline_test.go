@@ -340,8 +340,14 @@ func TestPipelineSolveStatsSurfaced(t *testing.T) {
 	if st.Windows == 0 || st.Windows != res.Schedule.Stats.Windows {
 		t.Fatalf("pipeline solve stats %+v do not match schedule stats %+v", st, res.Schedule.Stats)
 	}
+	if st.DiffAtoms == 0 || st.DiffAtoms != res.Schedule.Stats.DiffAtoms {
+		t.Fatalf("per-tier theory counters not aggregated: pipeline %+v vs schedule %+v", st, res.Schedule.Stats)
+	}
 	if !strings.Contains(p.StatsString(), "solver:") {
 		t.Fatalf("StatsString missing solver effort line:\n%s", p.StatsString())
+	}
+	if !strings.Contains(p.StatsString(), "theory:") {
+		t.Fatalf("StatsString missing per-tier theory split:\n%s", p.StatsString())
 	}
 }
 

@@ -33,8 +33,16 @@ type theoryHooks interface {
 	// It returns a conflict (the set of true literals that are jointly
 	// theory-inconsistent) or nil.
 	assertLit(lit int) []int
-	// finalCheck runs a complete theory consistency check.
+	// finalCheck runs a per-tier theory consistency check at every
+	// propagation quiescence.
 	finalCheck() []int
+	// completeCheck runs once the assignment is total, just before the
+	// solver would report SAT: it establishes joint consistency across
+	// theory tiers (cheap per-tier checks may each pass while the
+	// conjunction is infeasible). A conflict from here may involve only
+	// literals below the current decision level; solve backjumps to the
+	// conflict's deepest level before analyzing it.
+	completeCheck() []int
 	// pushLevel / popLevels follow the SAT solver's decision stack.
 	pushLevel()
 	popLevels(n int)
@@ -425,63 +433,81 @@ func (s *satSolver) solve(maxConflicts int64) (bool, error) {
 			conflictClause = s.theorySync()
 		}
 		if conflictClause == nil {
-			// Eager theory check at every quiescence. This guarantees any
-			// theory conflict involves at least one literal of the current
-			// decision level (the previous level was verified consistent),
-			// which 1UIP analysis requires.
+			// Eager per-tier theory check at every quiescence, so simplex
+			// infeasibilities surface as soon as their bounds exist rather
+			// than at the next full assignment.
 			if expl := s.theory.finalCheck(); expl != nil {
 				conflictClause = negateAll(expl)
 			}
 		}
-		if conflictClause != nil && len(conflictClause) == 0 {
+		if conflictClause == nil {
+			// All propagated literals are theory-consistent per tier. If the
+			// assignment is total, run the joint cross-tier check; a clean
+			// result is a model.
+			if v := s.pickBranchVar(); v < 0 {
+				if expl := s.theory.completeCheck(); expl != nil {
+					conflictClause = negateAll(expl)
+				} else {
+					return true, nil
+				}
+			} else {
+				s.decisions++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.theory.pushLevel()
+				// Phase heuristic: follow the saved polarity from the last
+				// incumbent model, else try false first (schedules prefer
+				// fewer overlaps).
+				s.enqueue(mkLit(v, s.phase[v] != valTrue), -1)
+				continue
+			}
+		}
+		if len(conflictClause) == 0 {
 			s.unsat = true
 			return false, nil
 		}
-		if conflictClause != nil {
-			s.conflicts++
-			if maxConflicts > 0 && s.conflicts > maxConflicts {
-				return false, errBudget
+		s.conflicts++
+		if maxConflicts > 0 && s.conflicts > maxConflicts {
+			return false, errBudget
+		}
+		// A completeCheck conflict can sit entirely below the current
+		// decision level (earlier quiescences never ran the joint check);
+		// 1UIP analysis needs a current-level literal, so first backjump to
+		// the deepest level the conflict mentions.
+		maxLvl := 0
+		for _, l := range conflictClause {
+			if lv := s.level[litVar(l)]; lv > maxLvl {
+				maxLvl = lv
 			}
-			if s.decisionLevel() == 0 {
+		}
+		if maxLvl < s.decisionLevel() {
+			s.backjump(maxLvl)
+		}
+		if s.decisionLevel() == 0 {
+			s.unsat = true
+			return false, nil
+		}
+		learned, back := s.analyze(conflictClause)
+		s.backjump(back)
+		switch len(learned) {
+		case 1:
+			if !s.enqueue(learned[0], -1) {
 				s.unsat = true
 				return false, nil
 			}
-			learned, back := s.analyze(conflictClause)
-			s.backjump(back)
-			switch len(learned) {
-			case 1:
-				if !s.enqueue(learned[0], -1) {
-					s.unsat = true
-					return false, nil
-				}
-			default:
-				ci := s.attachClause(learned)
-				if !s.enqueue(learned[0], ci) {
-					s.unsat = true
-					return false, nil
-				}
+		default:
+			ci := s.attachClause(learned)
+			if !s.enqueue(learned[0], ci) {
+				s.unsat = true
+				return false, nil
 			}
-			s.decayActivity()
-			budget--
-			if budget <= 0 {
-				restartNum++
-				budget = luby(restartNum) * 100
-				s.backjump(0)
-			}
-			continue
 		}
-		// No boolean or theory conflict: all propagated literals are
-		// theory-consistent. Decide the next variable.
-		v := s.pickBranchVar()
-		if v < 0 {
-			return true, nil
+		s.decayActivity()
+		budget--
+		if budget <= 0 {
+			restartNum++
+			budget = luby(restartNum) * 100
+			s.backjump(0)
 		}
-		s.decisions++
-		s.trailLim = append(s.trailLim, len(s.trail))
-		s.theory.pushLevel()
-		// Phase heuristic: follow the saved polarity from the last incumbent
-		// model, else try false first (schedules prefer fewer overlaps).
-		s.enqueue(mkLit(v, s.phase[v] != valTrue), -1)
 	}
 }
 

@@ -37,6 +37,17 @@ type simplex struct {
 	trail    []trailEntry
 	levelLim []int
 
+	// needCheck is set when a bound install (or a failed check) may have
+	// left some variable outside its bounds; while false, check is a no-op.
+	// Bound retraction only relaxes, so backtracking never sets it.
+	needCheck bool
+	// dirty lists variables whose bounds were installed since the last
+	// check. Clamping a nonbasic variable into its bounds propagates the
+	// delta through every row mentioning it, so it is deferred to check
+	// time: bounds asserted and backtracked between checks (the vast
+	// majority under DPLL(T) search) never touch the tableau at all.
+	dirty []int
+
 	// debugStrict, when true, validates tableau invariants after mutations
 	// (test-only; very slow).
 	debugStrict bool
@@ -169,9 +180,8 @@ func (s *simplex) assertUpper(v int, c float64, lit int) ([]int, bool) {
 	}
 	s.trail = append(s.trail, trailEntry{v: v, isUp: true, prev: s.upper[v]})
 	s.upper[v] = bound{val: cr, lit: lit, active: true}
-	if !s.isBasic[v] && s.val[v].Cmp(cr) > 0 {
-		s.updateNonbasic(v, cr)
-	}
+	s.needCheck = true
+	s.dirty = append(s.dirty, v)
 	s.debugAfter("assertUpper")
 	return nil, true
 }
@@ -187,9 +197,8 @@ func (s *simplex) assertLower(v int, c float64, lit int) ([]int, bool) {
 	}
 	s.trail = append(s.trail, trailEntry{v: v, isUp: false, prev: s.lower[v]})
 	s.lower[v] = bound{val: cr, lit: lit, active: true}
-	if !s.isBasic[v] && s.val[v].Cmp(cr) < 0 {
-		s.updateNonbasic(v, cr)
-	}
+	s.needCheck = true
+	s.dirty = append(s.dirty, v)
 	s.debugAfter("assertLower")
 	return nil, true
 }
@@ -291,8 +300,26 @@ func (s *simplex) pivot(b, j int) {
 // check restores feasibility, returning (nil, true) on success or a theory
 // conflict — the literals of the bounds forming an infeasible constraint —
 // on failure. Bland's rule (least index) guarantees termination under exact
-// arithmetic.
+// arithmetic. A no-op unless a bound moved since the last successful check.
 func (s *simplex) check() ([]int, bool) {
+	if !s.needCheck {
+		return nil, true
+	}
+	// Deferred clamp: move every dirty nonbasic variable inside its bounds
+	// (basic violations are the pivot loop's job). Variables whose bounds
+	// were asserted and already backtracked clamp against the restored
+	// bounds, which is a no-op or a legal move either way.
+	for _, v := range s.dirty {
+		if s.isBasic[v] {
+			continue
+		}
+		if s.lower[v].active && s.val[v].Cmp(s.lower[v].val) < 0 {
+			s.updateNonbasic(v, s.lower[v].val)
+		} else if s.upper[v].active && s.val[v].Cmp(s.upper[v].val) > 0 {
+			s.updateNonbasic(v, s.upper[v].val)
+		}
+	}
+	s.dirty = s.dirty[:0]
 	for {
 		// Find the smallest-index basic variable violating a bound.
 		b := -1
@@ -312,6 +339,7 @@ func (s *simplex) check() ([]int, bool) {
 			}
 		}
 		if b < 0 {
+			s.needCheck = false
 			return nil, true
 		}
 		j := s.findPivot(b, belowLower)
@@ -377,9 +405,16 @@ func (s *simplex) explainRow(b int, belowLower bool) []int {
 
 // minimize optimizes sum(obj_v * x_v) subject to the current bounds, leaving
 // the solver at an optimal feasible vertex. The solver must be feasible on
-// entry (call check first). Returns the exact optimum as float64, or an
-// error when the objective is unbounded below.
-func (s *simplex) minimize(obj map[Var]float64) (float64, error) {
+// entry (call check first). Returns the exact optimum together with its dual
+// certificate — the literals of the binding bounds whose conjunction forces
+// the objective to the optimum (the theory core used to explain incumbent
+// bound violations) — or an error when the objective is unbounded below.
+//
+// The objective never enters the tableau as a row: scheduling objectives mix
+// coefficients spanning nine orders of magnitude, and pivoting on such a row
+// would spread huge-denominator rationals through the otherwise ±1 (network
+// matrix) tableau. Keeping it external preserves cheap dyadic pivots.
+func (s *simplex) minimize(obj map[Var]float64) (*big.Rat, []int, error) {
 	// Express the objective over nonbasic variables.
 	cz := map[int]*big.Rat{}
 	for v, c := range obj {
@@ -388,7 +423,7 @@ func (s *simplex) minimize(obj map[Var]float64) (float64, error) {
 	tmp := new(big.Rat)
 	for iter := 0; ; iter++ {
 		if iter > 1_000_000 {
-			return 0, fmt.Errorf("smt: objective minimization failed to converge")
+			return nil, nil, fmt.Errorf("smt: objective minimization failed to converge")
 		}
 		// Entering variable: smallest index with improving direction
 		// (Bland's rule, guarantees termination).
@@ -419,7 +454,25 @@ func (s *simplex) minimize(obj map[Var]float64) (float64, error) {
 					panic("smt: minimize broke invariants: " + msg)
 				}
 			}
-			return s.objValue(obj), nil
+			// Dual certificate: every nonbasic variable with a nonzero
+			// reduced cost sits at the bound blocking further improvement;
+			// those bounds jointly imply obj >= optimum.
+			var core []int
+			for k, c := range cz {
+				var l int
+				switch {
+				case c.Sign() < 0:
+					l = s.upper[k].lit
+				case c.Sign() > 0:
+					l = s.lower[k].lit
+				default:
+					continue
+				}
+				if l >= 0 {
+					core = append(core, l)
+				}
+			}
+			return s.objValue(obj), core, nil
 		}
 		// Ratio test: the largest step t >= 0 in direction dir before x_j or
 		// a dependent basic variable hits a bound.
@@ -452,7 +505,7 @@ func (s *simplex) minimize(obj map[Var]float64) (float64, error) {
 			}
 		}
 		if tMax == nil {
-			return 0, fmt.Errorf("smt: objective unbounded below")
+			return nil, nil, fmt.Errorf("smt: objective unbounded below")
 		}
 		if tMax.Sign() < 0 {
 			tMax.SetInt64(0)
@@ -485,14 +538,13 @@ func (s *simplex) minimize(obj map[Var]float64) (float64, error) {
 	}
 }
 
-func (s *simplex) objValue(obj map[Var]float64) float64 {
+func (s *simplex) objValue(obj map[Var]float64) *big.Rat {
 	v := new(big.Rat)
 	tmp := new(big.Rat)
 	for x, c := range obj {
 		v.Add(v, tmp.Mul(ratOf(c), s.val[int(x)]))
 	}
-	f, _ := v.Float64()
-	return f
+	return v
 }
 
 // value returns the current value of variable v.

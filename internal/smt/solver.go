@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/big"
 	"os"
 	"time"
 )
@@ -18,20 +19,68 @@ import (
 //	model, ok, err := s.Minimize(smt.V(t1))
 type Solver struct {
 	sx  *simplex
+	dl  *diffLogic
 	sat *satSolver
 
 	realVars []Var
 
 	// Atom interning: one SAT variable per distinct (slack, k, strict) atom;
-	// one slack per distinct linear-combination key.
-	atomBySig  map[string]int
-	atomOfVar  map[int]atomRec
-	slackByKey map[string]int
+	// one slack per distinct linear-combination key. One- and two-term
+	// expressions — the overwhelming majority — intern through the
+	// struct-keyed pair map; longer combinations (objective rows,
+	// sum-composition sums) fall back to the canonical string key.
+	atomBySig   map[atomKey]int
+	atomOfVar   map[int]atomRec
+	slackByPair map[pairKey]int
+	slackByKey  map[string]int
 
 	boolSatVar map[BoolV]int
 	nBools     int
 
 	trueVar int // SAT variable pinned true, used to encode constants
+
+	// diffOff disables the difference-logic tier, forcing every atom through
+	// the rational simplex (the pre-tiered behavior). Ablation/test-only;
+	// set before the first Assert.
+	diffOff bool
+	// forceLazy makes Minimize use the lazy objective tier regardless of
+	// objective size (test-only: exercises the difference tier + dual-core
+	// path on instances small enough to compare against other strategies).
+	forceLazy bool
+	// residualDirty is set when a bound the quiescence check must act on
+	// was installed since the simplex last verified consistency:
+	// linear-tier bounds always, difference bounds only under the eager
+	// strategy (where they run the simplex protocol). Quiescence checks
+	// are skipped while it is clear.
+	residualDirty bool
+	// eagerCheck marks the eager Minimize strategy: difference atoms
+	// bypass the difference engine and assert straight into the simplex,
+	// and every bound triggers a quiescence check — maximal search-tree
+	// pruning, which wins on small (window-sized) instances.
+	eagerCheck bool
+
+	// Objective tier (set by Minimize): the branch-and-bound improvement
+	// bound obj <= objBound never becomes a tableau row — its nine-orders-
+	// of-magnitude coefficients would poison the ±1 network tableau with
+	// huge-denominator rationals. Instead completeCheck minimizes the
+	// objective exactly within each full assignment and compares against
+	// the bound, explaining violations with the LP dual's binding bounds.
+	objTerms    map[Var]float64
+	objActive   bool
+	objBoundRat *big.Rat // tightest asserted improvement bound, nil before
+	objBoundLit int      // literal that asserted it
+	lastObjMin  *big.Rat // exact constrained optimum at the last full assignment
+	objErr      error    // deferred minimize failure (unbounded objective)
+
+	// Per-tier accounting (see TierStats).
+	diffAtoms, linAtoms int
+	jointChecks         int64
+	simplexTime         time.Duration
+
+	// debugMinimize traces Minimize iterations; latched from
+	// SMT_DEBUG_MINIMIZE at construction so the hot loop never consults the
+	// environment.
+	debugMinimize bool
 
 	// debugKnownPoint, when non-nil, is a claimed satisfying assignment for
 	// the real variables. Every theory conflict is audited against it: a
@@ -52,22 +101,86 @@ type atomRec struct {
 	slack  int
 	k      float64
 	strict bool
+	// Difference-tier routing: when diff is true the atom reads
+	// x_pos - x_neg <= k over constraint-graph nodes (node 0 = zero node)
+	// and asserts route to the difference-logic engine instead of the
+	// simplex.
+	diff     bool
+	pos, neg int32
+	// objBound marks Minimize's improvement-bound pseudo-atoms obj <= k,
+	// enforced at completeCheck rather than by either solver tier.
+	objBound bool
+}
+
+// atomKey interns atoms: one SAT variable per distinct (slack, k, strict).
+type atomKey struct {
+	slack  int
+	k      float64
+	strict bool
+}
+
+// pairKey interns the slack of a one- or two-term expression without
+// formatting a string. One-term expressions leave v2 = -1.
+type pairKey struct {
+	v1, v2 Var
+	c1, c2 float64
 }
 
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
 	s := &Solver{
-		sx:         newSimplex(),
-		atomBySig:  map[string]int{},
-		atomOfVar:  map[int]atomRec{},
-		slackByKey: map[string]int{},
-		boolSatVar: map[BoolV]int{},
-		slackExpr:  map[int]LinExpr{},
+		sx:            newSimplex(),
+		dl:            newDiffLogic(),
+		atomBySig:     map[atomKey]int{},
+		atomOfVar:     map[int]atomRec{},
+		slackByPair:   map[pairKey]int{},
+		slackByKey:    map[string]int{},
+		boolSatVar:    map[BoolV]int{},
+		slackExpr:     map[int]LinExpr{},
+		debugMinimize: os.Getenv("SMT_DEBUG_MINIMIZE") != "",
 	}
 	s.sat = newSatSolver(s)
 	s.trueVar = s.sat.newVar()
 	s.sat.addClause([]int{mkLit(s.trueVar, false)})
 	return s
+}
+
+// DisableDiffLogic routes every atom through the rational simplex,
+// reproducing the pre-tiered solver. Differential-testing and ablation
+// only; must be called before the first Assert.
+func (s *Solver) DisableDiffLogic() { s.diffOff = true }
+
+// TierStats reports how theory work split across the two tiers.
+type TierStats struct {
+	// DiffAtoms and LinAtoms count interned atoms by classification:
+	// difference-shaped vs genuinely linear. Difference atoms are asserted
+	// to the difference engine under the lazy strategy; the eager strategy
+	// (small instances) runs them through the simplex, so DiffAsserts — not
+	// DiffAtoms — says how much the engine actually did.
+	DiffAtoms, LinAtoms int
+	// DiffAsserts, DiffRepairs and DiffConflicts are the difference
+	// engine's activity counters: edges asserted, potential repairs, and
+	// negative-cycle conflicts.
+	DiffAsserts, DiffRepairs, DiffConflicts int64
+	// JointChecks counts complete-assignment consistency checks that
+	// replayed the difference graph into the simplex.
+	JointChecks int64
+	// SimplexTime is the wall-clock time spent inside the exact rational
+	// simplex (consistency checks, joint replays, objective minimization).
+	SimplexTime time.Duration
+}
+
+// TierStats returns the per-tier theory counters accumulated so far.
+func (s *Solver) TierStats() TierStats {
+	return TierStats{
+		DiffAtoms:     s.diffAtoms,
+		LinAtoms:      s.linAtoms,
+		DiffAsserts:   s.dl.asserts,
+		DiffRepairs:   s.dl.repairs,
+		DiffConflicts: s.dl.conflicts,
+		JointChecks:   s.jointChecks,
+		SimplexTime:   s.simplexTime,
+	}
 }
 
 // Real creates a fresh real-valued variable.
@@ -103,6 +216,55 @@ func (s *Solver) isTheoryVar(v int) bool {
 
 func (s *Solver) assertLit(lit int) []int {
 	rec := s.atomOfVar[litVar(lit)]
+	if rec.objBound {
+		// Improvement bound obj <= k: record the tightest one for
+		// completeCheck. Pinned true at level 0, so it is never negated and
+		// never backtracked.
+		if !litNeg(lit) {
+			if kr := ratOf(rec.k); s.objBoundRat == nil || kr.Cmp(s.objBoundRat) < 0 {
+				s.objBoundRat = kr
+				s.objBoundLit = lit
+			}
+		}
+		return nil
+	}
+	if rec.diff && !s.eagerCheck {
+		// Difference tier (lazy strategy): the atom (or its negation) is a
+		// single constraint-graph edge. The incremental negative-cycle
+		// check is the search-time consistency test; the bound is then
+		// mirrored onto the simplex trail (a cheap record — no tableau
+		// work until the next full-assignment check) so joint models and
+		// the exact objective minimization see the whole constraint set.
+		// Under the eager strategy difference atoms skip the engine
+		// entirely and run the classic simplex protocol below: on tiny
+		// window instances the per-quiescence joint check prunes better
+		// than cycle cores do (measured on BenchmarkSchedEngine).
+		var conflict []int
+		if !litNeg(lit) {
+			w := rec.k
+			if rec.strict {
+				w -= StrictEps
+			}
+			conflict = s.dl.assert(rec.neg, rec.pos, w, lit)
+		} else {
+			w := -rec.k
+			if !rec.strict {
+				w -= StrictEps
+			}
+			conflict = s.dl.assert(rec.pos, rec.neg, w, lit)
+		}
+		if conflict != nil {
+			s.auditConflict(conflict, "assertLit/difflogic")
+			return conflict
+		}
+		return s.simplexBound(lit, rec)
+	}
+	s.residualDirty = true
+	return s.simplexBound(lit, rec)
+}
+
+// simplexBound installs the literal's bound on the simplex trail.
+func (s *Solver) simplexBound(lit int, rec atomRec) []int {
 	var conflict []int
 	var ok bool
 	if !litNeg(lit) {
@@ -128,29 +290,107 @@ func (s *Solver) assertLit(lit int) []int {
 }
 
 func (s *Solver) finalCheck() []int {
-	conflict, ok := s.sx.check()
+	// The difference tier is kept consistent edge-by-edge and its mirrored
+	// simplex bounds are only records, so a quiescence check is needed only
+	// when a genuinely linear (residual-tier) bound moved — with every
+	// scheduling atom difference-shaped, the common case is a no-op.
+	if !s.residualDirty {
+		return nil
+	}
+	conflict, ok := s.timedCheck()
 	if ok {
+		s.residualDirty = false
 		return nil
 	}
 	s.auditConflict(conflict, "finalCheck")
 	return conflict
 }
 
-func (s *Solver) pushLevel()      { s.sx.pushLevel() }
-func (s *Solver) popLevels(n int) { s.sx.popLevels(n) }
+// completeCheck runs once the SAT core has a full assignment, in two steps.
+// First, joint feasibility: every asserted bound — mirrored difference edges
+// and residual linear atoms alike — is already on the simplex trail, so one
+// deferred-clamp check settles the conjunction exactly. Second, the
+// objective tier: the objective is minimized exactly within the assignment
+// and compared against the tightest improvement bound; a violation is
+// explained by the optimum's dual certificate (the binding bounds that
+// force the objective that high) plus the bound literal, steering the
+// search toward structurally different schedules.
+func (s *Solver) completeCheck() []int {
+	objective := s.objActive && s.objErr == nil
+	if !s.sx.needCheck && !objective {
+		return nil
+	}
+	s.jointChecks++
+	if s.sx.needCheck {
+		conflict, ok := s.timedCheck()
+		if !ok {
+			s.auditConflict(conflict, "completeCheck")
+			return conflict
+		}
+		s.residualDirty = false
+	}
+	if !objective {
+		return nil
+	}
+	t0 := time.Now()
+	min, core, err := s.sx.minimize(s.objTerms)
+	s.simplexTime += time.Since(t0)
+	if err != nil {
+		// Unbounded objective: not a conflict any clause can express;
+		// stash it for Minimize to surface after solve returns.
+		s.objErr = err
+		return nil
+	}
+	s.lastObjMin = min
+	if s.objBoundRat != nil && min.Cmp(s.objBoundRat) > 0 {
+		conflict := append(core, s.objBoundLit)
+		s.auditConflict(conflict, "completeCheck/objective")
+		return conflict
+	}
+	return nil
+}
+
+// timedCheck runs the simplex feasibility check, accounting its wall time
+// to the simplex tier.
+func (s *Solver) timedCheck() ([]int, bool) {
+	t0 := time.Now()
+	conflict, ok := s.sx.check()
+	s.simplexTime += time.Since(t0)
+	return conflict, ok
+}
+
+func (s *Solver) pushLevel() {
+	s.sx.pushLevel()
+	s.dl.pushLevel()
+}
+
+func (s *Solver) popLevels(n int) {
+	s.sx.popLevels(n)
+	s.dl.popLevels(n)
+}
 
 // Encoding --------------------------------------------------------------------
 
 // slackFor returns the simplex variable representing the variable part of e
 // (interned). A single-term expression with coefficient 1 maps to the
-// variable itself.
+// variable itself. One- and two-term expressions intern through a struct
+// key; only longer combinations pay for the canonical string.
 func (s *Solver) slackFor(e LinExpr) int {
 	vars, coeffs := e.Terms()
 	if len(vars) == 1 && coeffs[0] == 1 {
 		return int(vars[0])
 	}
-	key := e.key()
-	if sl, ok := s.slackByKey[key]; ok {
+	var pk pairKey
+	usePair := len(vars) <= 2
+	if usePair {
+		pk = pairKey{v1: vars[0], v2: -1, c1: coeffs[0]}
+		if len(vars) == 2 {
+			pk.v2, pk.c2 = vars[1], coeffs[1]
+		}
+		if sl, ok := s.slackByPair[pk]; ok {
+			return sl
+		}
+	} else if sl, ok := s.slackByKey[e.key()]; ok {
 		return sl
 	}
 	m := map[Var]float64{}
@@ -158,7 +398,11 @@ func (s *Solver) slackFor(e LinExpr) int {
 		m[v] = coeffs[i]
 	}
 	sl := s.sx.defineSlack(m)
-	s.slackByKey[key] = sl
+	if usePair {
+		s.slackByPair[pk] = sl
+	} else {
+		s.slackByKey[e.key()] = sl
+	}
 	s.slackExpr[sl] = LinExpr{terms: m}
 	return sl
 }
@@ -179,10 +423,17 @@ func (s *Solver) auditConflict(expl []int, origin string) {
 			return // non-atom literal: cannot audit
 		}
 		var lhs float64
-		if e, ok := s.slackExpr[rec.slack]; ok {
-			lhs = e.Eval(s.debugKnownPoint)
-		} else {
-			lhs = s.debugKnownPoint(Var(rec.slack))
+		switch {
+		case rec.objBound:
+			for v, c := range s.objTerms {
+				lhs += c * s.debugKnownPoint(v)
+			}
+		default:
+			if e, ok := s.slackExpr[rec.slack]; ok {
+				lhs = e.Eval(s.debugKnownPoint)
+			} else {
+				lhs = s.debugKnownPoint(Var(rec.slack))
+			}
 		}
 		truth := lhs <= rec.k+1e-9
 		if rec.strict {
@@ -198,6 +449,10 @@ func (s *Solver) auditConflict(expl []int, origin string) {
 	detail := "invariants: " + s.sx.debugCheckInvariants() + "\n"
 	for _, lit := range expl {
 		rec := s.atomOfVar[litVar(lit)]
+		if rec.objBound {
+			detail += fmt.Sprintf("  lit %d: [objective <= %.9g]\n", lit, rec.k)
+			continue
+		}
 		var lhs float64
 		if e, ok := s.slackExpr[rec.slack]; ok {
 			lhs = e.Eval(s.debugKnownPoint)
@@ -221,19 +476,63 @@ func (s *Solver) auditConflict(expl []int, origin string) {
 }
 
 // atomVar returns the SAT variable for the atom lhs <= k (or < k), interned.
+// Each new atom is classified once: difference-shaped atoms (±x <= k,
+// x - y <= k) route their asserts to the difference-logic tier, everything
+// else to the simplex.
 func (s *Solver) atomVar(lhs LinExpr, k float64, strict bool) int {
 	if !isFinite(k) {
 		panic("smt: non-finite atom constant")
 	}
 	sl := s.slackFor(lhs)
-	sig := fmt.Sprintf("%d|%.12g|%v", sl, k, strict)
+	sig := atomKey{slack: sl, k: k, strict: strict}
 	if v, ok := s.atomBySig[sig]; ok {
 		return v
 	}
 	v := s.sat.newVar()
+	rec := atomRec{slack: sl, k: k, strict: strict}
+	if pos, neg, ok := diffNodes(lhs); ok && !s.diffOff {
+		rec.diff, rec.pos, rec.neg = true, pos, neg
+		s.diffAtoms++
+	} else {
+		s.linAtoms++
+	}
 	s.atomBySig[sig] = v
-	s.atomOfVar[v] = atomRec{slack: sl, k: k, strict: strict}
+	s.atomOfVar[v] = rec
 	return v
+}
+
+// diffNodes classifies the variable part of an atom's left-hand side:
+// expressions of the form x, -x, or x - y are difference-logic material and
+// map to a pair of constraint-graph nodes (lhs = x_pos - x_neg), with the
+// virtual zero node standing in for the missing side of a unary bound.
+func diffNodes(e LinExpr) (pos, neg int32, ok bool) {
+	switch len(e.terms) {
+	case 1:
+		for v, c := range e.terms {
+			if c == 1 {
+				return dlNode(v), 0, true
+			}
+			if c == -1 {
+				return 0, dlNode(v), true
+			}
+		}
+	case 2:
+		var pv, nv Var
+		found := 0
+		for v, c := range e.terms {
+			if c == 1 {
+				pv = v
+				found++
+			} else if c == -1 {
+				nv = v
+				found += 2
+			}
+		}
+		if found == 3 {
+			return dlNode(pv), dlNode(nv), true
+		}
+	}
+	return 0, 0, false
 }
 
 // encode converts a formula into a SAT literal (Tseitin transformation).
@@ -460,6 +759,8 @@ func (s *Solver) Check() (*Model, bool) {
 	if !sat {
 		return nil, false
 	}
+	// completeCheck settled every mirrored bound, so the snapshot is an
+	// exact joint model of both tiers.
 	m := s.snapshotModel()
 	s.auditModel(m, "Check")
 	return m, true
@@ -489,10 +790,13 @@ type MinimizeOpts struct {
 var ErrCanceled = errors.New("smt: optimization canceled")
 
 // Minimize finds a model minimizing obj (within opts.Eps) by branch and
-// bound: every time the SAT+theory search finds a feasible assignment, the
-// objective is minimized exactly within it by simplex, and the bound
-// obj <= incumbent - Eps is asserted before continuing. Returns the best
-// model found; ok is false if the constraints are unsatisfiable.
+// bound: every time the SAT+theory search completes an assignment, the
+// objective is minimized exactly within it by simplex (part of
+// completeCheck), and the bound obj <= incumbent - Eps is installed in the
+// objective tier before continuing. Returns the best model found; ok is
+// false if the constraints are unsatisfiable. A solver optimizes one
+// objective: call Minimize at most once per Solver (further Asserts and
+// Checks remain valid afterwards).
 func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, error) {
 	opt := MinimizeOpts{Eps: 1e-5, MaxIter: 10000}
 	if len(opts) > 0 {
@@ -510,13 +814,22 @@ func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, erro
 	for i, v := range vars {
 		objTerms[v] = coeffs[i]
 	}
-	debugTrace := os.Getenv("SMT_DEBUG_MINIMIZE") != ""
+	eager := !s.forceLazy && len(objTerms) <= eagerObjectiveMax
+	if eager {
+		s.eagerCheck = true
+	} else {
+		s.objTerms = objTerms
+		s.objActive = true
+		s.objErr = nil
+	}
+	debugTrace := s.debugMinimize
 	if opt.Deadline > 0 {
 		s.sat.deadline = time.Now().Add(opt.Deadline)
 	} else {
 		s.sat.deadline = time.Time{}
 	}
 	s.sat.cancel = opt.Cancel
+	rootLB := math.Inf(-1)
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		sat, err := s.sat.solve(opt.MaxConflicts)
 		if err != nil {
@@ -532,9 +845,25 @@ func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, erro
 			}
 			break
 		}
-		val, err := s.sx.minimize(objTerms)
-		if err != nil {
-			return nil, false, err
+		if s.objErr != nil {
+			return nil, false, s.objErr
+		}
+		var val float64
+		if eager {
+			// Eager strategy: minimize within the admitted assignment here
+			// (quiescence checks kept the simplex feasible throughout).
+			t0 := time.Now()
+			minRat, _, merr := s.sx.minimize(objTerms)
+			s.simplexTime += time.Since(t0)
+			if merr != nil {
+				return nil, false, merr
+			}
+			val, _ = minRat.Float64()
+		} else {
+			// Lazy strategy: completeCheck already minimized the objective
+			// exactly over both tiers' constraints and left the simplex at
+			// the optimal vertex.
+			val, _ = s.lastObjMin.Float64()
 		}
 		if debugTrace {
 			fmt.Printf("smt minimize: iter %d incumbent %.9g\n", iter, val+obj.Constant())
@@ -550,12 +879,61 @@ func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, erro
 		s.sat.savePhases()
 		// Require strict improvement and continue searching.
 		margin := math.Max(opt.Eps, math.Abs(val)*1e-9)
-		s.Assert(Le(obj.Sub(Const(obj.Constant())), Const(val-margin)))
+		if eager {
+			s.Assert(Le(obj.Sub(Const(obj.Constant())), Const(val-margin)))
+		} else {
+			s.assertObjectiveBound(val - margin)
+		}
+		if iter == 0 {
+			// Root relaxation bound: the objective minimum over the
+			// always-true (level-0) constraints alone — every model's
+			// objective is at least this. The bound-tightening Assert just
+			// backjumped to level 0, so the simplex holds exactly those
+			// bounds. Often the first incumbent already meets it, skipping
+			// both the tightening rounds and the final UNSAT proof.
+			if conflict, ok := s.timedCheck(); ok && conflict == nil {
+				t0 := time.Now()
+				lb, _, lberr := s.sx.minimize(objTerms)
+				s.simplexTime += time.Since(t0)
+				if lberr == nil {
+					rootLB, _ = lb.Float64()
+				}
+			}
+		}
+		if val-margin < rootLB {
+			if debugTrace {
+				fmt.Printf("smt minimize: incumbent %.9g meets root bound %.9g, done\n",
+					val+obj.Constant(), rootLB+obj.Constant())
+			}
+			break
+		}
 	}
 	if best == nil {
 		return nil, false, nil
 	}
 	return best, true, nil
+}
+
+// eagerObjectiveMax bounds the objective size for which Minimize uses the
+// eager strategy: the improvement bound becomes an ordinary tableau row and
+// every quiescence runs a joint simplex check, pruning the search tree as
+// early as possible. Small instances (the partitioned engine's windows)
+// converge fastest this way, and their tableaus are too small for the
+// row's mixed-magnitude coefficients to hurt. Larger objectives switch to
+// the lazy objective tier: the bound stays out of the tableau — preserving
+// cheap dyadic pivots on the ±1 network rows — and is enforced by exact
+// minimization at complete assignments, with dual-certificate conflicts.
+const eagerObjectiveMax = 128
+
+// assertObjectiveBound pins the strict-improvement bound obj <= k for the
+// branch-and-bound loop. The bound lives in the objective tier: it is a
+// SAT-visible pseudo-atom (so learned clauses can cite it) whose theory
+// content completeCheck enforces by exact minimization.
+func (s *Solver) assertObjectiveBound(k float64) {
+	s.sat.backjump(0)
+	v := s.sat.newVar()
+	s.atomOfVar[v] = atomRec{objBound: true, k: k}
+	s.sat.addClause([]int{mkLit(v, false)})
 }
 
 // EnableDebugStrict turns on per-mutation tableau invariant validation

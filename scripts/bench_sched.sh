@@ -3,8 +3,12 @@
 #
 # Runs BenchmarkSchedEngine (monolithic vs conflict-partitioned SMT
 # scheduling on device-filling supremacy circuits, same anytime budget) and
-# emits BENCH_sched.json with ns/op per device size and engine, so future
-# PRs have a comparable perf trajectory.
+# emits BENCH_sched.json with ns/op per device size and engine, plus the
+# per-tier theory timing: simplex_ns_per_op is CPU time inside the exact
+# rational simplex summed across windows; the remainder runs on the
+# native-float difference-logic tier. simplex_share = simplex_ns_per_op /
+# ns_per_op — a true share on a single-core runner, but concurrently solved
+# windows can push it past 1.0 on multi-core machines (CPU vs wall time).
 #
 # Usage: scripts/bench_sched.sh [output.json]   (default: BENCH_sched.json)
 set -e
@@ -13,7 +17,7 @@ out="${1:-BENCH_sched.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench '^BenchmarkSchedEngine$' -benchtime 1x -timeout 30m . | tee "$tmp"
+go test -run '^$' -bench '^BenchmarkSchedEngine$' -benchtime 1x -timeout 60m . | tee "$tmp"
 
 awk -v goversion="$(go version | awk '{print $3}')" '
 BEGIN {
@@ -25,8 +29,18 @@ BEGIN {
 	name = $1
 	sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
 	sub(/^BenchmarkSchedEngine\//, "", name)
+	ns = ""; simplex = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "simplex_ns/op") simplex = $i
+	}
 	if (n++) printf ",\n"
-	printf "    {\"case\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3
+	printf "    {\"case\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+	if (simplex != "") {
+		share = (ns > 0) ? simplex / ns : 0
+		printf ", \"simplex_ns_per_op\": %.0f, \"simplex_share\": %.3f", simplex, share
+	}
+	printf "}"
 }
 END { printf "\n  ]\n}\n" }
 ' "$tmp" > "$out"
