@@ -1,0 +1,129 @@
+// Command xtalkd is the crosstalk-aware compilation daemon: the staged
+// pipeline served over HTTP with a content-addressed schedule cache in
+// front of it. Identical submissions — same circuit up to reordering of
+// independent gates, same device/seed/day, same compile knobs — are
+// deduplicated: the first pays the SMT solve, the rest are cache hits, and
+// concurrent identical requests collapse onto a single in-flight solve.
+//
+// Usage:
+//
+//	xtalkd -addr :8077 -device heavyhex:27 -partition -budget 2s
+//
+// API (see internal/serve):
+//
+//	POST /compile   {"source": "<OpenQASM or gate-list>", "device": "...", "day": N}
+//	                (a non-JSON body is treated as the raw source)
+//	GET  /stats     cache + pipeline statistics
+//	GET  /healthz   liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xtalk/internal/device"
+	"xtalk/internal/pipeline"
+	"xtalk/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8077", "listen address")
+		devSpec   = flag.String("device", "heavyhex:27", "default device spec: "+device.SpecGrammar)
+		seed      = flag.Int64("seed", 1, "default device seed")
+		day       = flag.Int("day", 0, "default calibration day")
+		omega     = flag.Float64("omega", 0.5, "crosstalk weight factor")
+		budget    = flag.Duration("budget", 2*time.Second, "anytime SMT budget per schedule (0 = run to optimality)")
+		partition = flag.Bool("partition", true, "use the conflict-partitioned scheduling engine")
+		window    = flag.Int("window", 0, "max two-qubit gates per window SMT instance (0 = default cap)")
+		portfolio = flag.Bool("portfolio", false, "race the SMT engine against the greedy heuristic under -budget")
+		route     = flag.Bool("route", false, "route circuits onto the device topology before scheduling")
+		decompose = flag.Bool("decompose", true, "decompose SWAP gates into CNOTs before scheduling")
+		cacheMB   = flag.Int64("cache-mb", 64, "artifact cache size bound in MiB")
+		queue     = flag.Int("queue", 0, "max concurrent cold compilations (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "SMT solve pool width per device pipeline (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*addr, serve.Config{
+		Spec: *devSpec,
+		Seed: *seed,
+		Day:  *day,
+		Pipeline: pipeline.Config{
+			Omega:          cliOmega(*omega),
+			Budget:         *budget,
+			Partition:      *partition,
+			WindowGates:    *window,
+			Portfolio:      *portfolio,
+			Route:          *route,
+			DecomposeSwaps: *decompose,
+			Workers:        *workers,
+		},
+		CacheBytes:    *cacheMB << 20,
+		MaxConcurrent: *queue,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "xtalkd:", err)
+		os.Exit(1)
+	}
+}
+
+// cliOmega maps the CLI convention (0 means omega 0) onto the pipeline
+// convention (0 means paper default, negative means true 0).
+func cliOmega(omega float64) float64 {
+	if omega == 0 {
+		return -1
+	}
+	return omega
+}
+
+func run(addr string, cfg serve.Config) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	httpSrv := &http.Server{Addr: addr, Handler: logRequests(s.Handler())}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("xtalkd: serving %s (seed %d, day %d) on %s", cfg.Spec, cfg.Seed, cfg.Day, addr)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("xtalkd: shutting down")
+	s.Close() // cancel in-flight cold compiles (anytime solvers keep incumbents)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("xtalkd: bye")
+	return nil
+}
+
+// logRequests is a one-line access log: the daemon's only observability
+// besides /stats, kept deliberately tiny.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		next.ServeHTTP(w, r)
+		if r.URL.Path != "/healthz" {
+			log.Printf("%s %s %v", r.Method, r.URL.Path, time.Since(t0).Round(time.Microsecond))
+		}
+	})
+}

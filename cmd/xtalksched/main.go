@@ -19,10 +19,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -32,6 +35,8 @@ import (
 	"xtalk/internal/core"
 	"xtalk/internal/device"
 	"xtalk/internal/pipeline"
+	"xtalk/internal/qasm"
+	"xtalk/internal/serve"
 	"xtalk/internal/workloads"
 )
 
@@ -48,6 +53,7 @@ func main() {
 		window    = flag.Int("window", 0, "max two-qubit gates per window SMT instance (implies -partition; 0 = default cap)")
 		portfolio = flag.Bool("portfolio", false, "race the SMT engine against the greedy heuristic under -budget and keep the best schedule")
 		workload  = flag.String("workload", "", "generate a built-in circuit instead of reading input: qaoa[:K]|supremacy[:GATES]|swap[:A,B]")
+		serveURL  = flag.String("serve", "", "compile via a running xtalkd daemon at this base URL (e.g. http://localhost:8077) instead of locally")
 	)
 	flag.Parse()
 	spec := *devSpec
@@ -62,7 +68,26 @@ func main() {
 		window:    *window,
 		portfolio: *portfolio,
 	}
-	if err := run(*in, spec, *workload, *seed, opts); err != nil {
+	var err error
+	if *serveURL != "" {
+		// The daemon compiles under its own configuration; warn when local
+		// scheduling flags were set so they are not silently dropped.
+		ignored := map[string]bool{"omega": true, "budget": true, "partition": true, "window": true, "portfolio": true}
+		var dropped []string
+		flag.Visit(func(f *flag.Flag) {
+			if ignored[f.Name] {
+				dropped = append(dropped, "-"+f.Name)
+			}
+		})
+		if len(dropped) > 0 {
+			fmt.Fprintf(os.Stderr, "xtalksched: %s ignored in -serve mode (the daemon's flags decide the compile config)\n",
+				strings.Join(dropped, " "))
+		}
+		err = runRemote(*serveURL, *in, spec, *workload, *seed, opts)
+	} else {
+		err = run(*in, spec, *workload, *seed, opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "xtalksched:", err)
 		os.Exit(1)
 	}
@@ -142,6 +167,93 @@ func buildWorkload(dev *device.Device, workload string, seed int64) (*circuit.Ci
 	default:
 		return nil, fmt.Errorf("unknown workload %q (want qaoa|supremacy|swap)", workload)
 	}
+}
+
+// runRemote is the -serve client mode: it ships the circuit to a running
+// xtalkd daemon, letting the service's content-addressed cache deduplicate
+// the solve, and prints the returned artifact.
+func runRemote(baseURL, in, spec, workload string, seed int64, opts runOpts) error {
+	var source string
+	if workload != "" {
+		// Workload circuits are generated locally against the same device
+		// spec the daemon will compile for, then shipped as OpenQASM.
+		dev, err := device.NewFromSpec(spec, seed)
+		if err != nil {
+			return err
+		}
+		c, err := buildWorkload(dev, workload, seed)
+		if err != nil {
+			return err
+		}
+		source = qasm.Dump(c)
+	} else {
+		var src []byte
+		var err error
+		if in == "" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(in)
+		}
+		if err != nil {
+			return err
+		}
+		source = string(src)
+	}
+	req := serve.CompileRequest{Source: source, Device: spec, Seed: &seed}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	resp, err := http.Post(baseURL+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			if e.Line > 0 {
+				return fmt.Errorf("daemon: %s (input line %d)", e.Error, e.Line)
+			}
+			return fmt.Errorf("daemon: %s", e.Error)
+		}
+		return fmt.Errorf("daemon: HTTP %d", resp.StatusCode)
+	}
+	var cr serve.CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return err
+	}
+	status := "cold compile"
+	switch {
+	case cr.Cached:
+		status = "cache hit"
+	case cr.Collapsed:
+		status = "collapsed onto in-flight compile"
+	}
+	fmt.Printf("%s [%s] on %s (seed %d, day %d): %s\n",
+		cr.Scheduler, cr.Fingerprint[:12], cr.Device, cr.Seed, cr.Day, status)
+	fmt.Printf("modeled cost: %.4f; makespan: %.0f ns; compile time: %.1f ms\n",
+		cr.Cost, cr.MakespanNS, cr.CompileMS)
+	if cr.Solve != "" {
+		fmt.Printf("solver effort: %s\n", cr.Solve)
+	}
+	fmt.Println("\ncompiled circuit (OpenQASM, barriers enforce the schedule):")
+	fmt.Println(cr.QASM)
+	if opts.stats {
+		st, err := http.Get(baseURL + "/stats")
+		if err != nil {
+			return err
+		}
+		defer st.Body.Close()
+		var stats serve.Stats
+		if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+			return err
+		}
+		fmt.Println("daemon statistics:")
+		fmt.Print(stats.Text)
+	}
+	return nil
 }
 
 func run(in, spec, workload string, seed int64, opts runOpts) error {

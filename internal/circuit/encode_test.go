@@ -1,0 +1,135 @@
+package circuit
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCanonicalOrderStable: circuits that differ only in the interleaving of
+// independent gates must canonicalize (and therefore encode) identically.
+func TestCanonicalOrderStable(t *testing.T) {
+	a := New(6)
+	a.H(0)
+	a.CNOT(2, 3)
+	a.CNOT(4, 5)
+	a.RZ(1, 0.25)
+	a.Measure(3)
+
+	// Same gates, independent ones appended in a different order.
+	b := New(6)
+	b.RZ(1, 0.25)
+	b.CNOT(4, 5)
+	b.H(0)
+	b.CNOT(2, 3)
+	b.Measure(3)
+
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatalf("independent-gate reordering changed the encoding:\n%s\nvs\n%s",
+			a.Canonical(), b.Canonical())
+	}
+}
+
+// TestCanonicalPreservesSemantics: the canonical order must be a valid
+// topological order of the dependency DAG (per-qubit gate sequences are
+// preserved exactly).
+func TestCanonicalPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		c := New(n)
+		for g := 0; g < 30; g++ {
+			switch rng.Intn(5) {
+			case 0:
+				c.H(rng.Intn(n))
+			case 1:
+				c.RZ(rng.Intn(n), rng.Float64())
+			case 2:
+				q := rng.Intn(n)
+				p := (q + 1 + rng.Intn(n-1)) % n
+				c.CNOT(q, p)
+			case 3:
+				c.Barrier()
+			case 4:
+				c.Measure(rng.Intn(n))
+			}
+		}
+		canon := c.Canonical()
+		if len(canon.Gates) != len(c.Gates) {
+			t.Fatalf("canonical dropped gates: %d vs %d", len(canon.Gates), len(c.Gates))
+		}
+		if got, want := perQubitTrace(canon), perQubitTrace(c); got != want {
+			t.Fatalf("per-qubit gate sequences changed:\n%s\nvs\n%s", got, want)
+		}
+		// Canonicalization must be idempotent.
+		if !bytes.Equal(canon.Encode(), c.Encode()) {
+			t.Fatal("Canonical().Encode() differs from Encode()")
+		}
+	}
+}
+
+// perQubitTrace renders, for each qubit, the sequence of gates touching it —
+// the semantic content a reordering must preserve.
+func perQubitTrace(c *Circuit) string {
+	var out bytes.Buffer
+	for q := 0; q < c.NQubits; q++ {
+		for _, g := range c.Gates {
+			for _, gq := range g.Qubits {
+				if gq == q {
+					out.WriteString(g.String())
+					out.WriteString(";")
+				}
+			}
+		}
+		out.WriteString("\n")
+	}
+	return out.String()
+}
+
+// TestEncodeDistinguishes: any semantic difference must change the encoding.
+func TestEncodeDistinguishes(t *testing.T) {
+	base := func() *Circuit {
+		c := New(4)
+		c.H(0)
+		c.CNOT(0, 1)
+		c.U3(2, 0.1, 0.2, 0.3)
+		c.Measure(1)
+		return c
+	}
+	enc := base().Encode()
+	for name, mutate := range map[string]func() *Circuit{
+		"extra gate":   func() *Circuit { c := base(); c.X(3); return c },
+		"param bit":    func() *Circuit { c := base(); c.Gates[2].Params[0] = math.Nextafter(0.1, 1); return c },
+		"operand swap": func() *Circuit { c := base(); c.Gates[1].Qubits = []int{1, 0}; return c },
+		"wider reg":    func() *Circuit { c := New(5); c.Gates = base().Gates; return c },
+		"kind change":  func() *Circuit { c := base(); c.Gates[0].Kind = KindX; return c },
+	} {
+		if bytes.Equal(mutate().Encode(), enc) {
+			t.Fatalf("%s: encoding did not change", name)
+		}
+	}
+}
+
+// TestCanonicalRespectsBarriers: gates on the two sides of a barrier must
+// not cross it during canonicalization.
+func TestCanonicalRespectsBarriers(t *testing.T) {
+	c := New(2)
+	c.X(0)
+	c.Barrier()
+	c.H(0)
+	c.H(1)
+	canon := c.Canonical()
+	barrierAt := -1
+	for i, g := range canon.Gates {
+		if g.Kind == KindBarrier {
+			barrierAt = i
+		}
+	}
+	if barrierAt != 1 {
+		t.Fatalf("barrier moved: canonical order %s", canon)
+	}
+	if canon.Gates[0].Kind != KindX {
+		t.Fatalf("pre-barrier gate crossed: %s", canon)
+	}
+}

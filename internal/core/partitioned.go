@@ -29,8 +29,11 @@ func NewSolvePool(workers int) *SolvePool {
 	return &SolvePool{sem: make(chan struct{}, workers)}
 }
 
-// acquire blocks until a solve slot is free or ctx is done.
-func (p *SolvePool) acquire(ctx context.Context) error {
+// Acquire blocks until a solve slot is free or ctx is done. It is exported
+// so admission queues outside the scheduler (the serving layer bounds
+// concurrent compilations with the same pool that bounds window solves) can
+// share one global concurrency budget.
+func (p *SolvePool) Acquire(ctx context.Context) error {
 	select {
 	case p.sem <- struct{}{}:
 		return nil
@@ -39,7 +42,8 @@ func (p *SolvePool) acquire(ctx context.Context) error {
 	}
 }
 
-func (p *SolvePool) release() { <-p.sem }
+// Release returns a slot taken by Acquire.
+func (p *SolvePool) Release() { <-p.sem }
 
 // PartitionOpts configures the conflict-partitioned engine.
 type PartitionOpts struct {
@@ -192,12 +196,12 @@ func (p *PartitionedXtalkSched) ScheduleContext(ctx context.Context, c *circuit.
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				if err := p.Pool.acquire(ctx); err != nil {
+				if err := p.Pool.Acquire(ctx); err != nil {
 					// Canceled while queued for a slot.
 					outs[i] = greedy(&part.Windows[i])
 					return
 				}
-				defer p.Pool.release()
+				defer p.Pool.Release()
 				outs[i] = solve(&part.Windows[i])
 			}(i)
 		}

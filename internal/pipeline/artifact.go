@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"time"
+
+	"xtalk/internal/core"
+	"xtalk/internal/qasm"
+)
+
+// CompiledArtifact is the immutable product of one compile-only pass: the
+// scheduled program and its metrics, fully decoupled from the engine that
+// produced it. Artifacts are what the content-addressed compilation cache
+// stores and what the serving layer returns; every field is a plain value,
+// so a cached artifact can be handed to any number of concurrent readers.
+// Treat it as read-only.
+type CompiledArtifact struct {
+	// Fingerprint is the content address the artifact was compiled under
+	// (see Compiler.Fingerprint).
+	Fingerprint string
+	// Device, Seed and Day identify the calibration the schedule targets.
+	Device string
+	Seed   int64
+	Day    int
+	// Scheduler names the algorithm that produced the schedule.
+	Scheduler string
+	// NQubits and Gates describe the compiled circuit (after routing and
+	// decomposition, before barrier insertion).
+	NQubits int
+	Gates   int
+	// Makespan is the schedule length in ns.
+	Makespan float64
+	// Cost is the realized scheduling objective (Eq. 17) at the engine's
+	// omega; SolverObjective is the SMT solver's reported objective.
+	Cost            float64
+	SolverObjective float64
+	// Solve quantifies the solver effort behind the schedule.
+	Solve core.SolveStats
+	// QASM is the compiled output program — the scheduled circuit with
+	// barriers enforcing the serialization decisions — as OpenQASM 2.0, the
+	// format clients execute.
+	QASM string
+	// CompileTime is the wall-clock cost of the cold compilation that
+	// produced the artifact.
+	CompileTime time.Duration
+}
+
+// newArtifact freezes a successful compile Result into an artifact.
+func newArtifact(c *Compiler, res *Result, fp string, elapsed time.Duration) *CompiledArtifact {
+	a := &CompiledArtifact{
+		Fingerprint: fp,
+		Device:      string(c.Dev.Name),
+		Seed:        c.Dev.Seed,
+		Day:         c.Dev.Day,
+		CompileTime: elapsed,
+	}
+	if res.Circuit != nil {
+		a.NQubits = res.Circuit.NQubits
+		a.Gates = len(res.Circuit.Gates)
+	}
+	if s := res.Schedule; s != nil {
+		a.Scheduler = s.Scheduler
+		a.Makespan = s.Makespan()
+		a.Cost = s.Cost(c.Noise, c.omega())
+		a.SolverObjective = s.SolverObjective
+		a.Solve = s.Stats
+	}
+	if res.Barriered != nil {
+		a.QASM = qasm.Dump(res.Barriered)
+	} else if res.Circuit != nil {
+		a.QASM = qasm.Dump(res.Circuit)
+	}
+	return a
+}
+
+// SizeBytes estimates the artifact's memory footprint for cache accounting:
+// the dominant term is the QASM payload, plus a fixed overhead for the
+// struct and its strings.
+func (a *CompiledArtifact) SizeBytes() int64 {
+	return int64(len(a.QASM)) + int64(len(a.Fingerprint)) +
+		int64(len(a.Device)) + int64(len(a.Scheduler)) + 256
+}

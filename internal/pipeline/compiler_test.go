@@ -1,0 +1,183 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+	"xtalk/internal/qasm"
+)
+
+// fingerprintCircuits builds two semantically identical circuits whose
+// independent gates were appended in different orders.
+func fingerprintCircuits() (*circuit.Circuit, *circuit.Circuit) {
+	a := circuit.New(20)
+	a.H(5)
+	a.CNOT(5, 10)
+	a.CNOT(11, 12)
+	a.Measure(10)
+	b := circuit.New(20)
+	b.CNOT(11, 12) // independent of the 5-10 chain
+	b.H(5)
+	b.CNOT(5, 10)
+	b.Measure(10)
+	return a, b
+}
+
+// TestFingerprintOrderStable: semantically identical submissions must hash
+// identically; any relevant difference — calibration day, seed, device,
+// compile knobs, noise threshold — must change the hash.
+func TestFingerprintOrderStable(t *testing.T) {
+	dev := testDev(t)
+	c := NewCompiler(dev, Config{Budget: time.Second})
+	a, b := fingerprintCircuits()
+	if c.Fingerprint(a) != c.Fingerprint(b) {
+		t.Fatal("independent-gate reordering changed the fingerprint")
+	}
+
+	distinct := map[string]string{"base": c.Fingerprint(a)}
+	add := func(name, fp string) {
+		for prev, pfp := range distinct {
+			if pfp == fp {
+				t.Fatalf("%s collides with %s", name, prev)
+			}
+		}
+		distinct[name] = fp
+	}
+	day1, err := device.NewForDay(device.Poughkeepsie, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add("day", NewCompiler(day1, Config{Budget: time.Second}).Fingerprint(a))
+	add("seed", NewCompiler(device.MustNew(device.Poughkeepsie, 2), Config{Budget: time.Second}).Fingerprint(a))
+	add("device", NewCompiler(device.MustNew(device.Johannesburg, 1), Config{Budget: time.Second}).Fingerprint(a))
+	add("omega", NewCompiler(dev, Config{Budget: time.Second, Omega: 0.9}).Fingerprint(a))
+	add("budget", NewCompiler(dev, Config{Budget: 2 * time.Second}).Fingerprint(a))
+	add("partition", NewCompiler(dev, Config{Budget: time.Second, Partition: true}).Fingerprint(a))
+	add("window", NewCompiler(dev, Config{Budget: time.Second, Partition: true, WindowGates: 4}).Fingerprint(a))
+	add("threshold", NewCompiler(dev, Config{Budget: time.Second, Threshold: 2}).Fingerprint(a))
+	add("route", NewCompiler(dev, Config{Budget: time.Second, Route: true}).Fingerprint(a))
+	add("circuit", c.Fingerprint(crosstalkCircuit(2)))
+}
+
+// TestArtifactFingerprintCoversRequestScheduler: an artifact compiled under
+// a per-request scheduler override must not alias the default scheduler's
+// cache entry.
+func TestArtifactFingerprintCoversRequestScheduler(t *testing.T) {
+	dev := testDev(t)
+	c := NewCompiler(dev, Config{Budget: 5 * time.Second})
+	a, _ := fingerprintCircuits()
+	def, err := c.Artifact(context.Background(), Request{Circuit: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := c.Artifact(context.Background(), Request{Circuit: a, Scheduler: core.SerialSched{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Fingerprint == def.Fingerprint {
+		t.Fatal("per-request scheduler override aliased the default fingerprint")
+	}
+	if serial.Scheduler != "SerialSched" {
+		t.Fatalf("override not applied: %q", serial.Scheduler)
+	}
+}
+
+// TestFingerprintIgnoresExecutionKnobs: Shots/Mitigate/Workers shape
+// execution and aggregation, not the compiled artifact, and must not
+// fragment the cache key space.
+func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
+	dev := testDev(t)
+	a, _ := fingerprintCircuits()
+	base := NewCompiler(dev, Config{Budget: time.Second}).Fingerprint(a)
+	with := NewCompiler(dev, Config{Budget: time.Second, Shots: 1024, Mitigate: true, Workers: 4}).Fingerprint(a)
+	if base != with {
+		t.Fatal("execution knobs changed the compile fingerprint")
+	}
+}
+
+// TestCompilerRunArtifact: Artifact must freeze a compile into an immutable
+// artifact whose QASM parses back, and semantically identical submissions
+// must produce byte-identical artifacts (not just equal fingerprints),
+// because Artifact compiles the canonical form.
+func TestCompilerRunArtifact(t *testing.T) {
+	dev := testDev(t)
+	c := NewCompiler(dev, Config{Budget: 5 * time.Second})
+	a, b := fingerprintCircuits()
+	artA, err := c.Artifact(context.Background(), Request{Tag: "a", Circuit: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	artB, err := c.Artifact(context.Background(), Request{Tag: "b", Circuit: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artA.Fingerprint != artB.Fingerprint {
+		t.Fatal("equivalent submissions produced different fingerprints")
+	}
+	if artA.QASM != artB.QASM {
+		t.Fatalf("equivalent submissions produced different compiled QASM:\n%s\nvs\n%s", artA.QASM, artB.QASM)
+	}
+	if artA.QASM == "" || artA.Makespan <= 0 || artA.Scheduler == "" {
+		t.Fatalf("incomplete artifact: %+v", artA)
+	}
+	if _, err := qasm.Parse(artA.QASM); err != nil {
+		t.Fatalf("artifact QASM does not parse: %v\n%s", err, artA.QASM)
+	}
+	if artA.SizeBytes() <= int64(len(artA.QASM)) {
+		t.Fatalf("size accounting smaller than payload: %d", artA.SizeBytes())
+	}
+}
+
+// TestCompilerSharedConcurrently: one engine, many goroutines, no shared
+// mutable state — per-request stats must land on each Result (run under
+// -race in CI).
+func TestCompilerSharedConcurrently(t *testing.T) {
+	dev := testDev(t)
+	c := NewCompiler(dev, Config{Budget: 5 * time.Second})
+	var wg sync.WaitGroup
+	results := make([]*Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Compile(context.Background(), Request{Tag: "t", Circuit: crosstalkCircuit(1 + i%3)})
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("compile %d: %v", i, r.Err)
+		}
+		if len(r.Timings) == 0 || r.Solve.Windows == 0 {
+			t.Fatalf("compile %d missing request-local stats: %+v", i, r)
+		}
+		if r.Schedule == nil || r.Barriered == nil {
+			t.Fatalf("compile %d incomplete", i)
+		}
+	}
+}
+
+// TestPipelineAggregatesResultStats: the wrapper must fold request-local
+// stats into its aggregates (including stage errors) exactly as the old
+// shared-state path did.
+func TestPipelineAggregatesResultStats(t *testing.T) {
+	dev := testDev(t)
+	p := New(dev, Config{Budget: 5 * time.Second})
+	p.Run(context.Background(), Request{Tag: "ok", Circuit: crosstalkCircuit(1)})
+	p.Run(context.Background(), Request{Tag: "bad", Source: "cx q0 q1 q2 garbage"})
+	stats := p.Stats()
+	if stats["parse"].Runs != 2 || stats["parse"].Errors != 1 {
+		t.Fatalf("parse stage stats %+v, want 2 runs / 1 error", stats["parse"])
+	}
+	if stats["schedule"].Runs != 1 || stats["schedule"].Errors != 0 {
+		t.Fatalf("schedule stage stats %+v, want 1 run / 0 errors", stats["schedule"])
+	}
+	if p.SolveStats().Windows == 0 {
+		t.Fatal("solver effort not aggregated")
+	}
+}

@@ -1,29 +1,34 @@
 // Package pipeline is the staged compilation pipeline of the paper's
 // toolchain (Figure 2): Parse → Route → Schedule → InsertBarriers → Execute
 // → Mitigate. It is the one implementation of the end-to-end flow that the
-// public facade, the CLI tools and the experiment drivers all share.
+// public facade, the CLI tools, the experiment drivers and the serving
+// layer all share.
 //
-// A Pipeline is built once per device and noise-data input and then compiles
-// any number of circuits through its stage stack, either one at a time (Run)
-// or as a concurrent batch over a bounded worker pool (Batch). Every stage
-// is context-aware: canceling the context aborts in-flight SMT optimization
-// within one conflict-check interval and fails the remaining batch items
-// fast, each carrying the cancellation error (fail-soft: one item's failure
-// never aborts its siblings).
+// The package splits the flow into two layers:
 //
-// The stage stack is pluggable — Config.Stages replaces the default stack
-// with any []Stage — and instrumented: per-stage wall-clock totals, counts
-// and error counts accumulate in the pipeline and per-item timings ride on
-// each Result.
+//   - Compiler is the reusable engine: one device, one noise input, one
+//     stage stack, immutable after construction and therefore safe for
+//     unbounded concurrent use. Compile returns a Result whose statistics
+//     (stage timings, solver effort) are request-local; Run freezes a
+//     successful compile into an immutable CompiledArtifact, the cacheable
+//     unit of the serving layer, content-addressed by Fingerprint.
+//
+//   - Pipeline wraps a Compiler with cross-request aggregation: per-stage
+//     wall-clock totals, counts and error counts, plus accumulated solver
+//     effort, rendered by StatsString. It is the convenient handle for CLIs
+//     and experiments that compile many circuits and then report totals.
+//
+// Every stage is context-aware: canceling the context aborts in-flight SMT
+// optimization within one conflict-check interval and fails the remaining
+// batch items fast, each carrying the cancellation error (fail-soft: one
+// item's failure never aborts its siblings). The stage stack is pluggable —
+// Config.Stages replaces the default stack with any []Stage.
 package pipeline
 
 import (
 	"context"
-	"fmt"
-	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"xtalk/internal/characterize"
@@ -33,6 +38,8 @@ import (
 	"xtalk/internal/metrics"
 	"xtalk/internal/noise"
 	"xtalk/internal/rb"
+
+	"fmt"
 )
 
 // Request is one compilation work item.
@@ -44,10 +51,10 @@ type Request struct {
 	// Source is textual program input: OpenQASM 2.0 when it contains an
 	// OPENQASM declaration, the library's gate-list format otherwise.
 	Source string
-	// Scheduler overrides the pipeline's scheduler for this item (omega
+	// Scheduler overrides the engine's scheduler for this item (omega
 	// sweeps and scheduler comparisons batch one request per scheduler).
 	Scheduler core.Scheduler
-	// Shots overrides the pipeline's execution shot count when positive.
+	// Shots overrides the engine's execution shot count when positive.
 	Shots int
 	// Seed seeds this item's noisy execution.
 	Seed int64
@@ -60,11 +67,14 @@ type Request struct {
 type StageTiming struct {
 	Stage   string
 	Elapsed time.Duration
+	// Failed records whether the stage returned this request's error.
+	Failed bool
 }
 
 // Result is the outcome of compiling (and optionally executing) one Request.
 // Fields are populated progressively as stages run; on failure Err records
-// the failing stage and the fields of completed stages remain valid.
+// the failing stage and the fields of completed stages remain valid. All
+// statistics are request-local: a Result never aliases engine state.
 type Result struct {
 	Tag string
 	Req Request
@@ -83,6 +93,9 @@ type Result struct {
 	Dist metrics.Distribution
 	// Timings records per-stage wall-clock durations for this item.
 	Timings []StageTiming
+	// Solve quantifies the SMT effort behind this item's schedule (zero for
+	// baseline schedulers).
+	Solve core.SolveStats
 	// Err is the first stage error (nil on success). Batch never aborts on
 	// a failed item; check Err per item.
 	Err error
@@ -99,7 +112,7 @@ func (r *Result) StageElapsed(stage string) time.Duration {
 	return 0
 }
 
-// Config shapes a Pipeline.
+// Config shapes a Compiler (and hence a Pipeline).
 type Config struct {
 	// Noise is the scheduler's characterization input. When nil the
 	// device's ground truth is extracted at Threshold (memoized per
@@ -119,7 +132,7 @@ type Config struct {
 	// Partition routes the default scheduler through the conflict-
 	// partitioned engine: each circuit's crosstalk conflict graph is split
 	// into independent components and bounded windows, every window solved
-	// as its own small SMT instance over the pipeline's solve pool (so
+	// as its own small SMT instance over the engine's solve pool (so
 	// batch compilation overlaps windows across circuits), and the
 	// per-window schedules stitched back with barrier-respecting offsets.
 	// Ignored when Scheduler is set.
@@ -145,7 +158,7 @@ type Config struct {
 	// Mitigate applies readout-error mitigation to executed results (the
 	// paper applies it to all reported numbers).
 	Mitigate bool
-	// Workers bounds Batch concurrency (default GOMAXPROCS).
+	// Workers bounds batch concurrency (default GOMAXPROCS).
 	Workers int
 	// Stages replaces the default stage stack entirely. The stack is run
 	// in order for every request; all other stage-selection fields above
@@ -153,21 +166,33 @@ type Config struct {
 	Stages []Stage
 }
 
-// Pipeline compiles circuits for one device through a fixed stage stack.
-// All methods are safe for concurrent use once the pipeline is built, except
-// Characterize (which swaps the noise input and must not race Run/Batch).
-type Pipeline struct {
-	Dev   *device.Device
-	Noise *core.NoiseData
+func defaultStages(cfg Config) []Stage {
+	st := []Stage{ParseStage{}}
+	if cfg.Route {
+		st = append(st, RouteStage{})
+	}
+	if cfg.DecomposeSwaps {
+		st = append(st, DecomposeStage{})
+	}
+	st = append(st, ScheduleStage{}, BarrierStage{})
+	if cfg.Shots > 0 {
+		st = append(st, ExecuteStage{})
+		if cfg.Mitigate {
+			st = append(st, MitigateStage{})
+		}
+	}
+	return st
+}
 
-	cfg       Config
-	sched     core.Scheduler
-	autoSched bool // sched was derived from cfg, rebuild on Characterize
-	stages    []Stage
-	// pool bounds concurrent SMT window solves across the whole pipeline:
-	// when a batch compiles many circuits with the partitioned engine, all
-	// their windows contend for the same Config.Workers-sized pool.
-	pool *core.SolvePool
+// Pipeline is a Compiler plus cross-request statistics: per-stage
+// wall-clock aggregates and accumulated solver effort across every request
+// it has processed. Run/Batch delegate to the embedded engine and absorb
+// each Result's request-local stats under a single short lock per item —
+// the engine itself stays contention-free. All methods are safe for
+// concurrent use once the pipeline is built, except Characterize (which
+// swaps the engine and must not race Run/Batch).
+type Pipeline struct {
+	*Compiler
 
 	mu    sync.Mutex
 	stats map[string]*StageStats
@@ -190,93 +215,15 @@ func NewFromSpec(spec string, seed int64, day int, cfg Config) (*Pipeline, error
 // New builds a pipeline over dev. See Config for the knobs; the zero Config
 // is a compile-only ground-truth-noise XtalkSched pipeline.
 func New(dev *device.Device, cfg Config) *Pipeline {
-	if cfg.Threshold <= 0 {
-		cfg.Threshold = 3
-	}
-	nd := cfg.Noise
-	if nd == nil {
-		nd = GroundTruthNoise(dev, cfg.Threshold)
-	}
-	p := &Pipeline{Dev: dev, Noise: nd, cfg: cfg, stats: map[string]*StageStats{}}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	p.pool = core.NewSolvePool(workers)
-	p.sched = cfg.Scheduler
-	if p.sched == nil {
-		p.sched = p.buildScheduler()
-		p.autoSched = true
-	}
-	p.stages = cfg.Stages
-	if p.stages == nil {
-		p.stages = defaultStages(cfg)
-	}
-	return p
-}
-
-func (p *Pipeline) buildScheduler() core.Scheduler {
-	xc := core.DefaultXtalkConfig()
-	if p.cfg.Omega > 0 {
-		xc.Omega = p.cfg.Omega
-	} else if p.cfg.Omega < 0 {
-		xc.Omega = 0
-	}
-	xc.Timeout = p.cfg.Budget
-	if !p.cfg.Partition && !p.cfg.Portfolio {
-		return core.NewXtalkSched(p.Noise, xc)
-	}
-	part := core.NewPartitionedXtalkSched(p.Noise, xc, core.PartitionOpts{MaxWindowGates: p.cfg.WindowGates})
-	part.Pool = p.pool
-	if p.cfg.Portfolio {
-		return &core.PortfolioSched{
-			Noise: p.Noise,
-			Omega: part.Config.Omega,
-			Candidates: []core.Scheduler{
-				&core.HeuristicXtalkSched{Noise: p.Noise, Omega: part.Config.Omega},
-				part,
-			},
-		}
-	}
-	return part
-}
-
-func defaultStages(cfg Config) []Stage {
-	st := []Stage{ParseStage{}}
-	if cfg.Route {
-		st = append(st, RouteStage{})
-	}
-	if cfg.DecomposeSwaps {
-		st = append(st, DecomposeStage{})
-	}
-	st = append(st, ScheduleStage{}, BarrierStage{})
-	if cfg.Shots > 0 {
-		st = append(st, ExecuteStage{})
-		if cfg.Mitigate {
-			st = append(st, MitigateStage{})
-		}
-	}
-	return st
-}
-
-// Scheduler returns the scheduler a request will use: its own override or
-// the pipeline default.
-func (p *Pipeline) Scheduler(req *Request) core.Scheduler {
-	if req.Scheduler != nil {
-		return req.Scheduler
-	}
-	return p.sched
+	return &Pipeline{Compiler: NewCompiler(dev, cfg), stats: map[string]*StageStats{}}
 }
 
 // Characterize runs an SRB crosstalk-characterization campaign on the
 // pipeline's device and installs the measured noise data as the scheduler
-// input, replacing ground truth: the default scheduler is rebuilt over the
-// measured data, and an explicitly configured library scheduler (XtalkSched,
-// PartitionedXtalkSched, HeuristicXtalkSched, or a PortfolioSched of them)
-// is rebuilt with its own config. Other explicit scheduler types keep their
-// construction-time noise (read p.Noise and reconfigure them yourself).
-// highPairs seeds the HighCrosstalkOnly policy (from a previous full
-// campaign). Not safe to call concurrently with Run/Batch.
+// input, replacing ground truth: the engine is swapped for one rebuilt over
+// the measured data (see Compiler.WithNoise for how explicit schedulers are
+// handled). highPairs seeds the HighCrosstalkOnly policy (from a previous
+// full campaign). Not safe to call concurrently with Run/Batch.
 func (p *Pipeline) Characterize(ctx context.Context, policy characterize.Policy, highPairs []device.EdgePair, cfg rb.Config) (*characterize.Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -285,106 +232,38 @@ func (p *Pipeline) Characterize(ctx context.Context, policy characterize.Policy,
 	if err != nil {
 		return nil, err
 	}
-	p.Noise = rep.NoiseData(p.Dev, p.cfg.Threshold)
-	if p.autoSched {
-		p.sched = p.buildScheduler()
-	} else {
-		p.sched = p.rebuildOnNoise(p.sched)
-	}
+	p.Compiler = p.Compiler.WithNoise(rep.NoiseData(p.Dev, p.cfg.Threshold))
 	return rep, nil
 }
 
-// rebuildOnNoise returns s reconstructed over the pipeline's current noise
-// data when its concrete type is one of the library's noise-consuming
-// schedulers (the SMT engines, the greedy heuristic, and portfolios of
-// them, rebuilt candidate by candidate). Unknown scheduler types are
-// returned unchanged — they keep their construction-time noise, as
-// Characterize documents.
-func (p *Pipeline) rebuildOnNoise(s core.Scheduler) core.Scheduler {
-	switch sc := s.(type) {
-	case *core.XtalkSched:
-		return core.NewXtalkSched(p.Noise, sc.Config)
-	case *core.PartitionedXtalkSched:
-		rebuilt := core.NewPartitionedXtalkSched(p.Noise, sc.Config, sc.Opts)
-		rebuilt.Pool = sc.Pool
-		return rebuilt
-	case *core.HeuristicXtalkSched:
-		return &core.HeuristicXtalkSched{Noise: p.Noise, Omega: sc.Omega}
-	case *core.PortfolioSched:
-		cands := make([]core.Scheduler, len(sc.Candidates))
-		for i, c := range sc.Candidates {
-			cands[i] = p.rebuildOnNoise(c)
-		}
-		return &core.PortfolioSched{Noise: p.Noise, Omega: sc.Omega, Candidates: cands}
-	default:
-		return s
-	}
-}
-
-// Run compiles one request through the stage stack. The returned Result
-// always carries the request tag; Err records the first failing stage.
+// Run compiles one request through the stage stack and folds its
+// request-local statistics into the pipeline aggregates. The returned
+// Result always carries the request tag; Err records the first failing
+// stage.
 func (p *Pipeline) Run(ctx context.Context, req Request) *Result {
-	res := &Result{Tag: req.Tag, Req: req, Circuit: req.Circuit}
-	for _, st := range p.stages {
-		if err := ctx.Err(); err != nil {
-			res.Err = err
-			break
-		}
-		t0 := time.Now()
-		err := st.Run(ctx, p, res)
-		d := time.Since(t0)
-		res.Timings = append(res.Timings, StageTiming{Stage: st.Name(), Elapsed: d})
-		p.record(st.Name(), d, err)
-		if err != nil {
-			res.Err = fmt.Errorf("stage %s: %w", st.Name(), err)
-			break
-		}
-	}
+	res := p.Compiler.Compile(ctx, req)
+	p.absorb(res)
 	return res
 }
 
 // Batch compiles every request concurrently over a bounded worker pool
 // (Config.Workers, default GOMAXPROCS) and returns results in request
-// order. Item failures are fail-soft: each Result carries its own Err and
-// never aborts siblings. Canceling ctx aborts in-flight SMT searches within
-// one conflict-check interval and marks all unstarted items with the
+// order, folding each item's statistics into the pipeline aggregates as it
+// completes. Item failures are fail-soft: each Result carries its own Err
+// and never aborts siblings. Canceling ctx aborts in-flight SMT searches
+// within one conflict-check interval and marks all unstarted items with the
 // context's error, so Batch returns promptly with partial results.
 func (p *Pipeline) Batch(ctx context.Context, reqs []Request) []*Result {
-	out := make([]*Result, len(reqs))
-	workers := p.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(reqs) {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					// Canceled: drain the remaining queue without compiling
-					// so callers get one tagged result per request.
-					out[i] = &Result{Tag: reqs[i].Tag, Req: reqs[i], Err: err}
-					continue
-				}
-				out[i] = p.Run(ctx, reqs[i])
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return p.Compiler.compileBatch(ctx, reqs, p.absorb)
+}
+
+// Artifact is Compiler.Artifact with pipeline aggregation: it compiles one
+// request into an immutable CompiledArtifact and folds the compile's
+// request-local statistics into the pipeline totals. It is the entry point
+// the serving layer uses, so cached deployments still report accurate
+// cumulative stage costs for the compiles that actually ran.
+func (p *Pipeline) Artifact(ctx context.Context, req Request) (*CompiledArtifact, error) {
+	return artifactVia(ctx, req, p.Compiler, p.Run)
 }
 
 // StageStats aggregates one stage's cost across every request a pipeline
@@ -396,32 +275,32 @@ type StageStats struct {
 	Max    time.Duration
 }
 
-func (p *Pipeline) record(stage string, d time.Duration, err error) {
+// absorb folds one Result's request-local statistics into the pipeline
+// aggregates: one short lock per request, instead of the per-stage
+// serialization the engine used to pay before the Compiler split.
+func (p *Pipeline) absorb(res *Result) {
+	if res == nil {
+		return
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	s := p.stats[stage]
-	if s == nil {
-		s = &StageStats{}
-		p.stats[stage] = s
-		p.order = append(p.order, stage)
+	for _, t := range res.Timings {
+		s := p.stats[t.Stage]
+		if s == nil {
+			s = &StageStats{}
+			p.stats[t.Stage] = s
+			p.order = append(p.order, t.Stage)
+		}
+		s.Runs++
+		s.Total += t.Elapsed
+		if t.Elapsed > s.Max {
+			s.Max = t.Elapsed
+		}
+		if t.Failed {
+			s.Errors++
+		}
 	}
-	s.Runs++
-	s.Total += d
-	if d > s.Max {
-		s.Max = d
-	}
-	if err != nil {
-		s.Errors++
-	}
-}
-
-// recordSolve accumulates one schedule's SMT effort counters (windows,
-// components, heuristic fallbacks, SAT decisions/conflicts) into the
-// pipeline's totals. Called by the Schedule stage for every scheduled item.
-func (p *Pipeline) recordSolve(st core.SolveStats) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.solve.Add(st)
+	p.solve.Add(res.Solve)
 }
 
 // SolveStats returns the aggregated SMT search effort across every schedule

@@ -17,11 +17,25 @@ import (
 
 // Stage is one step of a compilation pipeline. Stages read and extend the
 // Result in place; returning an error fails the item (fail-soft within a
-// batch). Custom stages may be mixed freely with the built-in ones via
-// Config.Stages.
+// batch). Stages must not mutate the Compiler — it is shared by all
+// concurrent compilations. Custom stages may be mixed freely with the
+// built-in ones via Config.Stages.
 type Stage interface {
 	Name() string
-	Run(ctx context.Context, p *Pipeline, res *Result) error
+	Run(ctx context.Context, c *Compiler, res *Result) error
+}
+
+// errNoInput is the empty-request failure shared by the parse stage and
+// Compiler.Materialize.
+var errNoInput = errors.New("request has neither Circuit nor Source")
+
+// parseSource parses textual program input: OpenQASM 2.0 when it contains
+// an OPENQASM declaration, the library's gate-list format otherwise.
+func parseSource(src string, dev *device.Device) (*circuit.Circuit, error) {
+	if strings.Contains(src, "OPENQASM") {
+		return qasm.Parse(src)
+	}
+	return circuit.ParseText(src, dev.Topo.NQubits)
 }
 
 // ParseStage materializes the circuit IR: it passes a pre-built
@@ -34,25 +48,19 @@ type ParseStage struct{}
 func (ParseStage) Name() string { return "parse" }
 
 // Run implements Stage.
-func (ParseStage) Run(_ context.Context, p *Pipeline, res *Result) error {
+func (ParseStage) Run(_ context.Context, c *Compiler, res *Result) error {
 	if res.Circuit != nil {
-		return checkFits(res.Circuit, p.Dev)
+		return checkFits(res.Circuit, c.Dev)
 	}
 	if res.Req.Source == "" {
-		return errors.New("request has neither Circuit nor Source")
+		return errNoInput
 	}
-	var c *circuit.Circuit
-	var err error
-	if strings.Contains(res.Req.Source, "OPENQASM") {
-		c, err = qasm.Parse(res.Req.Source)
-	} else {
-		c, err = circuit.ParseText(res.Req.Source, p.Dev.Topo.NQubits)
-	}
+	parsed, err := parseSource(res.Req.Source, c.Dev)
 	if err != nil {
 		return err
 	}
-	res.Circuit = c
-	return checkFits(c, p.Dev)
+	res.Circuit = parsed
+	return checkFits(parsed, c.Dev)
 }
 
 // checkFits guards every downstream stage (schedulers and the executor
@@ -73,8 +81,8 @@ type RouteStage struct{}
 func (RouteStage) Name() string { return "route" }
 
 // Run implements Stage.
-func (RouteStage) Run(_ context.Context, p *Pipeline, res *Result) error {
-	routed, _, err := transpile.Route(res.Circuit, p.Dev.Topo)
+func (RouteStage) Run(_ context.Context, c *Compiler, res *Result) error {
+	routed, _, err := transpile.Route(res.Circuit, c.Dev.Topo)
 	if err != nil {
 		return err
 	}
@@ -90,7 +98,7 @@ type DecomposeStage struct{}
 func (DecomposeStage) Name() string { return "decompose" }
 
 // Run implements Stage.
-func (DecomposeStage) Run(_ context.Context, _ *Pipeline, res *Result) error {
+func (DecomposeStage) Run(_ context.Context, _ *Compiler, res *Result) error {
 	res.Circuit = res.Circuit.DecomposeSwaps()
 	return nil
 }
@@ -104,8 +112,8 @@ type ScheduleStage struct{}
 func (ScheduleStage) Name() string { return "schedule" }
 
 // Run implements Stage.
-func (ScheduleStage) Run(ctx context.Context, p *Pipeline, res *Result) error {
-	s, err := core.ScheduleWithContext(ctx, p.Scheduler(&res.Req), res.Circuit, p.Dev)
+func (ScheduleStage) Run(ctx context.Context, c *Compiler, res *Result) error {
+	s, err := core.ScheduleWithContext(ctx, c.Scheduler(&res.Req), res.Circuit, c.Dev)
 	if err != nil {
 		return err
 	}
@@ -113,7 +121,7 @@ func (ScheduleStage) Run(ctx context.Context, p *Pipeline, res *Result) error {
 		return fmt.Errorf("invalid schedule: %w", err)
 	}
 	res.Schedule = s
-	p.recordSolve(s.Stats)
+	res.Solve = s.Stats
 	return nil
 }
 
@@ -125,7 +133,7 @@ type BarrierStage struct{}
 func (BarrierStage) Name() string { return "barriers" }
 
 // Run implements Stage.
-func (BarrierStage) Run(_ context.Context, _ *Pipeline, res *Result) error {
+func (BarrierStage) Run(_ context.Context, _ *Compiler, res *Result) error {
 	res.Barriered = core.InsertBarriers(res.Schedule)
 	return nil
 }
@@ -138,15 +146,15 @@ type ExecuteStage struct{}
 func (ExecuteStage) Name() string { return "execute" }
 
 // Run implements Stage.
-func (ExecuteStage) Run(ctx context.Context, p *Pipeline, res *Result) error {
+func (ExecuteStage) Run(ctx context.Context, c *Compiler, res *Result) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	shots := res.Req.Shots
 	if shots <= 0 {
-		shots = p.cfg.Shots
+		shots = c.cfg.Shots
 	}
-	raw, err := noise.NewExecutor(p.Dev).Run(res.Schedule, noise.Options{
+	raw, err := noise.NewExecutor(c.Dev).Run(res.Schedule, noise.Options{
 		Shots:            shots,
 		Seed:             res.Req.Seed,
 		DisableCrosstalk: res.Req.DisableCrosstalk,
@@ -168,8 +176,8 @@ type MitigateStage struct{}
 func (MitigateStage) Name() string { return "mitigate" }
 
 // Run implements Stage.
-func (MitigateStage) Run(_ context.Context, p *Pipeline, res *Result) error {
-	dist, err := Mitigated(p.Dev, res.Raw)
+func (MitigateStage) Run(_ context.Context, c *Compiler, res *Result) error {
+	dist, err := Mitigated(c.Dev, res.Raw)
 	if err != nil {
 		return err
 	}

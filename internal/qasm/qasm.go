@@ -16,29 +16,70 @@ import (
 	"xtalk/internal/circuit"
 )
 
+// Error is a parse failure tied to a source position. Line is the 1-based
+// line on which the failing statement starts and Stmt is the statement text,
+// so service frontends can hand clients an actionable diagnostic.
+type Error struct {
+	Line int
+	Stmt string
+	Err  error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("qasm: line %d: %q: %v", e.Line, e.Stmt, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
 // Parse converts OpenQASM 2.0 source into a circuit. The classical register
 // is tracked only to validate measure targets; measurement order follows
-// statement order.
+// statement order. Failures are reported as *Error carrying the 1-based
+// source line of the offending statement.
 func Parse(src string) (*circuit.Circuit, error) {
 	p := &parser{}
-	// Strip comments, then split into ';'-terminated statements.
-	var clean strings.Builder
-	for _, line := range strings.Split(src, "\n") {
+	// Strip comments and gather ';'-terminated statements, remembering the
+	// line each statement starts on (statements may span lines).
+	var buf strings.Builder
+	stmtLine := 0
+	flush := func() error {
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if stmt == "" {
+			return nil
+		}
+		if err := p.statement(stmt); err != nil {
+			return &Error{Line: stmtLine, Stmt: stmt, Err: err}
+		}
+		return nil
+	}
+	for lineIdx, line := range strings.Split(src, "\n") {
 		if i := strings.Index(line, "//"); i >= 0 {
 			line = line[:i]
 		}
-		clean.WriteString(line)
-		clean.WriteString(" ")
+		rest := line
+		for {
+			seg := rest
+			semi := strings.IndexByte(rest, ';')
+			if semi >= 0 {
+				seg, rest = rest[:semi], rest[semi+1:]
+			}
+			if strings.TrimSpace(seg) != "" && strings.TrimSpace(buf.String()) == "" {
+				stmtLine = lineIdx + 1
+			}
+			buf.WriteString(seg)
+			if semi < 0 {
+				buf.WriteString(" ") // newline inside a multi-line statement
+				break
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
 	}
-	stmts := strings.Split(clean.String(), ";")
-	for _, raw := range stmts {
-		stmt := strings.TrimSpace(raw)
-		if stmt == "" {
-			continue
-		}
-		if err := p.statement(stmt); err != nil {
-			return nil, fmt.Errorf("qasm: %q: %w", stmt, err)
-		}
+	if err := flush(); err != nil { // trailing statement without ';'
+		return nil, err
 	}
 	if p.circ == nil {
 		return nil, fmt.Errorf("qasm: no qreg declared")
@@ -383,7 +424,10 @@ func Dump(c *circuit.Circuit) string {
 					if i > 0 {
 						sb.WriteString(",")
 					}
-					fmt.Fprintf(&sb, "%.12g", v)
+					// Shortest representation that parses back to the exact
+					// same float64: Dump/Parse is the service wire format and
+					// must round-trip parameters bit-identically.
+					sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 				}
 				sb.WriteString(")")
 			}

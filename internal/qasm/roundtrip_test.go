@@ -1,0 +1,199 @@
+package qasm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"xtalk/internal/circuit"
+)
+
+// assertSameCircuit fails unless b reproduces a exactly: same register
+// width and, gate by gate, same kind, operands and bit-identical parameters.
+func assertSameCircuit(t *testing.T, a, b *circuit.Circuit, src string) {
+	t.Helper()
+	if a.NQubits != b.NQubits {
+		t.Fatalf("round trip qubits %d vs %d\n%s", b.NQubits, a.NQubits, src)
+	}
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatalf("round trip gates %d vs %d\n%s", len(b.Gates), len(a.Gates), src)
+	}
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if ga.Kind != gb.Kind {
+			t.Fatalf("gate %d kind %v vs %v\n%s", i, gb.Kind, ga.Kind, src)
+		}
+		if len(ga.Qubits) != len(gb.Qubits) {
+			t.Fatalf("gate %d operands %v vs %v\n%s", i, gb.Qubits, ga.Qubits, src)
+		}
+		for j := range ga.Qubits {
+			if ga.Qubits[j] != gb.Qubits[j] {
+				t.Fatalf("gate %d operands %v vs %v\n%s", i, gb.Qubits, ga.Qubits, src)
+			}
+		}
+		if len(ga.Params) != len(gb.Params) {
+			t.Fatalf("gate %d params %v vs %v\n%s", i, gb.Params, ga.Params, src)
+		}
+		for j := range ga.Params {
+			if math.Float64bits(ga.Params[j]) != math.Float64bits(gb.Params[j]) {
+				t.Fatalf("gate %d param %d not bit-identical: %v vs %v\n%s",
+					i, j, gb.Params[j], ga.Params[j], src)
+			}
+		}
+	}
+}
+
+// TestRoundTripEveryKind: Parse(Dump(c)) must reproduce c exactly for a
+// circuit exercising every circuit.Kind, including barriers (full-register
+// and subsets) and parameterized gates with awkward values. The wire format
+// of the compilation service depends on this.
+func TestRoundTripEveryKind(t *testing.T) {
+	c := circuit.New(5)
+	c.U1(0, math.Pi)
+	c.U2(1, -math.Pi/4, 1e-17)
+	c.U3(2, 0.1, 0.2, 0.30000000000000004) // 0.1+0.2: needs 17 digits
+	c.H(3)
+	c.X(4)
+	c.RZ(0, -0.0) // negative zero survives FormatFloat/ParseFloat
+	c.RX(1, 2.5e-308)
+	c.RY(2, 1.7976931348623157e308)
+	c.CNOT(0, 1)
+	c.SWAP(2, 3)
+	c.Barrier()     // full register
+	c.Barrier(1, 4) // subset
+	c.Measure(0)
+	c.Measure(4)
+	kinds := map[circuit.Kind]bool{}
+	for _, g := range c.Gates {
+		kinds[g.Kind] = true
+	}
+	for k := circuit.KindU1; k <= circuit.KindMeasure; k++ {
+		if !kinds[k] {
+			t.Fatalf("test circuit misses kind %v", k)
+		}
+	}
+	src := Dump(c)
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, src)
+	}
+	assertSameCircuit(t, c, back, src)
+}
+
+// TestRoundTripProperty: randomized circuits over all kinds must survive
+// Dump→Parse bit-identically.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randParam := func() float64 {
+		switch rng.Intn(4) {
+		case 0: // plain
+			return rng.NormFloat64()
+		case 1: // huge/tiny magnitudes exercise exponent syntax
+			return rng.Float64() * math.Pow(10, float64(rng.Intn(600)-300))
+		case 2: // adjacent representable values need shortest-float digits
+			return math.Nextafter(rng.Float64(), 2)
+		default:
+			return -rng.Float64() * math.Pi
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(7)
+		c := circuit.New(n)
+		for g := 0; g < 1+rng.Intn(25); g++ {
+			q := rng.Intn(n)
+			switch circuit.Kind(rng.Intn(int(circuit.KindMeasure) + 1)) {
+			case circuit.KindU1:
+				c.U1(q, randParam())
+			case circuit.KindU2:
+				c.U2(q, randParam(), randParam())
+			case circuit.KindU3:
+				c.U3(q, randParam(), randParam(), randParam())
+			case circuit.KindH:
+				c.H(q)
+			case circuit.KindX:
+				c.X(q)
+			case circuit.KindRZ:
+				c.RZ(q, randParam())
+			case circuit.KindRX:
+				c.RX(q, randParam())
+			case circuit.KindRY:
+				c.RY(q, randParam())
+			case circuit.KindCNOT:
+				if n > 1 {
+					c.CNOT(q, (q+1+rng.Intn(n-1))%n)
+				}
+			case circuit.KindSWAP:
+				if n > 1 {
+					c.SWAP(q, (q+1+rng.Intn(n-1))%n)
+				}
+			case circuit.KindBarrier:
+				if rng.Intn(2) == 0 {
+					c.Barrier()
+				} else {
+					c.Barrier(q)
+				}
+			case circuit.KindMeasure:
+				c.Measure(q)
+			}
+		}
+		src := Dump(c)
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		assertSameCircuit(t, c, back, src)
+	}
+}
+
+// FuzzParamRoundTrip fuzzes a single gate parameter through the Dump→Parse
+// wire format; any finite float64 must come back bit-identical.
+func FuzzParamRoundTrip(f *testing.F) {
+	for _, seed := range []float64{0, -0.0, math.Pi, 1e-300, -1.5e308, 0.1 + 0.2} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Skip("non-finite parameters are not representable in QASM")
+		}
+		c := circuit.New(1)
+		c.U1(0, v)
+		back, err := Parse(Dump(c))
+		if err != nil {
+			t.Fatalf("param %v: %v", v, err)
+		}
+		if got := back.Gates[0].Params[0]; math.Float64bits(got) != math.Float64bits(v) {
+			t.Fatalf("param %v round-tripped to %v", v, got)
+		}
+	})
+}
+
+// TestParseErrorLineNumbers: parse failures must carry the 1-based source
+// line of the failing statement so service clients get actionable 400s.
+func TestParseErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+	}{
+		{"OPENQASM 2.0;\nqreg q[2];\nh q[0];\nbogus q[1];\n", 4},
+		{"OPENQASM 2.0;\nqreg q[2];\ncx q[0];\n", 3},
+		{"OPENQASM 2.0;\nqreg q[2];\n\n\nh q[9];\n", 5},
+		// A statement spanning lines reports its first line.
+		{"OPENQASM 2.0;\nqreg q[2];\nu3(pi,\n  pi)\n  q[0];\n", 3},
+		// Two statements on one line: the second one fails.
+		{"OPENQASM 2.0;\nqreg q[2]; h q[7];\n", 2},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Fatalf("expected error for\n%s", tc.src)
+		}
+		var pe *Error
+		if !errors.As(err, &pe) {
+			t.Fatalf("error %v is not a *qasm.Error", err)
+		}
+		if pe.Line != tc.line {
+			t.Fatalf("error %v reports line %d, want %d", err, pe.Line, tc.line)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package serve turns the stateless compilation engine into a long-running
+// compilation service: compiled artifacts are stored in a size-bounded,
+// content-addressed LRU cache keyed by pipeline.Compiler.Fingerprint,
+// concurrent identical requests are collapsed onto one underlying solve,
+// and an admission queue bounds how many cold compilations run at once.
+// cmd/xtalkd wraps the Server in an HTTP daemon (/compile, /stats,
+// /healthz); cmd/xtalksched -serve is the matching client.
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"xtalk/internal/pipeline"
+)
+
+// DefaultCacheBytes is the artifact cache's size bound when the
+// configuration does not set one (64 MiB — roughly 10^4 large-device
+// artifacts).
+const DefaultCacheBytes = 64 << 20
+
+// CacheStats is a snapshot of the cache's counters.
+type CacheStats struct {
+	// Entries and Bytes describe current occupancy; MaxBytes is the bound.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	// Hits/Misses count Get outcomes; Evictions counts artifacts dropped to
+	// respect the size bound.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Cache is a goroutine-safe, size-bounded LRU of compiled artifacts keyed
+// by content fingerprint. Because keys are content addresses, a hit is by
+// construction bit-identical to what a fresh compile of the same request
+// class would produce (for deterministic configurations), and there is no
+// invalidation problem: a different device day, config or circuit is a
+// different key.
+type Cache struct {
+	mu      sync.Mutex
+	max     int64
+	bytes   int64
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type cacheEntry struct {
+	key  string
+	art  *pipeline.CompiledArtifact
+	size int64
+}
+
+// NewCache returns a cache bounded to maxBytes of artifact payload
+// (DefaultCacheBytes when maxBytes <= 0).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{max: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the artifact stored under key, refreshing its recency.
+func (c *Cache) Get(key string) (*pipeline.CompiledArtifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).art, true
+}
+
+// Put stores art under key and evicts least-recently-used entries until the
+// size bound holds again. An artifact larger than the whole bound is
+// admitted and immediately evicted (the bound is an invariant, not a
+// best-effort hint), so Bytes never exceeds MaxBytes.
+func (c *Cache) Put(key string, art *pipeline.CompiledArtifact) {
+	size := art.SizeBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.art, e.size = art, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, art: art, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.max && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+		c.evicted++
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xtalk/internal/pipeline"
+)
+
+// testArtifact builds an artifact whose payload makes SizeBytes ≈ size.
+func testArtifact(key string, size int64) *pipeline.CompiledArtifact {
+	a := &pipeline.CompiledArtifact{Fingerprint: key}
+	pad := size - a.SizeBytes()
+	if pad > 0 {
+		a.QASM = strings.Repeat("x", int(pad))
+	}
+	return a
+}
+
+func TestCacheHitReturnsSameArtifact(t *testing.T) {
+	c := NewCache(1 << 20)
+	art := testArtifact("k1", 1000)
+	c.Put("k1", art)
+	got, ok := c.Get("k1")
+	if !ok || got != art {
+		t.Fatalf("Get returned %v, %v; want the stored artifact", got, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("Get on absent key succeeded")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+// TestCacheEvictionUnderSizeBound: the byte bound must hold after every
+// insertion, evicting in LRU order.
+func TestCacheEvictionUnderSizeBound(t *testing.T) {
+	const itemSize = 1000
+	c := NewCache(3 * itemSize)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Put(k, testArtifact(k, itemSize))
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("warm-up stats %+v", st)
+	}
+	// Refresh k0 so k1 is now least recently used.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", testArtifact("k3", itemSize))
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("size bound violated: %d > %d", st.Bytes, st.MaxBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no eviction under size pressure: %+v", st)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("LRU entry k1 survived eviction")
+	}
+	for _, want := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(want); !ok {
+			t.Fatalf("recently used entry %s evicted", want)
+		}
+	}
+}
+
+// TestCacheOversizedArtifact: an artifact bigger than the whole bound must
+// not leave the cache over budget.
+func TestCacheOversizedArtifact(t *testing.T) {
+	c := NewCache(500)
+	c.Put("big", testArtifact("big", 10_000))
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("size bound violated by oversized artifact: %+v", st)
+	}
+	if st.Entries != 0 || st.Evictions != 1 {
+		t.Fatalf("oversized artifact should be admitted then evicted: %+v", st)
+	}
+}
+
+// TestCachePutReplace: re-putting a key updates the entry and accounting,
+// not duplicates it.
+func TestCachePutReplace(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put("k", testArtifact("k", 1000))
+	c.Put("k", testArtifact("k", 2000))
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("replace duplicated the entry: %+v", st)
+	}
+	if st.Bytes < 1500 || st.Bytes > 2500 {
+		t.Fatalf("replace did not update accounting: %+v", st)
+	}
+}

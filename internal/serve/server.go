@@ -1,0 +1,467 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/pipeline"
+	"xtalk/internal/qasm"
+)
+
+// Config shapes a compilation server.
+type Config struct {
+	// Spec, Seed and Day select the default device (any device.ParseSpec
+	// string); requests may override all three per call.
+	Spec string
+	Seed int64
+	Day  int
+	// Pipeline carries the compile knobs (omega, budget, partitioning,
+	// routing...). Execution fields are ignored: the service is
+	// compile-only, so Shots/Mitigate are forced off and Noise is left to
+	// the per-device ground truth.
+	Pipeline pipeline.Config
+	// CacheBytes bounds the artifact cache (DefaultCacheBytes when 0).
+	CacheBytes int64
+	// MaxConcurrent bounds concurrently running cold compilations — the
+	// admission queue width. Requests beyond it queue on the shared
+	// core.SolvePool. Default GOMAXPROCS.
+	MaxConcurrent int
+}
+
+// CompileRequest is the /compile JSON body. Source holds the program
+// (OpenQASM 2.0 or the library's gate-list format); the optional device
+// fields override the server's default device for this request.
+type CompileRequest struct {
+	Source string `json:"source"`
+	Tag    string `json:"tag,omitempty"`
+	Device string `json:"device,omitempty"`
+	Seed   *int64 `json:"seed,omitempty"`
+	Day    *int   `json:"day,omitempty"`
+}
+
+// CompileResponse is the /compile JSON reply: the artifact plus cache
+// provenance. Cached reports a cache hit; Collapsed reports that the
+// request joined an identical in-flight compilation instead of solving.
+type CompileResponse struct {
+	Fingerprint     string  `json:"fingerprint"`
+	Cached          bool    `json:"cached"`
+	Collapsed       bool    `json:"collapsed,omitempty"`
+	Tag             string  `json:"tag,omitempty"`
+	Device          string  `json:"device"`
+	Seed            int64   `json:"seed"`
+	Day             int     `json:"day"`
+	Scheduler       string  `json:"scheduler"`
+	NQubits         int     `json:"nqubits"`
+	Gates           int     `json:"gates"`
+	MakespanNS      float64 `json:"makespan_ns"`
+	Cost            float64 `json:"cost"`
+	SolverObjective float64 `json:"solver_objective"`
+	// CompileMS is the wall-clock cost of the cold compile that produced
+	// the artifact (also on cache hits: the cost the cache saved).
+	CompileMS float64 `json:"compile_ms"`
+	Solve     string  `json:"solve,omitempty"`
+	QASM      string  `json:"qasm"`
+}
+
+// ErrorResponse is the JSON error body. Line carries the 1-based source
+// line for parse failures, so clients get actionable 400s.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Line  int    `json:"line,omitempty"`
+}
+
+// Stats is the /stats JSON reply.
+type Stats struct {
+	UptimeS   float64    `json:"uptime_s"`
+	Requests  int64      `json:"requests"`
+	Errors    int64      `json:"errors"`
+	Inflight  int64      `json:"inflight"`
+	Collapsed int64      `json:"collapsed"`
+	Solves    int64      `json:"solves"`
+	Cache     CacheStats `json:"cache"`
+	Devices   []string   `json:"devices"`
+	// Text is the human-readable rendering (pipeline stage table + cache
+	// counters), the same string StatsString returns.
+	Text string `json:"text"`
+}
+
+// Server is the compilation service: a content-addressed artifact cache in
+// front of per-device compilation pipelines, with singleflight collapse of
+// concurrent identical requests and a SolvePool-backed admission queue for
+// cold compiles. All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	flight  flightGroup
+	admit   *core.SolvePool
+	started time.Time
+
+	// lifecycle context: cold compiles run under it (not under individual
+	// request contexts) so a disconnecting leader cannot poison the
+	// followers collapsed onto its flight. Close cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	engines   map[string]*pipeline.Pipeline // keyed by spec|seed|day
+	engineLRU []string                      // engine keys, least recently used first
+	defKey    string                        // default device key, never evicted
+
+	requests  atomic.Int64
+	errors    atomic.Int64
+	inflight  atomic.Int64 // cold compiles currently running or queued
+	collapsed atomic.Int64 // requests that joined an in-flight compile
+	solves    atomic.Int64 // underlying cold compiles actually executed
+
+	// solveHook, when set (tests), runs at the start of every underlying
+	// cold compile, before the solver is invoked.
+	solveHook func()
+}
+
+// New builds a Server and its default-device pipeline (so a misconfigured
+// device spec fails at startup, not on the first request).
+func New(cfg Config) (*Server, error) {
+	if cfg.Spec == "" {
+		return nil, errors.New("serve: Config.Spec is required")
+	}
+	cfg.Pipeline = sanitize(cfg.Pipeline)
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheBytes),
+		admit:   core.NewSolvePool(cfg.MaxConcurrent),
+		started: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		engines: map[string]*pipeline.Pipeline{},
+	}
+	s.defKey = engineKey(cfg.Spec, cfg.Seed, cfg.Day)
+	if _, err := s.engine(cfg.Spec, cfg.Seed, cfg.Day); err != nil {
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// maxEngines bounds the per-device pipeline map: requests may name
+// arbitrary device/seed/day triples, and each engine pins a device model
+// plus its ground-truth noise data, so the map must not grow with
+// untrusted input. Least-recently-used engines (and their aggregated
+// stats) are dropped beyond the bound; the default device is pinned.
+const maxEngines = 32
+
+func engineKey(spec string, seed int64, day int) string {
+	return fmt.Sprintf("%s|%d|%d", spec, seed, day)
+}
+
+// sanitize strips execution and noise-injection fields: served compilers
+// are compile-only and content-addressed over per-device ground truth.
+func sanitize(cfg pipeline.Config) pipeline.Config {
+	cfg.Shots = 0
+	cfg.Mitigate = false
+	cfg.Noise = nil
+	return cfg
+}
+
+// Close stops the server: in-flight cold compiles are canceled through the
+// lifecycle context (anytime schedulers return their incumbent and the
+// artifact is still produced; run-to-optimality solves fail with the
+// cancellation error).
+func (s *Server) Close() { s.cancel() }
+
+// engine returns (building on demand) the pipeline for one device triple.
+// Construction happens outside the lock — building a large device
+// synthesizes calibration and extracts ground-truth noise, and that must
+// not stall unrelated requests. A racing duplicate build is harmless: the
+// first pipeline inserted wins and the loser is discarded.
+func (s *Server) engine(spec string, seed int64, day int) (*pipeline.Pipeline, error) {
+	key := engineKey(spec, seed, day)
+	s.mu.Lock()
+	if p, ok := s.engines[key]; ok {
+		s.touchEngine(key)
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+
+	p, err := pipeline.NewFromSpec(spec, seed, day, s.cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.engines[key]; ok {
+		s.touchEngine(key)
+		return existing, nil
+	}
+	s.engines[key] = p
+	s.engineLRU = append(s.engineLRU, key)
+	for len(s.engines) > maxEngines {
+		evicted := false
+		for i, k := range s.engineLRU {
+			if k == s.defKey {
+				continue
+			}
+			delete(s.engines, k)
+			s.engineLRU = append(s.engineLRU[:i], s.engineLRU[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break
+		}
+	}
+	return p, nil
+}
+
+// touchEngine moves key to the most-recently-used end. Caller holds s.mu.
+func (s *Server) touchEngine(key string) {
+	for i, k := range s.engineLRU {
+		if k == key {
+			s.engineLRU = append(append(s.engineLRU[:i], s.engineLRU[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// Compile resolves one request through cache → singleflight → admission →
+// cold compile. It is the transport-independent core of the /compile
+// handler.
+func (s *Server) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+	s.requests.Add(1)
+	resp, err := s.compile(ctx, req)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return resp, err
+}
+
+func (s *Server) compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+	spec, seed, day := s.cfg.Spec, s.cfg.Seed, s.cfg.Day
+	if req.Device != "" {
+		spec = req.Device
+	}
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	if req.Day != nil {
+		day = *req.Day
+	}
+	eng, err := s.engine(spec, seed, day)
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return nil, &badRequestError{errors.New("empty source")}
+	}
+	circ, err := eng.Materialize(&pipeline.Request{Source: req.Source})
+	if err != nil {
+		return nil, &badRequestError{err}
+	}
+	// Fingerprint canonicalizes internally; the cold path canonicalizes
+	// again inside Artifact, but the hot path pays for exactly one pass.
+	fp := eng.Fingerprint(circ)
+	if art, ok := s.cache.Get(fp); ok {
+		return s.response(req, art, true, false), nil
+	}
+	art, shared, err := s.flight.do(ctx, fp,
+		func() { s.collapsed.Add(1) },
+		func() (*pipeline.CompiledArtifact, error) { return s.coldCompile(circ, fp, eng) })
+	if err != nil {
+		return nil, err
+	}
+	return s.response(req, art, false, shared), nil
+}
+
+// coldCompile runs one admission-queued compilation under the server's
+// lifecycle context and publishes the artifact.
+func (s *Server) coldCompile(circ *circuit.Circuit, fp string, eng *pipeline.Pipeline) (*pipeline.CompiledArtifact, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if err := s.admit.Acquire(s.ctx); err != nil {
+		return nil, err
+	}
+	defer s.admit.Release()
+	s.solves.Add(1)
+	if s.solveHook != nil {
+		s.solveHook()
+	}
+	art, err := eng.Artifact(s.ctx, pipeline.Request{Circuit: circ})
+	if err != nil {
+		return nil, err
+	}
+	if art.Fingerprint != fp {
+		// Canonicalization is idempotent, so this cannot happen; guard the
+		// cache's content-addressing invariant anyway.
+		return nil, fmt.Errorf("serve: fingerprint drift: %s vs %s", art.Fingerprint, fp)
+	}
+	s.cache.Put(fp, art)
+	return art, nil
+}
+
+func (s *Server) response(req CompileRequest, art *pipeline.CompiledArtifact, cached, collapsed bool) *CompileResponse {
+	resp := &CompileResponse{
+		Fingerprint:     art.Fingerprint,
+		Cached:          cached,
+		Collapsed:       collapsed,
+		Tag:             req.Tag,
+		Device:          art.Device,
+		Seed:            art.Seed,
+		Day:             art.Day,
+		Scheduler:       art.Scheduler,
+		NQubits:         art.NQubits,
+		Gates:           art.Gates,
+		MakespanNS:      art.Makespan,
+		Cost:            art.Cost,
+		SolverObjective: art.SolverObjective,
+		CompileMS:       float64(art.CompileTime) / float64(time.Millisecond),
+		QASM:            art.QASM,
+	}
+	if art.Solve.Windows > 0 {
+		resp.Solve = art.Solve.String()
+	}
+	return resp
+}
+
+// badRequestError marks client-side failures (bad device spec, malformed
+// source) for the HTTP layer's 400 mapping.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	devices := make([]string, 0, len(s.engines))
+	for k := range s.engines {
+		devices = append(devices, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(devices)
+	return Stats{
+		UptimeS:   time.Since(s.started).Seconds(),
+		Requests:  s.requests.Load(),
+		Errors:    s.errors.Load(),
+		Inflight:  s.inflight.Load(),
+		Collapsed: s.collapsed.Load(),
+		Solves:    s.solves.Load(),
+		Cache:     s.cache.Stats(),
+		Devices:   devices,
+		Text:      s.StatsString(),
+	}
+}
+
+// StatsString renders the service statistics: the per-device pipeline stage
+// tables (cold compiles only — hits never touch a stage) with the cache
+// hit/miss/inflight counters threaded in at the end.
+func (s *Server) StatsString() string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.engines))
+	for k := range s.engines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	engines := make([]*pipeline.Pipeline, len(keys))
+	for i, k := range keys {
+		engines[i] = s.engines[k]
+	}
+	s.mu.Unlock()
+	var sb strings.Builder
+	for i, k := range keys {
+		fmt.Fprintf(&sb, "device %s:\n", k)
+		sb.WriteString(engines[i].StatsString())
+	}
+	cs := s.cache.Stats()
+	fmt.Fprintf(&sb, "cache: %d hits  %d misses  %d collapsed  %d inflight  %d solves  %d entries  %d/%d bytes  %d evictions\n",
+		cs.Hits, cs.Misses, s.collapsed.Load(), s.inflight.Load(), s.solves.Load(),
+		cs.Entries, cs.Bytes, cs.MaxBytes, cs.Evictions)
+	return sb.String()
+}
+
+// Handler returns the HTTP surface: POST /compile, GET /stats, GET
+// /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return
+	}
+	// MaxBytesReader errors past the limit instead of silently truncating:
+	// an oversized circuit must be rejected, never compiled as its prefix.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+	var req CompileRequest
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error()})
+			return
+		}
+	} else {
+		// Raw program body (curl-friendly): the whole payload is the source.
+		req.Source = string(body)
+	}
+	resp, err := s.Compile(r.Context(), req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var bad *badRequestError
+		if errors.As(err, &bad) {
+			status = http.StatusBadRequest
+		}
+		e := ErrorResponse{Error: err.Error()}
+		var pe *qasm.Error
+		if errors.As(err, &pe) {
+			e.Line = pe.Line
+		}
+		writeJSON(w, status, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"xtalk/internal/pipeline"
+)
+
+// flightGroup collapses concurrent work on the same content fingerprint:
+// the first caller for a key becomes the leader and executes the compile;
+// callers arriving while it is in flight wait for the leader's artifact
+// instead of solving again. A minimal, dependency-free singleflight
+// specialized to artifacts.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	art  *pipeline.CompiledArtifact
+	err  error
+}
+
+// do runs fn under key, collapsing concurrent callers. shared reports
+// whether this caller joined an in-flight leader (true) or executed fn
+// itself (false). onJoin, if non-nil, fires before a joining caller starts
+// waiting — the serving layer counts collapsed requests with it (and tests
+// use the count to synchronize). A waiting caller whose ctx ends returns
+// the context error; the leader's compile is not canceled on its behalf.
+func (g *flightGroup) do(ctx context.Context, key string, onJoin func(), fn func() (*pipeline.CompiledArtifact, error)) (art *pipeline.CompiledArtifact, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		if onJoin != nil {
+			onJoin()
+		}
+		select {
+		case <-c.done:
+			return c.art, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.art, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.art, false, c.err
+}

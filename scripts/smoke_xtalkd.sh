@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Smoke test for the xtalkd compilation daemon: start it on heavyhex:27,
+# compile the same circuit twice (second response must be a cache hit —
+# via the xtalksched -serve client to exercise that path too), then shut
+# down cleanly with SIGTERM. CI runs this after the unit suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ADDR="127.0.0.1:${XTALKD_PORT:-18077}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/xtalkd" ./cmd/xtalkd
+go build -o "$TMP/xtalksched" ./cmd/xtalksched
+
+"$TMP/xtalkd" -addr "$ADDR" -device heavyhex:27 -partition -budget 2s \
+  >"$TMP/xtalkd.log" 2>&1 &
+XTALKD_PID=$!
+
+fail() {
+  echo "smoke_xtalkd: $1" >&2
+  echo "--- daemon log ---" >&2
+  cat "$TMP/xtalkd.log" >&2 || true
+  kill "$XTALKD_PID" 2>/dev/null || true
+  exit 1
+}
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  kill -0 "$XTALKD_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.2
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || fail "daemon never became healthy"
+
+# First compile: cold. Raw-QASM body exercises the curl-friendly path.
+cat >"$TMP/circ.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[27];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+EOF
+FIRST="$(curl -fsS -X POST --data-binary @"$TMP/circ.qasm" "http://$ADDR/compile")" \
+  || fail "first compile failed"
+echo "$FIRST" | grep -q '"cached":false' || fail "first compile unexpectedly cached: $FIRST"
+echo "$FIRST" | grep -q '"qasm":"OPENQASM' || fail "first compile returned no QASM: $FIRST"
+
+# Second compile through the xtalksched client: must be a cache hit.
+SECOND="$("$TMP/xtalksched" -serve "http://$ADDR" -device heavyhex:27 -in "$TMP/circ.qasm")" \
+  || fail "client compile failed"
+echo "$SECOND" | grep -q 'cache hit' || fail "second compile was not a cache hit: $SECOND"
+
+# Stats must agree: one solve, at least one hit.
+STATS="$(curl -fsS "http://$ADDR/stats")"
+echo "$STATS" | grep -q '"solves":1' || fail "stats report wrong solve count: $STATS"
+
+# Clean shutdown on SIGTERM.
+kill -TERM "$XTALKD_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$XTALKD_PID" 2>/dev/null || break
+  sleep 0.2
+done
+if kill -0 "$XTALKD_PID" 2>/dev/null; then
+  fail "daemon did not exit within 10s of SIGTERM"
+fi
+wait "$XTALKD_PID" || fail "daemon exited non-zero"
+grep -q "bye" "$TMP/xtalkd.log" || fail "daemon did not log a clean shutdown"
+
+echo "smoke_xtalkd: OK (cold compile + client cache hit + clean shutdown)"

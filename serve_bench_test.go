@@ -1,0 +1,128 @@
+package xtalk
+
+// Serving-layer acceptance: a cache-hit compile must be orders of magnitude
+// cheaper than the cold heavyhex:27 solve it memoizes, and the benchmark
+// keeps the hit path honest over time.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xtalk/internal/device"
+	"xtalk/internal/pipeline"
+	"xtalk/internal/qasm"
+	"xtalk/internal/serve"
+	"xtalk/internal/workloads"
+)
+
+// heavyhexQAOASource builds the serving benchmark workload: a QAOA chain on
+// the heavyhex:27 device, shipped as OpenQASM like a real client would.
+func heavyhexQAOASource(tb testing.TB) string {
+	tb.Helper()
+	dev, err := device.NewFromSpec("heavyhex:27", 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c, _, err := workloads.QAOAChainCircuit(dev.Topo, 6, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return qasm.Dump(c)
+}
+
+func newServeBenchServer(tb testing.TB) *serve.Server {
+	tb.Helper()
+	s, err := serve.New(serve.Config{
+		Spec: "heavyhex:27",
+		Seed: 1,
+		Pipeline: pipeline.Config{
+			Budget:         2 * time.Second,
+			Partition:      true,
+			DecomposeSwaps: true,
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(s.Close)
+	return s
+}
+
+// BenchmarkCompileCached measures the cache-hit path of the compilation
+// service: the cold heavyhex:27 solve is paid once during setup, every
+// iteration is a content-addressed hit. The reported custom metrics compare
+// the two (cold_ms is the solve the cache saves per hit).
+func BenchmarkCompileCached(b *testing.B) {
+	s := newServeBenchServer(b)
+	src := heavyhexQAOASource(b)
+	cold, err := s.Compile(context.Background(), serve.CompileRequest{Source: src})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cold.Cached {
+		b.Fatal("setup compile was already cached")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Compile(context.Background(), serve.CompileRequest{Source: src})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("iteration missed the cache")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(cold.CompileMS, "cold_ms")
+	if b.N > 0 && b.Elapsed() > 0 {
+		hitMS := float64(b.Elapsed().Milliseconds()) / float64(b.N)
+		if hitMS > 0 {
+			b.ReportMetric(cold.CompileMS/hitMS, "speedup")
+		}
+	}
+}
+
+// TestCompileCachedSpeedup is the acceptance gate: a cache-hit compile must
+// be at least 100x faster than the cold heavyhex:27 solve. The margin is
+// huge in practice (sub-ms map lookup vs a multi-hundred-ms SMT solve), so
+// the threshold is safe even on a loaded 1-core CI container.
+func TestCompileCachedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold heavyhex:27 solve in -short mode")
+	}
+	s := newServeBenchServer(t)
+	src := heavyhexQAOASource(t)
+
+	t0 := time.Now()
+	cold, err := s.Compile(context.Background(), serve.CompileRequest{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTime := time.Since(t0)
+	if cold.Cached {
+		t.Fatal("first compile was already cached")
+	}
+
+	const hits = 50
+	t0 = time.Now()
+	for i := 0; i < hits; i++ {
+		resp, err := s.Compile(context.Background(), serve.CompileRequest{Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Cached || resp.Fingerprint != cold.Fingerprint {
+			t.Fatalf("hit %d did not return the cached artifact", i)
+		}
+	}
+	hitTime := time.Since(t0) / hits
+	if hitTime == 0 {
+		hitTime = time.Nanosecond
+	}
+	speedup := float64(coldTime) / float64(hitTime)
+	t.Logf("cold %v, hit %v, speedup %.0fx", coldTime, hitTime, speedup)
+	if speedup < 100 {
+		t.Fatalf("cache hit only %.1fx faster than cold compile (%v vs %v), want >= 100x",
+			speedup, hitTime, coldTime)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"xtalk/internal/pipeline"
 	"xtalk/internal/qasm"
 	"xtalk/internal/rb"
+	"xtalk/internal/serve"
 	"xtalk/internal/transpile"
 )
 
@@ -87,6 +88,18 @@ type (
 	CompileRequest = pipeline.Request
 	// CompileResult is a Pipeline's per-item outcome.
 	CompileResult = pipeline.Result
+	// Compiler is the goroutine-safe compilation engine behind Pipeline:
+	// immutable after construction, per-request statistics on each Result.
+	Compiler = pipeline.Compiler
+	// CompiledArtifact is the immutable, cacheable product of one compile,
+	// content-addressed by Compiler.Fingerprint.
+	CompiledArtifact = pipeline.CompiledArtifact
+	// CompileServer is the compilation service: a content-addressed
+	// artifact cache with singleflight collapse in front of per-device
+	// pipelines (what cmd/xtalkd serves over HTTP).
+	CompileServer = serve.Server
+	// CompileServerConfig shapes a CompileServer.
+	CompileServerConfig = serve.Config
 )
 
 // The three modeled IBMQ systems.
@@ -204,6 +217,17 @@ func NewPortfolioScheduler(nd *NoiseData, cfg XtalkConfig, windowGates int) Sche
 // PipelineConfig for the knobs; the zero config is a compile-only
 // ground-truth-noise XtalkSched pipeline.
 func NewPipeline(dev *Device, cfg PipelineConfig) *Pipeline { return pipeline.New(dev, cfg) }
+
+// NewCompiler builds the goroutine-safe compilation engine over the device:
+// Pipeline without the cross-request statistics, for callers that manage
+// aggregation themselves (the serving layer, custom schedulers of work).
+func NewCompiler(dev *Device, cfg PipelineConfig) *Compiler { return pipeline.NewCompiler(dev, cfg) }
+
+// NewCompileServer builds the compilation service: a content-addressed
+// artifact cache (keyed by Compiler.Fingerprint) with singleflight collapse
+// of concurrent identical requests and a bounded admission queue, fronting
+// per-device compilation pipelines. cmd/xtalkd exposes it over HTTP.
+func NewCompileServer(cfg CompileServerConfig) (*CompileServer, error) { return serve.New(cfg) }
 
 // GroundTruthNoiseData extracts perfect characterization data from the
 // device (useful for testing; real flows use Characterize). Results are
