@@ -339,27 +339,38 @@ func BenchmarkSchedEngine(b *testing.B) {
 		cfg := core.DefaultXtalkConfig()
 		cfg.CompactErrorEncoding = true
 		cfg.Timeout = 2 * time.Second
+		report := func(b *testing.B, simplex time.Duration, pivots, promotions int64) {
+			b.ReportMetric(float64(simplex.Nanoseconds())/float64(b.N), "simplex_ns/op")
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+			b.ReportMetric(float64(promotions)/float64(b.N), "promotions/op")
+		}
 		b.Run(fmt.Sprintf("%s/%dq/monolithic", spec, dev.Topo.NQubits), func(b *testing.B) {
 			var simplex time.Duration
+			var pivots, promotions int64
 			for i := 0; i < b.N; i++ {
 				s, err := core.NewXtalkSched(nd, cfg).Schedule(sup, dev)
 				if err != nil {
 					b.Fatal(err)
 				}
 				simplex += s.Stats.SimplexTime
+				pivots += s.Stats.Pivots
+				promotions += s.Stats.Promotions
 			}
-			b.ReportMetric(float64(simplex.Nanoseconds())/float64(b.N), "simplex_ns/op")
+			report(b, simplex, pivots, promotions)
 		})
 		b.Run(fmt.Sprintf("%s/%dq/partitioned", spec, dev.Topo.NQubits), func(b *testing.B) {
 			var simplex time.Duration
+			var pivots, promotions int64
 			for i := 0; i < b.N; i++ {
 				s, err := core.NewPartitionedXtalkSched(nd, cfg, core.PartitionOpts{}).Schedule(sup, dev)
 				if err != nil {
 					b.Fatal(err)
 				}
 				simplex += s.Stats.SimplexTime
+				pivots += s.Stats.Pivots
+				promotions += s.Stats.Promotions
 			}
-			b.ReportMetric(float64(simplex.Nanoseconds())/float64(b.N), "simplex_ns/op")
+			report(b, simplex, pivots, promotions)
 		})
 	}
 }

@@ -18,6 +18,33 @@ import (
 // (pipeline.Batch wires its worker count through here).
 type SolvePool struct {
 	sem chan struct{}
+
+	// warm is a free list of solver workspaces, recycled across window
+	// solves so each new SMT instance starts with a hot tableau arena
+	// instead of a cold heap. The sem bound keeps the list no larger than
+	// the worker count. A handle is checked out for the duration of one
+	// solve and returned afterwards: two concurrent solves never share one.
+	mu   sync.Mutex
+	warm []*smt.WarmStart
+}
+
+// getWarm checks a solver workspace out of the pool (allocating on first
+// use). The caller must return it with putWarm when its solve finishes.
+func (p *SolvePool) getWarm() *smt.WarmStart {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.warm); n > 0 {
+		ws := p.warm[n-1]
+		p.warm = p.warm[:n-1]
+		return ws
+	}
+	return smt.NewWarmStart()
+}
+
+func (p *SolvePool) putWarm(ws *smt.WarmStart) {
+	p.mu.Lock()
+	p.warm = append(p.warm, ws)
+	p.mu.Unlock()
 }
 
 // NewSolvePool returns a pool admitting at most workers concurrent solves
@@ -150,7 +177,7 @@ func (p *PartitionedXtalkSched) ScheduleContext(ctx context.Context, c *circuit.
 		m := placeGreedy(sched, w.Gates, make([]float64, c.NQubits), p.Noise, p.Config.Omega)
 		return winOutcome{makespan: m}
 	}
-	solve := func(w *Window) winOutcome {
+	solve := func(w *Window, ws *smt.WarmStart) winOutcome {
 		timeout := time.Duration(0)
 		if !deadline.IsZero() {
 			timeout = time.Until(deadline)
@@ -159,7 +186,7 @@ func (p *PartitionedXtalkSched) ScheduleContext(ctx context.Context, c *circuit.
 				return greedy(w)
 			}
 		}
-		st, err := mono.solveGates(ctx, c, sched, w.Gates, timeout)
+		st, err := mono.solveGates(ctx, c, sched, w.Gates, timeout, ws)
 		if err != nil {
 			// Monolithic-path parity: cancellation and expired anytime
 			// budgets degrade to the heuristic, but a genuine solver
@@ -202,13 +229,21 @@ func (p *PartitionedXtalkSched) ScheduleContext(ctx context.Context, c *circuit.
 					return
 				}
 				defer p.Pool.Release()
-				outs[i] = solve(&part.Windows[i])
+				// Each in-flight solve gets a private warm workspace;
+				// recycling through the pool keeps at most worker-count
+				// arenas alive while windows reuse each other's tableaus.
+				ws := p.Pool.getWarm()
+				defer p.Pool.putWarm(ws)
+				outs[i] = solve(&part.Windows[i], ws)
 			}(i)
 		}
 		wg.Wait()
 	} else {
+		// Sequential windows share one workspace: every solve after the
+		// first starts on the previous window's warmed arena.
+		ws := smt.NewWarmStart()
 		for i := range part.Windows {
-			outs[i] = solve(&part.Windows[i])
+			outs[i] = solve(&part.Windows[i], ws)
 		}
 	}
 

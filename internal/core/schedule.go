@@ -134,6 +134,20 @@ type SolveStats struct {
 	// simplex (feasibility checks and objective minimization); the rest of
 	// the theory work ran on the native-float difference engine.
 	SimplexTime time.Duration
+	// Pivots totals simplex basis exchanges across all instances — the
+	// unit of tableau work the dyadic fast path accelerates.
+	Pivots int64
+	// Promotions counts arithmetic operations that left the machine-word
+	// dyadic fast path for wide exact arithmetic (see smt.TierStats).
+	Promotions int64
+	// PeakRatBits is the widest exact-arithmetic operand (bit-length of a
+	// mantissa or denominator) observed in any instance; 0 when every
+	// operation stayed in machine words.
+	PeakRatBits int
+	// RatBitsHist buckets promoted-result bit-lengths across all instances:
+	// <=64, <=128, <=256, <=512, <=1024, >1024 (see smt.TierStats). All
+	// zero when every operation stayed in machine words.
+	RatBitsHist [6]int64
 }
 
 // Add accumulates other into s.
@@ -147,6 +161,14 @@ func (s *SolveStats) Add(other SolveStats) {
 	s.LinAtoms += other.LinAtoms
 	s.DiffConflicts += other.DiffConflicts
 	s.SimplexTime += other.SimplexTime
+	s.Pivots += other.Pivots
+	s.Promotions += other.Promotions
+	if other.PeakRatBits > s.PeakRatBits {
+		s.PeakRatBits = other.PeakRatBits
+	}
+	for i := range s.RatBitsHist {
+		s.RatBitsHist[i] += other.RatBitsHist[i]
+	}
 }
 
 // addTier folds one SMT instance's per-tier theory counters into s.
@@ -155,13 +177,35 @@ func (s *SolveStats) addTier(t smt.TierStats) {
 	s.LinAtoms += int64(t.LinAtoms)
 	s.DiffConflicts += t.DiffConflicts
 	s.SimplexTime += t.SimplexTime
+	s.Pivots += t.Pivots
+	s.Promotions += t.DyadicPromotions
+	if t.PeakRatBits > s.PeakRatBits {
+		s.PeakRatBits = t.PeakRatBits
+	}
+	for i := range s.RatBitsHist {
+		s.RatBitsHist[i] += t.RatBitsHist[i]
+	}
 }
 
 // String renders the effort counters in one line.
 func (s SolveStats) String() string {
-	return fmt.Sprintf("%d windows (%d components, %d heuristic fallbacks), %d decisions, %d conflicts; theory: %d diff / %d linear atoms, %d cycle conflicts, simplex %v",
+	out := fmt.Sprintf("%d windows (%d components, %d heuristic fallbacks), %d decisions, %d conflicts; theory: %d diff / %d linear atoms, %d cycle conflicts, simplex %v, %d pivots, %d promotions, peak %d-bit",
 		s.Windows, s.Components, s.Fallbacks, s.Decisions, s.Conflicts,
-		s.DiffAtoms, s.LinAtoms, s.DiffConflicts, s.SimplexTime.Round(time.Microsecond))
+		s.DiffAtoms, s.LinAtoms, s.DiffConflicts, s.SimplexTime.Round(time.Microsecond),
+		s.Pivots, s.Promotions, s.PeakRatBits)
+	if s.PeakRatBits > 0 {
+		labels := [6]string{"<=64", "<=128", "<=256", "<=512", "<=1024", ">1024"}
+		hist := ""
+		for i, n := range s.RatBitsHist {
+			if n > 0 {
+				hist += fmt.Sprintf(" %s:%d", labels[i], n)
+			}
+		}
+		if hist != "" {
+			out += " (bits" + hist + ")"
+		}
+	}
+	return out
 }
 
 func newSchedule(c *circuit.Circuit, dev *device.Device, name string) *Schedule {

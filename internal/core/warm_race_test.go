@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"xtalk/internal/device"
+	"xtalk/internal/workloads"
+)
+
+// TestWarmStartPoolSharedRace hammers one SolvePool from several concurrent
+// partitioned schedules. The pool recycles warm-started simplex workspaces
+// (arenas, row buffers, tableau skeletons) across window solves, so a
+// workspace released by one scheduler's window is immediately rebound by
+// another's; under `go test -race` this catches any unsynchronized reuse of
+// warm state. Every run must still produce the same schedule as a sequential
+// reference — warm starts are a cache, never an input.
+func TestWarmStartPoolSharedRace(t *testing.T) {
+	dev := device.MustNewFromSpec("grid:4x5", 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	sup, err := workloads.SupremacyCircuit(dev.Topo, dev.Topo.NQubits, 2*dev.Topo.NQubits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultXtalkConfig()
+	// MaxWindowGates 4 forces many small windows, maximizing warm-start
+	// churn through the shared pool.
+	opts := PartitionOpts{MaxWindowGates: 4}
+
+	ref := NewPartitionedXtalkSched(nd, cfg, opts)
+	want, err := ref.Schedule(sup, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRender := want.Render()
+
+	pool := NewSolvePool(2)
+	const schedulers = 4
+	var wg sync.WaitGroup
+	errs := make([]error, schedulers)
+	renders := make([]string, schedulers)
+	for i := 0; i < schedulers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ps := NewPartitionedXtalkSched(nd, cfg, opts)
+			ps.Pool = pool
+			s, err := ps.Schedule(sup, dev)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := s.Validate(); err != nil {
+				errs[i] = err
+				return
+			}
+			renders[i] = s.Render()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < schedulers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent scheduler %d failed: %v", i, errs[i])
+		}
+		if renders[i] != wantRender {
+			t.Fatalf("scheduler %d diverged from the sequential reference:\n--- want ---\n%s--- got ---\n%s",
+				i, wantRender, renders[i])
+		}
+	}
+}

@@ -127,7 +127,7 @@ func (x *XtalkSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, de
 		return nil, err
 	}
 	sched := newSchedule(c, dev, x.Name())
-	st, err := x.solveGates(ctx, c, sched, nil, x.Config.Timeout)
+	st, err := x.solveGates(ctx, c, sched, nil, x.Config.Timeout, nil)
 	if err != nil {
 		if errors.Is(err, smt.ErrCanceled) {
 			// Canceled before the first incumbent: report the caller's
@@ -187,7 +187,7 @@ type winStats struct {
 // here), it is solved in window-local time starting at 0, and it must not
 // contain measure gates — the global all-readouts-simultaneous slot only
 // exists on the full circuit.
-func (x *XtalkSched) solveGates(ctx context.Context, c *circuit.Circuit, sched *Schedule, gates []int, timeout time.Duration) (winStats, error) {
+func (x *XtalkSched) solveGates(ctx context.Context, c *circuit.Circuit, sched *Schedule, gates []int, timeout time.Duration, warm *smt.WarmStart) (winStats, error) {
 	dag := c.DAG()
 	if gates == nil {
 		gates = make([]int, len(c.Gates))
@@ -199,7 +199,7 @@ func (x *XtalkSched) solveGates(ctx context.Context, c *circuit.Circuit, sched *
 	for _, id := range gates {
 		in[id] = true
 	}
-	sol := smt.NewSolver()
+	sol := smt.NewSolverWarm(warm)
 	if x.Config.DebugAudit {
 		sol.EnableDebugModelAudit()
 		sol.EnableDebugStrict()

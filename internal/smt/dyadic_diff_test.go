@@ -1,0 +1,198 @@
+package smt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The dyadic fast path (num.go) must be an invisible optimization: any
+// instance solved with it enabled and with DisableDyadic (every value forced
+// through big.Rat) must agree on satisfiability and, when satisfiable, on
+// the optimal objective. The byte-script generator below drives both runs
+// from one input so the deterministic differential test and the fuzz target
+// share a single harness.
+
+// diffCoefPool mixes the magnitudes that stress the fast path: exact small
+// integers (stay in machine words), odd multi-word magnitudes (force kBig),
+// values around 2^50 whose products overflow int64 (force promotion), and
+// tiny/huge mixed scales like the scheduler's ns-vs-1/T1 coefficients.
+// Every float64 is a dyadic rational, so the exact reference is big.Rat.
+var diffCoefPool = []float64{
+	1, -1, 2, 3, -7, 0.5, -0.125,
+	0.1, -0.3, // dyadic, but with 52-bit mantissas
+	1e9, -1e9, 123456789.123, -987654321.987,
+	float64(int64(1) << 50), -float64(int64(1)<<50) - 1,
+	1e-9, -3.33e-7, 2.718281828e5,
+}
+
+// buildDiffInstance replays the byte script into s. Scripts are interpreted
+// as: byte 0 = variable count, then 6-byte chunks
+// (varA, varB, coefA, coefB, rhs, kind) each adding one constraint; the
+// final nv bytes pick objective coefficients. Every variable is boxed into
+// [0, 100] so minimization is always bounded. Returns the objective and
+// whether the instance has boolean structure (disjunctive constraints).
+func buildDiffInstance(s *Solver, data []byte) (LinExpr, bool) {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	nv := 2 + int(data[0]%4)
+	vars := make([]Var, nv)
+	for i := range vars {
+		vars[i] = s.Real()
+		s.Assert(Ge(V(vars[i]), Const(0)))
+		s.Assert(Le(V(vars[i]), Const(100)))
+	}
+	pool := diffCoefPool
+	pick := func(b byte) float64 { return pool[int(b)%len(pool)] }
+	hasBool := false
+	body := data[1:]
+	for len(body) >= 6 && len(body) > nv {
+		a := vars[int(body[0])%nv]
+		b := vars[int(body[1])%nv]
+		lhs := Term(a, pick(body[2])).Add(Term(b, pick(body[3])))
+		rhs := Const(pick(body[4]))
+		var f Formula
+		switch body[5] % 4 {
+		case 0:
+			f = Le(lhs, rhs)
+		case 1:
+			f = Ge(lhs, rhs)
+		case 2:
+			f = Eq(lhs, rhs)
+		case 3:
+			// Disjunctive constraint: the solver must branch.
+			f = Or(Le(lhs, rhs), Ge(lhs, rhs.AddConst(1)))
+			hasBool = true
+		}
+		s.Assert(f)
+		body = body[6:]
+	}
+	obj := Const(0)
+	for i, v := range vars {
+		var b byte = 1
+		if i < len(body) {
+			b = body[i]
+		}
+		obj = obj.Add(Term(v, pick(b)))
+	}
+	return obj, hasBool
+}
+
+// runDyadicVsExact solves one script with the dyadic tower and with the
+// big.Rat ablation and reports any disagreement. Pure-conjunctive instances
+// must match to the exact optimum (both runs compute it exactly and float64
+// conversion is deterministic); disjunctive ones within the branch-and-bound
+// improvement margin, since the two runs may stop at incumbents an epsilon
+// apart.
+func runDyadicVsExact(t *testing.T, data []byte) {
+	t.Helper()
+	type outcome struct {
+		obj      float64
+		ok       bool
+		err      error
+		promoted int64
+	}
+	run := func(disable bool) outcome {
+		s := NewSolver()
+		if disable {
+			s.DisableDyadic()
+		}
+		obj, _ := buildDiffInstance(s, data)
+		m, ok, err := s.Minimize(obj)
+		o := outcome{ok: ok, err: err, promoted: s.TierStats().DyadicPromotions}
+		if ok {
+			o.obj = m.Objective
+		}
+		return o
+	}
+	fast := run(false)
+	exact := run(true)
+	if (fast.err == nil) != (exact.err == nil) {
+		t.Fatalf("error disagreement: dyadic=%v exact=%v", fast.err, exact.err)
+	}
+	if fast.err != nil {
+		return
+	}
+	if fast.ok != exact.ok {
+		t.Fatalf("sat disagreement: dyadic=%v exact=%v (script %x)", fast.ok, exact.ok, data)
+	}
+	if !fast.ok {
+		return
+	}
+	_, hasBool := buildDiffInstance(NewSolver(), data)
+	tol := 0.0
+	if hasBool {
+		tol = 1e-4 // branch-and-bound improvement margin
+	}
+	if diff := math.Abs(fast.obj - exact.obj); diff > tol {
+		t.Fatalf("objective disagreement: dyadic=%.17g exact=%.17g (|diff|=%g > %g, script %x)",
+			fast.obj, exact.obj, diff, tol, data)
+	}
+}
+
+// TestDyadicVsExactDifferential sweeps random scripts plus hand-built
+// overflow cases through both arithmetic modes.
+func TestDyadicVsExactDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 1+6*(1+rng.Intn(6))+4)
+		rng.Read(data)
+		runDyadicVsExact(t, data)
+	}
+}
+
+// TestDyadicOverflowPromotes pins the forced-overflow regression: chained
+// equalities over ~2^50 coefficients must leave the machine-word fast path
+// (promotions observed), and still match the big.Rat ablation exactly.
+func TestDyadicOverflowPromotes(t *testing.T) {
+	build := func(s *Solver) LinExpr {
+		x, y, z := s.Real(), s.Real(), s.Real()
+		big := float64(int64(1)<<50) + 1 // odd: no trailing zeros to absorb
+		for _, v := range []Var{x, y, z} {
+			s.Assert(Ge(V(v), Const(0)))
+			s.Assert(Le(V(v), Const(1e9)))
+		}
+		// Equalities with huge odd coefficients force multi-word products
+		// inside pivoting, and the coefficient 3 forces a non-dyadic
+		// division (an odd shared denominator) on the way to the optimum.
+		s.Assert(Eq(Term(x, big).Add(Term(y, 3)), Const(big*2)))
+		s.Assert(Eq(Term(y, big).Sub(Term(z, 7)), Const(big)))
+		s.Assert(Ge(Term(x, 1).Add(Term(z, 3)), Const(5)))
+		return V(x).Add(V(y)).Add(V(z))
+	}
+	s := NewSolver()
+	obj := build(s)
+	m, ok, err := s.Minimize(obj)
+	if err != nil || !ok {
+		t.Fatalf("dyadic solve failed: ok=%v err=%v", ok, err)
+	}
+	if p := s.TierStats().DyadicPromotions; p == 0 {
+		t.Fatalf("expected forced-overflow instance to promote, saw 0 promotions")
+	}
+	se := NewSolver()
+	se.DisableDyadic()
+	obje := build(se)
+	me, oke, erre := se.Minimize(obje)
+	if erre != nil || !oke {
+		t.Fatalf("exact solve failed: ok=%v err=%v", oke, erre)
+	}
+	if m.Objective != me.Objective {
+		t.Fatalf("overflow case: dyadic optimum %.17g != exact optimum %.17g", m.Objective, me.Objective)
+	}
+}
+
+// FuzzDyadicVsExact lets the fuzzer search for script shapes where the
+// dyadic tower and the big.Rat ablation disagree.
+func FuzzDyadicVsExact(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{2, 0, 1, 4, 5, 6, 2, 1, 2, 13, 14, 4, 3, 7, 8})
+	f.Add([]byte{3, 0, 1, 13, 13, 9, 2, 1, 2, 14, 13, 9, 2, 0, 2, 15, 16, 9, 2, 1, 2})
+	f.Add([]byte{1, 0, 1, 9, 3, 1, 3, 1, 2, 10, 4, 2, 3, 5, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			t.Skip("cap instance size")
+		}
+		runDyadicVsExact(t, data)
+	})
+}

@@ -1,0 +1,762 @@
+package smt
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// num is the simplex's hybrid numeric type, a four-tier tower:
+//
+//	kInt  — dyadic rational n * 2^exp in machine words (odd int64 mantissa)
+//	kBig  — dyadic rational m * 2^exp with a big.Int mantissa
+//	kFrac — lazily normalized rational (m * 2^exp) / d with odd d > 1
+//	kRat  — *big.Rat; ablation mode (DisableDyadic) only
+//
+// Every float64 entering the solver is a dyadic rational, and the scheduling
+// tableau is a network matrix whose pivots are almost always on ±2^k
+// coefficients, so kInt covers the hot loop. Mixed-magnitude sums (start
+// times in nanoseconds against 2^-30 tie-break offsets) overflow the 62-bit
+// alignment window and land in kBig, where addition is shift-and-add on a
+// big mantissa. A pivot on a coefficient with a non-trivial odd mantissa
+// (any "real-valued" weight) makes 1/a non-dyadic; those values land in
+// kFrac, which keeps an explicit odd denominator and — unlike big.Rat, which
+// runs a GCD inside every operation — normalizes lazily, only when the
+// fraction outgrows fracReduceBits. Profiling drove this shape: with all
+// wide values in big.Rat, lehmerGCD alone ate a third of solve time.
+// Correctness is never approximate at any tier; only the representation
+// changes (kFrac values may be unreduced, but they are exact).
+//
+// Invariants: kInt holds odd n (or n == exp == 0 for zero); kBig holds odd
+// m too wide for kInt (results demote eagerly); kFrac holds odd m and odd
+// d > 1, gcd(m, d) possibly > 1. The m, d and rat pointers are retained
+// across demotions so their allocations recycle. No two nums ever share a
+// mantissa or rat pointer: every operation copies values, never aliases, so
+// arena-recycled nums and bound-trail copies stay independent.
+type num struct {
+	n    int64
+	exp  int32
+	kind uint8
+	m    *big.Int
+	d    *big.Int
+	rat  *big.Rat
+}
+
+const (
+	kInt uint8 = iota
+	kBig
+	kFrac
+	kRat
+)
+
+// numStats counts fast-path exits and tracks operand growth for the
+// profiling harness (surfaced through Solver.TierStats). It also owns the
+// scratch big.Ints/big.Rats used on the slow paths, so it must not be
+// shared across concurrently running solvers.
+type numStats struct {
+	// promotions counts arithmetic operations that left the machine-word
+	// fast path (wide-dyadic, fraction, or rational, or the fast path
+	// being disabled).
+	promotions int64
+	// peakBits is the largest mantissa/denominator bit-length observed on
+	// any promoted result.
+	peakBits int
+	// bitsHist buckets promoted-result bit-lengths: <=64, <=128, <=256,
+	// <=512, <=1024, >1024.
+	bitsHist [6]int64
+	// disabled forces every value through big.Rat (the pre-dyadic solver);
+	// ablation and differential testing only.
+	disabled bool
+
+	b1, b2, b3 big.Int // scratch mantissas for the wide paths
+	s1, s2     big.Rat // scratch views of dyadic operands on the kRat path
+}
+
+const (
+	// numMaxShift bounds the left-shift used to align kInt exponents; a
+	// larger gap goes wide. 62 keeps |shifted| < 2^63 for any odd int64.
+	numMaxShift = 62
+	// numMaxExp bounds |exp| so int32 exponent arithmetic cannot wrap.
+	numMaxExp = 1 << 30
+	// fracReduceBits triggers lazy normalization: when a kFrac result's
+	// mantissa + denominator exceed this many bits, divide out their GCD.
+	// Low enough to bound growth across pivot chains, high enough that the
+	// GCD runs orders of magnitude less often than under big.Rat.
+	fracReduceBits = 768
+)
+
+// normalize strips trailing zero bits from n into exp (two's complement
+// preserves trailing zeros, so the uint64 conversion is sound for n < 0).
+func normalize(n int64, exp int32) (int64, int32) {
+	if n == 0 {
+		return 0, 0
+	}
+	tz := bits.TrailingZeros64(uint64(n))
+	return n >> uint(tz), exp + int32(tz)
+}
+
+func (z *num) setZero() {
+	z.n, z.exp, z.kind = 0, 0, kInt
+}
+
+// setFloat sets z to the exact rational value of f (every finite float64 is
+// a dyadic rational with a 53-bit mantissa, so this stays in kInt unless
+// the fast path is disabled).
+func (st *numStats) setFloat(z *num, f float64) {
+	if st.disabled {
+		if z.rat == nil {
+			z.rat = new(big.Rat)
+		}
+		z.rat.SetFloat64(f)
+		z.kind = kRat
+		return
+	}
+	frac, e := math.Frexp(f)
+	m := int64(frac * (1 << 53)) // exact: |frac| in [0.5, 1), 53-bit mantissa
+	z.n, z.exp = normalize(m, int32(e-53))
+	z.kind = kInt
+}
+
+// set copies x into z (deep: big mantissas, denominators and rats are
+// copied, never aliased).
+func (z *num) set(x *num) {
+	if z == x {
+		return
+	}
+	switch x.kind {
+	case kInt:
+		z.n, z.exp, z.kind = x.n, x.exp, kInt
+	case kBig:
+		if z.m == nil {
+			z.m = new(big.Int)
+		}
+		z.m.Set(x.m)
+		z.exp, z.kind = x.exp, kBig
+	case kFrac:
+		if z.m == nil {
+			z.m = new(big.Int)
+		}
+		if z.d == nil {
+			z.d = new(big.Int)
+		}
+		z.m.Set(x.m)
+		z.d.Set(x.d)
+		z.exp, z.kind = x.exp, kFrac
+	default:
+		if z.rat == nil {
+			z.rat = new(big.Rat)
+		}
+		z.rat.Set(x.rat)
+		z.kind = kRat
+	}
+}
+
+// mant views x's mantissa as a *big.Int shifted left by lsh, writing into
+// scratch when needed. The result must be treated as read-only unless it is
+// the scratch.
+func (x *num) mant(scratch *big.Int, lsh uint) *big.Int {
+	if x.kind == kBig || x.kind == kFrac {
+		if lsh == 0 {
+			return x.m
+		}
+		return scratch.Lsh(x.m, lsh)
+	}
+	scratch.SetInt64(x.n)
+	if lsh != 0 {
+		scratch.Lsh(scratch, lsh)
+	}
+	return scratch
+}
+
+// fden returns x's denominator, or nil meaning 1.
+func fden(x *num) *big.Int {
+	if x.kind == kFrac {
+		return x.d
+	}
+	return nil
+}
+
+// writeRat renders x into dst (when x is not kRat) or returns x.rat
+// directly. The result may be unreduced for kFrac inputs (big.Rat's Cmp and
+// Float64 are correct on unreduced values). It must be treated as read-only.
+func (x *num) writeRat(dst *big.Rat) *big.Rat {
+	if x.kind == kRat {
+		return x.rat
+	}
+	// SetInt64 materializes a mutable denominator; a fresh Rat's canonical
+	// denominator is detached (Go's Rat.Denom returns a copy for it), so
+	// the mutations below would otherwise write into a throwaway Int.
+	switch x.kind {
+	case kBig:
+		dst.SetInt64(1)
+		dst.Num().Set(x.m)
+	case kFrac:
+		dst.SetInt64(1)
+		dst.Num().Set(x.m)
+		dst.Denom().Set(x.d)
+	default:
+		dst.SetInt64(x.n)
+	}
+	switch e := x.exp; {
+	case e > 0:
+		dst.Num().Lsh(dst.Num(), uint(e))
+	case e < 0:
+		// The mantissa is odd, so shifting the denominator keeps the
+		// power-of-two part fully in the denominator.
+		dst.Denom().Lsh(dst.Denom(), uint(-e))
+	}
+	return dst
+}
+
+// ratCopy returns a freshly allocated, fully reduced big.Rat equal to x.
+func (x *num) ratCopy() *big.Rat {
+	var tmp big.Rat
+	r := x.writeRat(&tmp)
+	return new(big.Rat).SetFrac(r.Num(), r.Denom()) // SetFrac reduces
+}
+
+// float returns the nearest float64 to x.
+func (x *num) float() float64 {
+	if x.kind == kInt {
+		return math.Ldexp(float64(x.n), int(x.exp))
+	}
+	var tmp big.Rat
+	f, _ := x.writeRat(&tmp).Float64()
+	return f
+}
+
+func (x *num) sign() int {
+	switch x.kind {
+	case kInt:
+		switch {
+		case x.n > 0:
+			return 1
+		case x.n < 0:
+			return -1
+		}
+		return 0
+	case kBig, kFrac:
+		return x.m.Sign()
+	default:
+		return x.rat.Sign()
+	}
+}
+
+func (x *num) isZero() bool { return x.sign() == 0 }
+
+// isOne reports x == 1 exactly (fast path: normalized kInt).
+func (x *num) isOne() bool { return x.kind == kInt && x.n == 1 && x.exp == 0 }
+
+// bitLen returns the mantissa bit-length of a dyadic (kInt/kBig) value, or
+// the numerator bit-length for other kinds.
+func (x *num) bitLen() int {
+	switch x.kind {
+	case kInt:
+		n := x.n
+		if n < 0 {
+			n = -n
+		}
+		return bits.Len64(uint64(n))
+	case kBig, kFrac:
+		return x.m.BitLen()
+	}
+	return x.rat.Num().BitLen()
+}
+
+// mantAbs writes |mantissa| of a dyadic (kInt/kBig) value into dst.
+func (x *num) mantAbs(dst *big.Int) *big.Int {
+	if x.kind == kInt {
+		n := x.n
+		if n < 0 {
+			n = -n
+		}
+		return dst.SetInt64(n)
+	}
+	return dst.Abs(x.m)
+}
+
+// divOdd divides a dyadic z's mantissa in place by odd g > 1, which must
+// divide it exactly (content reduction of a common-denominator row).
+func (st *numStats) divOdd(z *num, g *big.Int) {
+	if z.kind == kInt {
+		z.n /= g.Int64() // g divides an int64 mantissa, so it fits one
+		return
+	}
+	z.m.Quo(z.m, g)
+	st.finishBig(z, int64(z.exp)) // odd/odd stays odd; may demote to kInt
+}
+
+// neg negates z in place (a normalized odd n can never be MinInt64).
+func (z *num) neg() {
+	switch z.kind {
+	case kInt:
+		z.n = -z.n
+	case kBig, kFrac:
+		z.m.Neg(z.m)
+	default:
+		z.rat.Neg(z.rat)
+	}
+}
+
+func (st *numStats) noteBits(b int) {
+	st.promotions++
+	if b > st.peakBits {
+		st.peakBits = b
+	}
+	switch {
+	case b <= 64:
+		st.bitsHist[0]++
+	case b <= 128:
+		st.bitsHist[1]++
+	case b <= 256:
+		st.bitsHist[2]++
+	case b <= 512:
+		st.bitsHist[3]++
+	case b <= 1024:
+		st.bitsHist[4]++
+	default:
+		st.bitsHist[5]++
+	}
+}
+
+// finishBig normalizes a freshly computed wide-dyadic mantissa in z.m with
+// exponent e: strips trailing zeros and demotes to kInt when the mantissa
+// fits a machine word. e stays comfortably inside int32 for any value built
+// from float64 inputs (|exp| <= ~1100 plus bounded drift); the guard panics
+// rather than silently corrupting if that assumption ever breaks.
+func (st *numStats) finishBig(z *num, e int64) {
+	if z.m.Sign() == 0 {
+		z.setZero()
+		return
+	}
+	if tz := z.m.TrailingZeroBits(); tz > 0 {
+		z.m.Rsh(z.m, tz)
+		e += int64(tz)
+	}
+	if e >= numMaxExp || e <= -numMaxExp {
+		panic("smt: num exponent out of range")
+	}
+	if z.m.IsInt64() {
+		z.n, z.exp, z.kind = z.m.Int64(), int32(e), kInt
+		return
+	}
+	z.exp, z.kind = int32(e), kBig
+	st.noteBits(z.m.BitLen())
+}
+
+// finishFrac normalizes a freshly computed fraction z.m / z.d with exponent
+// e: strips trailing zeros, collapses to a dyadic tier when the denominator
+// is 1, and reduces by GCD only when the fraction has outgrown
+// fracReduceBits — the lazy normalization that keeps the per-operation GCD
+// out of the pivot loop.
+func (st *numStats) finishFrac(z *num, e int64) {
+	if z.m.Sign() == 0 {
+		z.setZero()
+		return
+	}
+	if tz := z.m.TrailingZeroBits(); tz > 0 {
+		z.m.Rsh(z.m, tz)
+		e += int64(tz)
+	}
+	if z.d.BitLen() > 1 && z.m.BitLen()+z.d.BitLen() > fracReduceBits {
+		g := st.b3.GCD(nil, nil, st.b1.Abs(z.m), z.d)
+		if g.BitLen() > 1 {
+			z.m.Quo(z.m, g)
+			z.d.Quo(z.d, g) // odd/odd: both stay odd
+		}
+	}
+	if z.d.BitLen() == 1 { // d == 1
+		st.finishBig(z, e)
+		return
+	}
+	if e >= numMaxExp || e <= -numMaxExp {
+		panic("smt: num exponent out of range")
+	}
+	z.exp, z.kind = int32(e), kFrac
+	b := z.m.BitLen()
+	if db := z.d.BitLen(); db > b {
+		b = db
+	}
+	st.noteBits(b)
+}
+
+// noteRat finishes a kRat-path operation: samples operand growth. In
+// disabled (ablation) mode values stay kRat, faithfully reproducing the
+// pre-dyadic big.Rat solver.
+func (st *numStats) noteRat(z *num) {
+	z.kind = kRat
+	b := z.rat.Num().BitLen()
+	if d := z.rat.Denom().BitLen(); d > b {
+		b = d
+	}
+	st.noteBits(b)
+}
+
+// addChecked returns a+b, reporting overflow.
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// shifted returns n << d when the result provably fits in an int64.
+func shifted(n int64, d int32) (int64, bool) {
+	if d == 0 {
+		return n, true
+	}
+	if d > numMaxShift {
+		return 0, false
+	}
+	abs := uint64(n)
+	if n < 0 {
+		abs = uint64(-n)
+	}
+	if bits.Len64(abs)+int(d) > numMaxShift {
+		return 0, false
+	}
+	return n << uint(d), true
+}
+
+// ensureM allocates z's big mantissa on first use.
+func (z *num) ensureM() *big.Int {
+	if z.m == nil {
+		z.m = new(big.Int)
+	}
+	return z.m
+}
+
+func (z *num) ensureD() *big.Int {
+	if z.d == nil {
+		z.d = new(big.Int)
+	}
+	return z.d
+}
+
+// addSub sets z = x + sgn*y. z may alias x or y.
+func (st *numStats) addSub(z, x, y *num, sgn int) {
+	if x.kind == kInt && y.kind == kInt {
+		if y.n == 0 {
+			z.set(x)
+			return
+		}
+		if x.n == 0 {
+			z.set(y)
+			if sgn < 0 {
+				z.neg()
+			}
+			return
+		}
+		e := x.exp
+		if y.exp < e {
+			e = y.exp
+		}
+		a, okA := shifted(x.n, x.exp-e)
+		b, okB := shifted(y.n, y.exp-e)
+		if okA && okB {
+			if sgn < 0 {
+				b = -b
+			}
+			if s, ok := addChecked(a, b); ok {
+				z.n, z.exp = normalize(s, e)
+				z.kind = kInt
+				return
+			}
+		}
+	}
+	if x.kind != kRat && y.kind != kRat {
+		if y.sign() == 0 {
+			z.set(x)
+			return
+		}
+		if x.sign() == 0 {
+			z.set(y)
+			if sgn < 0 {
+				z.neg()
+			}
+			return
+		}
+		ex, ey := int64(x.exp), int64(y.exp)
+		e := ex
+		if ey < e {
+			e = ey
+		}
+		a := x.mant(&st.b1, uint(ex-e))
+		b := y.mant(&st.b2, uint(ey-e))
+		dx, dy := fden(x), fden(y)
+		sameDen := dx == nil && dy == nil ||
+			(dx != nil && dy != nil && dx.Cmp(dy) == 0)
+		if !sameDen {
+			// Cross-multiply onto the common denominator dx*dy. The scratch
+			// targets are a's and b's own scratch slots, so operand views
+			// still held in the other slot are untouched.
+			if dy != nil {
+				a = st.b1.Mul(a, dy)
+			}
+			if dx != nil {
+				b = st.b2.Mul(b, dx)
+			}
+		}
+		zm := z.ensureM()
+		if sgn >= 0 {
+			zm.Add(a, b)
+		} else {
+			zm.Sub(a, b)
+		}
+		switch {
+		case dx == nil && dy == nil:
+			st.finishBig(z, e)
+		case sameDen:
+			// z.d may alias dx; Set handles that.
+			z.ensureD().Set(dx)
+			st.finishFrac(z, e)
+		default:
+			zd := z.ensureD()
+			switch {
+			case dx == nil:
+				zd.Set(dy)
+			case dy == nil:
+				zd.Set(dx)
+			default:
+				zd.Mul(dx, dy)
+			}
+			st.finishFrac(z, e)
+		}
+		return
+	}
+	xr := x.writeRat(&st.s1)
+	yr := y.writeRat(&st.s2)
+	if z.rat == nil {
+		z.rat = new(big.Rat)
+	}
+	if sgn >= 0 {
+		z.rat.Add(xr, yr)
+	} else {
+		z.rat.Sub(xr, yr)
+	}
+	st.noteRat(z)
+}
+
+// add sets z = x + y. z may alias x or y.
+func (st *numStats) add(z, x, y *num) { st.addSub(z, x, y, 1) }
+
+// sub sets z = x - y. z may alias x or y.
+func (st *numStats) sub(z, x, y *num) { st.addSub(z, x, y, -1) }
+
+// mul sets z = x * y. z may alias x or y.
+func (st *numStats) mul(z, x, y *num) {
+	if x.kind == kInt && y.kind == kInt {
+		if x.n == 0 || y.n == 0 {
+			z.setZero()
+			return
+		}
+		neg := (x.n < 0) != (y.n < 0)
+		ax, ay := uint64(x.n), uint64(y.n)
+		if x.n < 0 {
+			ax = uint64(-x.n)
+		}
+		if y.n < 0 {
+			ay = uint64(-y.n)
+		}
+		hi, lo := bits.Mul64(ax, ay)
+		e := int64(x.exp) + int64(y.exp)
+		if hi == 0 && lo <= math.MaxInt64 && e < numMaxExp && e > -numMaxExp {
+			n := int64(lo)
+			if neg {
+				n = -n
+			}
+			z.n, z.exp = n, int32(e) // odd*odd is odd: already normalized
+			z.kind = kInt
+			return
+		}
+	}
+	if x.kind != kRat && y.kind != kRat {
+		if x.sign() == 0 || y.sign() == 0 {
+			z.setZero()
+			return
+		}
+		e := int64(x.exp) + int64(y.exp)
+		a := x.mant(&st.b1, 0)
+		b := y.mant(&st.b2, 0)
+		dx, dy := fden(x), fden(y)
+		z.ensureM().Mul(a, b) // odd*odd is odd
+		if dx == nil && dy == nil {
+			st.finishBig(z, e)
+			return
+		}
+		zd := z.ensureD()
+		switch {
+		case dx == nil:
+			zd.Set(dy)
+		case dy == nil:
+			zd.Set(dx)
+		default:
+			zd.Mul(dx, dy)
+		}
+		st.finishFrac(z, e)
+		return
+	}
+	xr := x.writeRat(&st.s1)
+	yr := y.writeRat(&st.s2)
+	if z.rat == nil {
+		z.rat = new(big.Rat)
+	}
+	z.rat.Mul(xr, yr)
+	st.noteRat(z)
+}
+
+// quo sets z = x / y (y must be nonzero). z may alias x or y. Division by a
+// ±2^k (the common pivot coefficient on network rows) stays dyadic; any
+// other divisor contributes its odd mantissa to the result's lazy
+// denominator.
+func (st *numStats) quo(z, x, y *num) {
+	if x.kind == kInt && y.kind == kInt {
+		if x.n == 0 {
+			z.setZero()
+			return
+		}
+		e := int64(x.exp) - int64(y.exp)
+		if x.n%y.n == 0 && e < numMaxExp && e > -numMaxExp {
+			z.n, z.exp = x.n/y.n, int32(e) // odd/odd exact quotient is odd
+			z.kind = kInt
+			return
+		}
+	}
+	if x.kind != kRat && y.kind != kRat {
+		if x.sign() == 0 {
+			z.setZero()
+			return
+		}
+		e := int64(x.exp) - int64(y.exp)
+		a := x.mant(&st.b1, 0)
+		b := y.mant(&st.b2, 0)
+		dx, dy := fden(x), fden(y)
+		// x/y = (m_x * d_y) / (d_x * m_y), sign moved to the numerator so
+		// the denominator stays positive (and odd: odd*odd).
+		neg := b.Sign() < 0
+		babs := st.b2.Abs(b)
+		if dy != nil {
+			a = st.b1.Mul(a, dy)
+		}
+		newD := babs
+		if dx != nil {
+			newD = st.b2.Mul(babs, dx)
+		}
+		zm := z.ensureM()
+		zm.Set(a)
+		if neg {
+			zm.Neg(zm)
+		}
+		if newD.BitLen() == 1 { // divisor mantissa was ±1: stays dyadic
+			st.finishBig(z, e)
+			return
+		}
+		z.ensureD().Set(newD)
+		// Reduce quotients eagerly (not lazily): a quotient is computed once
+		// per pivot but its denominator multiplies into every row entry, so
+		// one GCD here prevents a wide denominator from spraying across the
+		// tableau and triggering many threshold GCDs downstream.
+		if g := st.b3.GCD(nil, nil, st.b1.Abs(z.m), z.d); g.BitLen() > 1 {
+			z.m.Quo(z.m, g)
+			z.d.Quo(z.d, g)
+		}
+		st.finishFrac(z, e)
+		return
+	}
+	xr := x.writeRat(&st.s1)
+	yr := y.writeRat(&st.s2)
+	if z.rat == nil {
+		z.rat = new(big.Rat)
+	}
+	z.rat.Quo(xr, yr)
+	st.noteRat(z)
+}
+
+// cmp compares x and y (-1, 0, +1). Allocation-free on the kInt path.
+func (st *numStats) cmp(x, y *num) int {
+	if x.kind == kInt && y.kind == kInt {
+		sx, sy := x.sign(), y.sign()
+		if sx != sy {
+			if sx < sy {
+				return -1
+			}
+			return 1
+		}
+		if sx == 0 {
+			return 0
+		}
+		// Same nonzero sign: compare MSB positions, then aligned mantissas.
+		ax, ay := uint64(x.n), uint64(y.n)
+		if x.n < 0 {
+			ax, ay = uint64(-x.n), uint64(-y.n)
+		}
+		mx := int64(x.exp) + int64(bits.Len64(ax))
+		my := int64(y.exp) + int64(bits.Len64(ay))
+		if mx != my {
+			bigger := 1
+			if mx < my {
+				bigger = -1
+			}
+			return bigger * sx
+		}
+		// Equal magnitude exponents: the alignment shift equals the
+		// bit-length difference, so both shifted mantissas stay below 2^63.
+		if d := x.exp - y.exp; d >= 0 {
+			ax <<= uint(d)
+		} else {
+			ay <<= uint(-d)
+		}
+		switch {
+		case ax < ay:
+			return -1 * sx
+		case ax > ay:
+			return 1 * sx
+		}
+		return 0
+	}
+	if x.kind != kRat && y.kind != kRat {
+		sx, sy := x.sign(), y.sign()
+		if sx != sy {
+			if sx < sy {
+				return -1
+			}
+			return 1
+		}
+		if sx == 0 {
+			return 0
+		}
+		// Cross-multiply onto a common denominator (denominators are
+		// positive, so the comparison direction is preserved).
+		ex, ey := int64(x.exp), int64(y.exp)
+		e := ex
+		if ey < e {
+			e = ey
+		}
+		a := x.mant(&st.b1, uint(ex-e))
+		b := y.mant(&st.b2, uint(ey-e))
+		dx, dy := fden(x), fden(y)
+		sameDen := dx == nil && dy == nil ||
+			(dx != nil && dy != nil && dx.Cmp(dy) == 0)
+		if !sameDen {
+			if dy != nil {
+				a = st.b1.Mul(a, dy)
+			}
+			if dx != nil {
+				b = st.b2.Mul(b, dx)
+			}
+		}
+		return a.Cmp(b)
+	}
+	xr := x.writeRat(&st.s1)
+	yr := y.writeRat(&st.s2)
+	return xr.Cmp(yr)
+}
+
+// String renders the value for debugging.
+func (x *num) String() string {
+	var tmp big.Rat
+	r := x.writeRat(&tmp)
+	var out big.Rat
+	return out.SetFrac(r.Num(), r.Denom()).RatString()
+}

@@ -1,0 +1,143 @@
+package smt
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// ratRef renders a num through the reference big.Rat representation.
+func ratRef(x *num) *big.Rat { return x.ratCopy() }
+
+// randNum produces values spread across all three tiers: machine-word
+// dyadics, wide dyadics (mixed-magnitude sums), and non-dyadic rationals
+// (quotients by odd numbers).
+func randNum(rng *rand.Rand, st *numStats) (*num, *big.Rat) {
+	z := new(num)
+	switch rng.Intn(6) {
+	case 0: // small integer
+		st.setFloat(z, float64(rng.Intn(2001)-1000))
+	case 1: // arbitrary float64
+		st.setFloat(z, math.Ldexp(rng.Float64()*2-1, rng.Intn(120)-60))
+	case 2: // scheduling-flavored: time + tiny tie-break offset
+		var a, b num
+		st.setFloat(&a, float64(rng.Intn(100000))+rng.Float64())
+		st.setFloat(&b, math.Ldexp(float64(rng.Intn(1000)+1), -90))
+		st.add(z, &a, &b)
+	case 3: // wide dyadic from repeated squaring
+		st.setFloat(z, rng.Float64()*1e9)
+		st.mul(z, z, z)
+		st.mul(z, z, z)
+	case 4: // non-dyadic rational
+		var a, b num
+		st.setFloat(&a, float64(rng.Intn(2001)-1000))
+		st.setFloat(&b, float64(2*rng.Intn(500)+3)) // odd, >= 3
+		st.quo(z, &a, &b)
+	default: // zero and near-degenerate
+		st.setFloat(z, 0)
+	}
+	return z, ratRef(z)
+}
+
+// TestNumOpsMatchBigRat cross-checks every num operation against big.Rat
+// over values spanning all representation tiers, including overflow and
+// promotion/demotion boundaries.
+func TestNumOpsMatchBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var st numStats
+	for i := 0; i < 200000; i++ {
+		x, xr := randNum(rng, &st)
+		y, yr := randNum(rng, &st)
+
+		var z num
+		want := new(big.Rat)
+
+		switch op := rng.Intn(5); op {
+		case 0:
+			st.add(&z, x, y)
+			want.Add(xr, yr)
+		case 1:
+			st.sub(&z, x, y)
+			want.Sub(xr, yr)
+		case 2:
+			st.mul(&z, x, y)
+			want.Mul(xr, yr)
+		case 3:
+			if y.isZero() {
+				continue
+			}
+			st.quo(&z, x, y)
+			want.Quo(xr, yr)
+		default:
+			got := st.cmp(x, y)
+			if want := xr.Cmp(yr); got != want {
+				t.Fatalf("iter %d: cmp(%s, %s) = %d, want %d", i, xr.RatString(), yr.RatString(), got, want)
+			}
+			continue
+		}
+		if got := ratRef(&z); got.Cmp(want) != 0 {
+			t.Fatalf("iter %d: op result %s, want %s (x=%s y=%s)", i, got.RatString(), want.RatString(), xr.RatString(), yr.RatString())
+		}
+		// Aliased forms must agree too: z = z op y.
+		var z2 num
+		z2.set(x)
+		switch rng.Intn(4) {
+		case 0:
+			st.add(&z2, &z2, y)
+			want.Add(xr, yr)
+		case 1:
+			st.sub(&z2, &z2, y)
+			want.Sub(xr, yr)
+		case 2:
+			st.mul(&z2, &z2, y)
+			want.Mul(xr, yr)
+		default:
+			if y.isZero() {
+				continue
+			}
+			st.quo(&z2, &z2, y)
+			want.Quo(xr, yr)
+		}
+		if got := ratRef(&z2); got.Cmp(want) != 0 {
+			t.Fatalf("iter %d: aliased op result %s, want %s (x=%s y=%s)", i, got.RatString(), want.RatString(), xr.RatString(), yr.RatString())
+		}
+	}
+}
+
+// TestNumSetFloatExact verifies float64 values convert exactly and round-trip.
+func TestNumSetFloatExact(t *testing.T) {
+	var st numStats
+	cases := []float64{0, 1, -1, 0.5, -0.25, 1e-6, 1e9, 1e18, math.Ldexp(1, -30),
+		123456.789, math.SmallestNonzeroFloat64, math.MaxFloat64}
+	for _, f := range cases {
+		var z num
+		st.setFloat(&z, f)
+		want := new(big.Rat).SetFloat64(f)
+		if got := ratRef(&z); got.Cmp(want) != 0 {
+			t.Fatalf("setFloat(%g) = %s, want %s", f, got.RatString(), want.RatString())
+		}
+		if z.float() != f {
+			t.Fatalf("float() round-trip of %g gave %g", f, z.float())
+		}
+	}
+}
+
+// TestNumDisabledForcesRat checks the ablation knob: with disabled set,
+// every value lives in big.Rat and every op counts as a promotion.
+func TestNumDisabledForcesRat(t *testing.T) {
+	st := numStats{disabled: true}
+	var a, b, z num
+	st.setFloat(&a, 1.5)
+	st.setFloat(&b, 2.25)
+	st.add(&z, &a, &b)
+	if z.kind != kRat {
+		t.Fatalf("disabled add produced kind %d, want kRat", z.kind)
+	}
+	if st.promotions == 0 {
+		t.Fatal("disabled ops must count as promotions")
+	}
+	if got := ratRef(&z); got.Cmp(big.NewRat(15, 4)) != 0 {
+		t.Fatalf("disabled add = %s, want 15/4", got.RatString())
+	}
+}

@@ -67,6 +67,13 @@ type satSolver struct {
 
 	activity []float64
 	varInc   float64
+	// vheap/hpos: activity-ordered binary max-heap of branching candidates
+	// (MiniSat's order heap). Assigned variables are deleted lazily — popped
+	// and dropped by pickBranchVar, re-inserted when backjumping unassigns
+	// them — so decisions cost O(log n) instead of a scan over all
+	// variables. hpos[v] is v's index in vheap, -1 when absent.
+	vheap []int
+	hpos  []int
 
 	// phase holds the saved branching polarity per variable (valUnassigned
 	// = no preference, branch false-first). Minimize records each incumbent
@@ -105,6 +112,8 @@ func (s *satSolver) newVar() int {
 	s.phase = append(s.phase, valUnassigned)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.hpos = append(s.hpos, -1)
+	s.heapInsert(v)
 	return v
 }
 
@@ -348,11 +357,62 @@ func (s *satSolver) analyze(conflict []int) ([]int, int) {
 func (s *satSolver) bumpActivity(v int) {
 	s.activity[v] += s.varInc
 	if s.activity[v] > 1e100 {
+		// Uniform rescale preserves the heap order; no fixup needed.
 		for i := range s.activity {
 			s.activity[i] *= 1e-100
 		}
 		s.varInc *= 1e-100
 	}
+	if s.hpos[v] >= 0 {
+		s.siftUp(s.hpos[v])
+	}
+}
+
+// Order-heap plumbing: a plain indexed binary max-heap on activity.
+
+func (s *satSolver) heapSwap(i, j int) {
+	h := s.vheap
+	h[i], h[j] = h[j], h[i]
+	s.hpos[h[i]] = i
+	s.hpos[h[j]] = j
+}
+
+func (s *satSolver) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.activity[s.vheap[i]] <= s.activity[s.vheap[p]] {
+			return
+		}
+		s.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (s *satSolver) siftDown(i int) {
+	n := len(s.vheap)
+	for {
+		m := i
+		if l := 2*i + 1; l < n && s.activity[s.vheap[l]] > s.activity[s.vheap[m]] {
+			m = l
+		}
+		if r := 2*i + 2; r < n && s.activity[s.vheap[r]] > s.activity[s.vheap[m]] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.heapSwap(i, m)
+		i = m
+	}
+}
+
+func (s *satSolver) heapInsert(v int) {
+	if s.hpos[v] >= 0 {
+		return
+	}
+	s.hpos[v] = len(s.vheap)
+	s.vheap = append(s.vheap, v)
+	s.siftUp(s.hpos[v])
 }
 
 func (s *satSolver) decayActivity() { s.varInc /= 0.95 }
@@ -368,6 +428,7 @@ func (s *satSolver) backjump(level int) {
 		v := litVar(s.trail[i])
 		s.assign[v] = valUnassigned
 		s.reason[v] = -1
+		s.heapInsert(v)
 	}
 	s.trail = s.trail[:lim]
 	s.trailLim = s.trailLim[:level]
@@ -380,14 +441,27 @@ func (s *satSolver) backjump(level int) {
 	s.theory.popLevels(popN)
 }
 
+// pickBranchVar pops the highest-activity unassigned variable, discarding
+// stale (assigned) heap entries along the way, or returns -1 when every
+// variable is assigned.
 func (s *satSolver) pickBranchVar() int {
-	best, bestAct := -1, -1.0
-	for v := 0; v < s.nVars; v++ {
-		if s.assign[v] == valUnassigned && s.activity[v] > bestAct {
-			best, bestAct = v, s.activity[v]
+	for len(s.vheap) > 0 {
+		v := s.vheap[0]
+		last := len(s.vheap) - 1
+		if last > 0 {
+			s.vheap[0] = s.vheap[last]
+			s.hpos[s.vheap[0]] = 0
+		}
+		s.vheap = s.vheap[:last]
+		s.hpos[v] = -1
+		if last > 0 {
+			s.siftDown(0)
+		}
+		if s.assign[v] == valUnassigned {
+			return v
 		}
 	}
-	return best
+	return -1
 }
 
 // luby computes the Luby restart sequence value for index i (1-based).

@@ -126,10 +126,16 @@ type pairKey struct {
 	c1, c2 float64
 }
 
-// NewSolver returns an empty solver.
-func NewSolver() *Solver {
+// NewSolver returns an empty solver with a private workspace.
+func NewSolver() *Solver { return NewSolverWarm(nil) }
+
+// NewSolverWarm returns an empty solver backed by the given reusable
+// workspace (see WarmStart). Passing nil allocates a private one. The
+// workspace is reset and owned by the new solver: any previous solver using
+// it must be finished, and two live solvers must never share one.
+func NewSolverWarm(ws *WarmStart) *Solver {
 	s := &Solver{
-		sx:            newSimplex(),
+		sx:            newSimplex(ws),
 		dl:            newDiffLogic(),
 		atomBySig:     map[atomKey]int{},
 		atomOfVar:     map[int]atomRec{},
@@ -150,6 +156,12 @@ func NewSolver() *Solver {
 // only; must be called before the first Assert.
 func (s *Solver) DisableDiffLogic() { s.diffOff = true }
 
+// DisableDyadic forces every simplex value through exact *big.Rat,
+// bypassing the dyadic machine-word fast path — the pre-dyadic solver.
+// Differential-testing and ablation only; must be called before the first
+// Assert (values already admitted dyadically would stay dyadic).
+func (s *Solver) DisableDyadic() { s.sx.nst.disabled = true }
+
 // TierStats reports how theory work split across the two tiers.
 type TierStats struct {
 	// DiffAtoms and LinAtoms count interned atoms by classification:
@@ -168,6 +180,18 @@ type TierStats struct {
 	// SimplexTime is the wall-clock time spent inside the exact rational
 	// simplex (consistency checks, joint replays, objective minimization).
 	SimplexTime time.Duration
+	// Pivots counts simplex basis exchanges — the unit of tableau work.
+	Pivots int64
+	// DyadicPromotions counts arithmetic operations that left the dyadic
+	// machine-word fast path for exact big.Rat (overflow, non-dyadic
+	// division, or the fast path being disabled).
+	DyadicPromotions int64
+	// PeakRatBits is the largest numerator/denominator bit-length observed
+	// on any promoted result; 0 when no operation ever promoted.
+	PeakRatBits int
+	// RatBitsHist buckets promoted-result bit-lengths:
+	// <=64, <=128, <=256, <=512, <=1024, >1024.
+	RatBitsHist [6]int64
 }
 
 // TierStats returns the per-tier theory counters accumulated so far.
@@ -180,6 +204,11 @@ func (s *Solver) TierStats() TierStats {
 		DiffConflicts: s.dl.conflicts,
 		JointChecks:   s.jointChecks,
 		SimplexTime:   s.simplexTime,
+
+		Pivots:           s.sx.pivots,
+		DyadicPromotions: s.sx.nst.promotions,
+		PeakRatBits:      s.sx.nst.peakBits,
+		RatBitsHist:      s.sx.nst.bitsHist,
 	}
 }
 
@@ -830,6 +859,7 @@ func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, erro
 	}
 	s.sat.cancel = opt.Cancel
 	rootLB := math.Inf(-1)
+	tLoop := time.Now()
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		sat, err := s.sat.solve(opt.MaxConflicts)
 		if err != nil {
@@ -841,7 +871,7 @@ func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, erro
 		}
 		if !sat {
 			if debugTrace {
-				fmt.Printf("smt minimize: iter %d UNSAT, done\n", iter)
+				fmt.Printf("smt minimize: iter %d UNSAT, done (%v elapsed)\n", iter, time.Since(tLoop))
 			}
 			break
 		}
@@ -866,7 +896,7 @@ func (s *Solver) Minimize(obj LinExpr, opts ...MinimizeOpts) (*Model, bool, erro
 			val, _ = s.lastObjMin.Float64()
 		}
 		if debugTrace {
-			fmt.Printf("smt minimize: iter %d incumbent %.9g\n", iter, val+obj.Constant())
+			fmt.Printf("smt minimize: iter %d incumbent %.9g (%v elapsed)\n", iter, val+obj.Constant(), time.Since(tLoop))
 		}
 		m := s.snapshotModel()
 		m.Objective = val + obj.Constant()

@@ -1,0 +1,94 @@
+package smt
+
+// WarmStart is a reusable solver workspace: the tableau arena, recycled row
+// maps, and their embedded big.Rat allocations survive from one solver to
+// the next, so the partitioned engine's window solves (and any sequence of
+// solves on one goroutine) skip the per-solve allocation storm instead of
+// rebuilding every tableau from a cold heap. Attaching a WarmStart to a new
+// solver (NewSolverWarm) resets and takes ownership of the workspace —
+// the previous solver must be dead by then, and a WarmStart must never be
+// shared by two concurrently running solvers (core.SolvePool hands each
+// acquired slot its own handle).
+type WarmStart struct {
+	arena numArena
+	rows  rowPool
+}
+
+// NewWarmStart returns an empty reusable workspace.
+func NewWarmStart() *WarmStart { return &WarmStart{} }
+
+// reset recycles the workspace for a fresh solver: arena slots and pooled rows
+// become available again (their nums keep their big.Rat allocations for
+// reuse); nothing is returned to the garbage collector.
+func (ws *WarmStart) reset() {
+	ws.arena.reset()
+	ws.rows.reset()
+}
+
+// numArena hands out *num slots from block-allocated slabs, with a free
+// list fed by discarded tableau rows. reset() makes every slot available
+// again without freeing the slabs, so arena-heavy phases (pivoting) stop
+// paying allocator and GC cost after the first solve warms the pool.
+type numArena struct {
+	blocks [][]num
+	bi, i  int
+	free   []*num
+}
+
+const arenaBlock = 4096
+
+func (a *numArena) get() *num {
+	if n := len(a.free); n > 0 {
+		z := a.free[n-1]
+		a.free = a.free[:n-1]
+		return z
+	}
+	if a.bi == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]num, arenaBlock))
+	}
+	blk := a.blocks[a.bi]
+	z := &blk[a.i]
+	a.i++
+	if a.i == len(blk) {
+		a.bi++
+		a.i = 0
+	}
+	return z
+}
+
+// put returns a num whose owner (a discarded tableau row) is done with it.
+// The value is not cleared: the next get fully overwrites it, and a stale
+// rat pointer is exactly the allocation reuse the arena exists for.
+func (a *numArena) put(z *num) { a.free = append(a.free, z) }
+
+func (a *numArena) reset() {
+	a.bi, a.i = 0, 0
+	a.free = a.free[:0]
+}
+
+// rowPool recycles the entry slices backing tableau rows, which pivoting
+// creates and destroys on every basis exchange. Only capacity is reused;
+// a recycled slice always comes back with length zero.
+type rowPool struct {
+	free [][]rent
+}
+
+func (p *rowPool) get() []rent {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1][:0]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return make([]rent, 0, 8)
+}
+
+func (p *rowPool) put(r []rent) {
+	if cap(r) > 0 {
+		p.free = append(p.free, r[:0])
+	}
+}
+
+// reset is a no-op: slices already in free carry over to the next solver,
+// and slices still referenced by the dead tableau are dropped to the
+// collector (unlike arena nums, row capacity is cheap to regrow).
+func (p *rowPool) reset() {}

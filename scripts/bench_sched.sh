@@ -9,15 +9,22 @@
 # native-float difference-logic tier. simplex_share = simplex_ns_per_op /
 # ns_per_op — a true share on a single-core runner, but concurrently solved
 # windows can push it past 1.0 on multi-core machines (CPU vs wall time).
+# pivots_per_op / promotions_per_op track simplex work per schedule: basis
+# exchanges, and arithmetic ops that left the dyadic machine-word fast path.
+#
+# Each case runs BENCHTIME iterations (default 3x, not 1x) so ns_per_op is a
+# mean over several schedules instead of a single noisy sample; raise it via
+# the environment for tighter numbers on quiet machines.
 #
 # Usage: scripts/bench_sched.sh [output.json]   (default: BENCH_sched.json)
 set -e
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_sched.json}"
+benchtime="${BENCHTIME:-3x}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench '^BenchmarkSchedEngine$' -benchtime 1x -timeout 60m . | tee "$tmp"
+go test -run '^$' -bench '^BenchmarkSchedEngine$' -benchtime "$benchtime" -timeout 60m . | tee "$tmp"
 
 awk -v goversion="$(go version | awk '{print $3}')" '
 BEGIN {
@@ -29,10 +36,12 @@ BEGIN {
 	name = $1
 	sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
 	sub(/^BenchmarkSchedEngine\//, "", name)
-	ns = ""; simplex = ""
+	ns = ""; simplex = ""; pivots = ""; promotions = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "simplex_ns/op") simplex = $i
+		if ($(i + 1) == "pivots/op") pivots = $i
+		if ($(i + 1) == "promotions/op") promotions = $i
 	}
 	if (n++) printf ",\n"
 	printf "    {\"case\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
@@ -40,6 +49,8 @@ BEGIN {
 		share = (ns > 0) ? simplex / ns : 0
 		printf ", \"simplex_ns_per_op\": %.0f, \"simplex_share\": %.3f", simplex, share
 	}
+	if (pivots != "") printf ", \"pivots\": %.0f", pivots
+	if (promotions != "") printf ", \"promotions\": %.0f", promotions
 	printf "}"
 }
 END { printf "\n  ]\n}\n" }

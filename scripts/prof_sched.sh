@@ -1,0 +1,57 @@
+#!/bin/sh
+# prof_sched.sh — measure-first profiling harness for the SMT scheduler.
+#
+# Measure before optimizing: this script packages the workflow behind every
+# simplex optimization in this repo. It runs one BenchmarkSchedEngine case
+# under the Go CPU/heap profilers, then prints
+#
+#   1. the benchmark line (ns/op, simplex_ns/op, pivots/op, promotions/op,
+#      allocations),
+#   2. the top CPU consumers from the profile (is the wall arithmetic,
+#      tableau bookkeeping, or the SAT core?),
+#   3. the promotion rate — dyadic fast-path exits per pivot — and the
+#      promoted bit-length histogram from a -stats run of the same shape
+#      (are we paying for big-number arithmetic, and how wide is it?).
+#
+# The profiles stay on disk for interactive digging (go tool pprof).
+#
+# Usage: scripts/prof_sched.sh [case] [outdir]
+#   case    BenchmarkSchedEngine sub-case (default heavyhex:65/65q/monolithic)
+#   outdir  where cpu.prof/mem.prof/bench.txt land (default ./prof)
+set -e
+cd "$(dirname "$0")/.."
+case="${1:-heavyhex:65/65q/monolithic}"
+outdir="${2:-prof}"
+mkdir -p "$outdir"
+
+go test -run '^$' -bench "^BenchmarkSchedEngine\$/$case" -benchtime 1x -timeout 30m \
+	-cpuprofile "$outdir/cpu.prof" -memprofile "$outdir/mem.prof" -benchmem . \
+	| tee "$outdir/bench.txt"
+
+echo
+echo "== top CPU (${outdir}/cpu.prof) =="
+go tool pprof -top -nodecount=15 "$outdir/cpu.prof" | sed -n '/flat%/,$p'
+
+echo
+echo "== simplex work =="
+awk '/^BenchmarkSchedEngine\// {
+	for (i = 3; i < NF; i++) {
+		if ($(i + 1) == "pivots/op") pivots = $i
+		if ($(i + 1) == "promotions/op") promotions = $i
+		if ($(i + 1) == "simplex_ns/op") simplex = $i
+	}
+	if (pivots > 0)
+		printf "pivots: %.0f   promotions: %.0f   promotions/pivot: %.1f   ns/pivot: %.0f\n",
+			pivots, promotions, promotions / pivots, simplex / pivots
+}' "$outdir/bench.txt"
+
+# Bit-length histogram: re-run the same shape through the CLI, which surfaces
+# the promoted-operand histogram in its solver-effort line.
+spec="${case%%/*}"
+engine="${case##*/}"
+partition=""
+[ "$engine" = "partitioned" ] && partition="-partition"
+echo
+echo "== promoted-operand bit widths ($spec, $engine) =="
+go run ./cmd/xtalksched -device "$spec" -workload supremacy -budget 2s $partition 2>/dev/null \
+	| grep 'solver effort' || echo "(no solver line: schedule ran without SMT search)"
