@@ -1,0 +1,135 @@
+// Command xtalkcert certifies a served compilation artifact independently
+// of the daemon that produced it. It reads an artifact JSON document — the
+// body a running xtalkd returns from POST /compile — reconstructs the
+// executable timing of the compiled QASM under hardware execution semantics
+// (ASAP within barriers, one right-aligned readout slot), and runs the
+// internal/certify checker against the device model named by the artifact's
+// metadata. The claimed makespan and objective cost are then cross-checked
+// against the reconstruction.
+//
+// Usage:
+//
+//	curl -s localhost:8077/compile -d @prog.json | xtalkcert
+//	xtalkcert -in artifact.json -omega 0.5
+//	xtalkcert -in artifact.json -strict   # metadata drift is fatal too
+//
+// Exit status: 0 when the artifact certifies clean (and, with -strict, the
+// claimed metadata matches the reconstruction), 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"xtalk/internal/certify"
+	"xtalk/internal/device"
+	"xtalk/internal/qasm"
+)
+
+// artifactDoc is the subset of the daemon's /compile response (or any
+// equivalently shaped artifact dump) that certification needs.
+type artifactDoc struct {
+	Fingerprint string  `json:"fingerprint"`
+	Device      string  `json:"device"`
+	Seed        int64   `json:"seed"`
+	Day         int     `json:"day"`
+	Scheduler   string  `json:"scheduler"`
+	MakespanNS  float64 `json:"makespan_ns"`
+	Cost        float64 `json:"cost"`
+	QASM        string  `json:"qasm"`
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "artifact JSON file (default: stdin)")
+		omega     = flag.Float64("omega", 0.5, "crosstalk weight the daemon compiled with (for the cost cross-check)")
+		threshold = flag.Float64("threshold", 3, "high-crosstalk detection ratio for the re-derived pair set")
+		strict    = flag.Bool("strict", false, "treat claimed-metadata drift beyond -drift as a failure, not a warning")
+		drift     = flag.Float64("drift", 0.05, "relative drift tolerated between claimed and reconstructed makespan/cost")
+	)
+	flag.Parse()
+	if err := run(*in, *omega, *threshold, *strict, *drift); err != nil {
+		fmt.Fprintln(os.Stderr, "xtalkcert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, omega, threshold float64, strict bool, drift float64) error {
+	var raw []byte
+	var err error
+	if in == "" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(in)
+	}
+	if err != nil {
+		return err
+	}
+	var doc artifactDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("artifact JSON: %w", err)
+	}
+	if doc.QASM == "" {
+		return fmt.Errorf("artifact carries no qasm payload")
+	}
+	if doc.Device == "" {
+		return fmt.Errorf("artifact names no device")
+	}
+	circ, err := qasm.Parse(doc.QASM)
+	if err != nil {
+		return fmt.Errorf("artifact QASM does not parse: %w", err)
+	}
+	dev, err := device.NewFromSpecForDay(doc.Device, doc.Seed, doc.Day)
+	if err != nil {
+		return fmt.Errorf("artifact device model: %w", err)
+	}
+
+	s := certify.ReconstructASAP(circ, dev)
+	rep := certify.Check(s, certify.Config{Omega: omega, Threshold: threshold})
+	label := doc.Fingerprint
+	if len(label) > 12 {
+		label = label[:12]
+	}
+	fmt.Printf("artifact %s (%s on %s, seed %d, day %d)\n",
+		label, doc.Scheduler, doc.Device, doc.Seed, doc.Day)
+	fmt.Print(rep.String())
+	if !rep.OK() {
+		return fmt.Errorf("artifact failed certification")
+	}
+	fmt.Println()
+
+	// Metadata cross-check. The daemon reports the engine schedule's
+	// numbers; the reconstruction replays the barriered program, whose
+	// timing can legitimately differ slightly (barriers cannot express
+	// every alignment gap), so drift is a warning unless -strict.
+	ok := true
+	for _, chk := range []struct {
+		name             string
+		claimed, rebuilt float64
+	}{
+		{"makespan", doc.MakespanNS, rep.Makespan},
+		{"cost", doc.Cost, rep.CostFloat},
+	} {
+		rel := 0.0
+		if base := math.Max(math.Abs(chk.claimed), math.Abs(chk.rebuilt)); base > 0 {
+			rel = math.Abs(chk.claimed-chk.rebuilt) / base
+		}
+		status := "ok"
+		if rel > drift {
+			status = "DRIFT"
+			if strict {
+				ok = false
+			}
+		}
+		fmt.Printf("%-8s claimed %.6g, reconstructed %.6g (rel drift %.2g%%) %s\n",
+			chk.name, chk.claimed, chk.rebuilt, 100*rel, status)
+	}
+	if !ok {
+		return fmt.Errorf("claimed metadata drifts beyond %.2g%%", 100*drift)
+	}
+	return nil
+}

@@ -50,6 +50,7 @@ func main() {
 		cacheMB   = flag.Int64("cache-mb", 64, "artifact cache size bound in MiB")
 		queue     = flag.Int("queue", 0, "max concurrent cold compilations (0 = GOMAXPROCS)")
 		workers   = flag.Int("workers", 0, "SMT solve pool width per device pipeline (0 = GOMAXPROCS)")
+		doCertify = flag.Bool("certify", false, "run the independent schedule certifier on every compile (violations fail the request)")
 	)
 	flag.Parse()
 	if err := run(*addr, serve.Config{
@@ -65,6 +66,7 @@ func main() {
 			Route:          *route,
 			DecomposeSwaps: *decompose,
 			Workers:        *workers,
+			Certify:        *doCertify,
 		},
 		CacheBytes:    *cacheMB << 20,
 		MaxConcurrent: *queue,

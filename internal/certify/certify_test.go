@@ -1,0 +1,468 @@
+package certify_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xtalk/internal/certify"
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+)
+
+// pickCrosstalkPair returns one high-crosstalk edge pair of the device, so
+// tests can build circuits with a guaranteed CanOlp pair.
+func pickCrosstalkPair(t *testing.T, dev *device.Device) device.EdgePair {
+	t.Helper()
+	pairs := dev.Cal.HighCrosstalkPairs(3)
+	if len(pairs) == 0 {
+		t.Fatal("test device has no high-crosstalk pairs")
+	}
+	return pairs[0]
+}
+
+// xtalkCircuit builds a small circuit containing a CNOT on each edge of a
+// known high-crosstalk pair plus measures, on the given device.
+func xtalkCircuit(t *testing.T, dev *device.Device) *circuit.Circuit {
+	t.Helper()
+	p := pickCrosstalkPair(t, dev)
+	c := circuit.New(dev.Topo.NQubits)
+	c.U2(p.First.A, 0, math.Pi)
+	c.CNOT(p.First.A, p.First.B)
+	c.CNOT(p.Second.A, p.Second.B)
+	c.CNOT(p.First.A, p.First.B)
+	c.Measure(p.First.A)
+	c.Measure(p.Second.B)
+	return c
+}
+
+// certifyWith runs the certifier against a schedule with the claimed cost
+// cross-checked, returning the report.
+func certifyWith(s *core.Schedule, nd *core.NoiseData, omega float64, alignment bool) *certify.Report {
+	return certify.Check(s, certify.Config{
+		Omega:          omega,
+		Threshold:      3,
+		CheckAlignment: alignment,
+		CheckCost:      true,
+		ClaimedCost:    s.Cost(nd, omega),
+	})
+}
+
+// TestCertifyAllEngines certifies the output of every engine on a circuit
+// with a live crosstalk pair. Exact engines additionally pass the Eq. 11-13
+// alignment check; the greedy/baseline engines are certified without it.
+func TestCertifyAllEngines(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	c := xtalkCircuit(t, dev)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	const omega = 0.5
+	cfg := core.XtalkConfig{Omega: omega}
+
+	engines := []struct {
+		name      string
+		sched     core.Scheduler
+		alignment bool
+	}{
+		{"serial", core.SerialSched{}, false},
+		{"parallel", core.ParSched{}, false},
+		{"greedy", &core.HeuristicXtalkSched{Noise: nd, Omega: omega}, false},
+		{"monolithic", core.NewXtalkSched(nd, cfg), true},
+		{"partitioned", core.NewPartitionedXtalkSched(nd, cfg, core.PartitionOpts{}), true},
+		{"portfolio", core.NewPortfolioSched(nd, cfg, core.PartitionOpts{}), false},
+	}
+	for _, e := range engines {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			s, err := e.sched.Schedule(c, dev)
+			if err != nil {
+				t.Fatalf("%s failed to schedule: %v", e.name, err)
+			}
+			r := certifyWith(s, nd, omega, e.alignment)
+			if !r.OK() {
+				t.Fatalf("%s schedule failed certification:\n%s", e.name, r.String())
+			}
+			if r.Err() != nil {
+				t.Fatalf("Err() non-nil on clean report: %v", r.Err())
+			}
+			if r.Pairs == 0 {
+				t.Fatalf("%s: certifier re-derived no crosstalk pairs for a circuit built around one", e.name)
+			}
+			if math.Abs(r.Makespan-s.Makespan()) > 1e-6 {
+				t.Fatalf("%s: recomputed makespan %v != schedule makespan %v", e.name, r.Makespan, s.Makespan())
+			}
+			if !strings.Contains(r.String(), "certified") {
+				t.Fatalf("clean report string %q lacks 'certified'", r.String())
+			}
+		})
+	}
+}
+
+// TestNegativeMutations is the certifier's own negative suite: each
+// hand-mutated schedule must produce exactly the expected violation kind.
+// The checker is only trustworthy if its failures are tested.
+func TestNegativeMutations(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	const omega = 0.5
+
+	// Base schedule: exact monolithic SMT on the crosstalk circuit,
+	// verified clean before mutation.
+	base := func(t *testing.T) *core.Schedule {
+		t.Helper()
+		c := xtalkCircuit(t, dev)
+		s, err := core.NewXtalkSched(nd, core.XtalkConfig{Omega: omega}).Schedule(c, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := certifyWith(s, nd, omega, true); !r.OK() {
+			t.Fatalf("base schedule not clean:\n%s", r.String())
+		}
+		return s
+	}
+	// gateOn returns the ID of the i-th gate satisfying pred.
+	gateOn := func(s *core.Schedule, pred func(circuit.Gate) bool) int {
+		for _, g := range s.Circ.Gates {
+			if pred(g) {
+				return g.ID
+			}
+		}
+		t.Fatal("no gate matches predicate")
+		return -1
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, s *core.Schedule) certify.Config
+		want   certify.Kind
+	}{
+		{
+			// Shift a dependent gate left so it starts before its
+			// predecessor finishes.
+			name: "shifted-gate",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				id := gateOn(s, func(g circuit.Gate) bool { return g.ID > 0 && g.Kind.IsTwoQubit() })
+				s.Start[id] = 0 // collides with the 1q gate feeding it
+				return certify.Config{Omega: omega}
+			},
+			want: certify.Precedence,
+		},
+		{
+			// Overlap two independent gates on one qubit: the certifier
+			// must flag the exclusivity breach even though neither is the
+			// other's dependency.
+			name: "qubit-overlap",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				// Fresh circuit: two CNOTs on disjoint edges plus a
+				// third sharing a qubit with the first, timed on top of
+				// it without a dependency path being violated first.
+				p := pickCrosstalkPair(t, dev)
+				c := circuit.New(dev.Topo.NQubits)
+				a := c.CNOT(p.First.A, p.First.B)
+				b := c.CNOT(p.Second.A, p.Second.B)
+				*s = core.Schedule{
+					Circ:  c,
+					Dev:   dev,
+					Start: make([]float64, len(c.Gates)), Duration: make([]float64, len(c.Gates)),
+					Scheduler: "mutant",
+				}
+				s.Duration[a] = dev.GateDuration(true, false, c.Gates[a].Qubits)
+				s.Duration[b] = dev.GateDuration(true, false, c.Gates[b].Qubits)
+				// Rewrite gate b's qubits to overlap gate a's qubit — the
+				// "swapped qubits" mutation: schedule timing was computed
+				// for disjoint edges, the circuit now shares a qubit.
+				c.Gates[b].Qubits = []int{p.First.A, c.Gates[b].Qubits[1]}
+				s.Start[b] = s.Start[a] // same instant, shared qubit
+				return certify.Config{Omega: omega}
+			},
+			want: certify.QubitOverlap,
+		},
+		{
+			// Break a barrier: a gate ordered after a barrier jumps before
+			// it. The barrier edge is a precedence edge like any other.
+			name: "broken-barrier",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				p := pickCrosstalkPair(t, dev)
+				c := circuit.New(dev.Topo.NQubits)
+				a := c.CNOT(p.First.A, p.First.B)
+				c.Barrier(p.First.A, p.First.B)
+				b := c.CNOT(p.First.A, p.First.B)
+				sched, err := core.SerialSched{}.Schedule(c, dev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				*s = *sched
+				s.Start[b] = s.Start[a] + 1 // jumps the barrier
+				return certify.Config{Omega: omega}
+			},
+			want: certify.Precedence,
+		},
+		{
+			name: "negative-start",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				s.Start[gateOn(s, func(g circuit.Gate) bool { return g.ID == 0 })] = -5
+				return certify.Config{Omega: omega}
+			},
+			want: certify.NegativeStart,
+		},
+		{
+			// Understate the duration of a gate: every downstream check
+			// would silently pass on the shrunken interval, so the device
+			// model cross-check has to catch it.
+			name: "bad-duration",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				id := gateOn(s, func(g circuit.Gate) bool { return g.Kind.IsTwoQubit() })
+				s.Duration[id] /= 2
+				return certify.Config{Omega: omega}
+			},
+			want: certify.BadDuration,
+		},
+		{
+			// Desynchronize one readout from the common slot.
+			name: "readout-desync",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				id := gateOn(s, func(g circuit.Gate) bool { return g.Kind == circuit.KindMeasure })
+				s.Start[id] += 100
+				return certify.Config{Omega: omega}
+			},
+			want: certify.ReadoutDesync,
+		},
+		{
+			// Measure a qubit twice. Structurally a circuit bug, but the
+			// certifier sees only the schedule — it must reject it.
+			name: "double-measure",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				c := circuit.New(2)
+				c.Measure(0)
+				c.Measure(0)
+				sched := certify.ReconstructASAP(c, dev)
+				*s = *sched
+				return certify.Config{Omega: omega}
+			},
+			want: certify.DoubleMeasure,
+		},
+		{
+			// Slide one CNOT of a crosstalk pair to overlap its partner
+			// partially: legal for greedy engines, illegal under the
+			// alignment rule exact SMT promises.
+			name: "partial-overlap",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				p := pickCrosstalkPair(t, dev)
+				c := circuit.New(dev.Topo.NQubits)
+				a := c.CNOT(p.First.A, p.First.B)
+				b := c.CNOT(p.Second.A, p.Second.B)
+				*s = *certify.ReconstructASAP(c, dev)
+				// Same start would be nested or equal; shift b by half of
+				// a's width so the two intervals cross.
+				s.Start[b] = s.Start[a] + s.Duration[a]/2
+				return certify.Config{Omega: omega, CheckAlignment: true}
+			},
+			want: certify.PartialOverlap,
+		},
+		{
+			// Understate the claimed cost.
+			name: "understated-cost",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				claimed := s.Cost(nd, omega)
+				return certify.Config{Omega: omega, CheckCost: true, ClaimedCost: claimed * 0.9}
+			},
+			want: certify.CostMismatch,
+		},
+		{
+			name: "malformed-arrays",
+			mutate: func(t *testing.T, s *core.Schedule) certify.Config {
+				s.Start = s.Start[:len(s.Start)-1]
+				return certify.Config{Omega: omega}
+			},
+			want: certify.Malformed,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := base(t)
+			cfg := tc.mutate(t, s)
+			r := certify.Check(s, cfg)
+			if r.OK() {
+				t.Fatalf("mutation %s certified clean", tc.name)
+			}
+			found := false
+			for _, v := range r.Violations {
+				if v.Kind == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("mutation %s: want a %s violation, got:\n%s", tc.name, tc.want, r.String())
+			}
+			if err := r.Err(); err == nil || !strings.Contains(err.Error(), "certification") {
+				t.Fatalf("dirty report Err() = %v", err)
+			}
+		})
+	}
+}
+
+// TestViolationStrings pins the stable kind names and the one-line render.
+func TestViolationStrings(t *testing.T) {
+	names := map[certify.Kind]string{
+		certify.Malformed:      "malformed",
+		certify.NegativeStart:  "negative-start",
+		certify.BadDuration:    "bad-duration",
+		certify.Precedence:     "precedence",
+		certify.QubitOverlap:   "qubit-overlap",
+		certify.DoubleMeasure:  "double-measure",
+		certify.ReadoutDesync:  "readout-desync",
+		certify.PartialOverlap: "partial-overlap",
+		certify.CostMismatch:   "cost-mismatch",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if got := (certify.Kind(99)).String(); got != "kind(99)" {
+		t.Fatalf("unknown kind renders %q", got)
+	}
+	v := certify.Violation{Kind: certify.Precedence, Gate: 3, Other: 1, Qubit: 2, Detail: "late"}
+	if got := v.String(); got != "precedence gate=3 other=1 qubit=2: late" {
+		t.Fatalf("violation renders %q", got)
+	}
+}
+
+// TestCheckNilInputs: the certifier must never panic on garbage.
+func TestCheckNilInputs(t *testing.T) {
+	for _, s := range []*core.Schedule{
+		nil,
+		{},
+		{Circ: circuit.New(1)},
+	} {
+		r := certify.Check(s, certify.Config{})
+		if r.OK() {
+			t.Fatalf("nil-ish schedule %+v certified clean", s)
+		}
+		if r.Violations[0].Kind != certify.Malformed {
+			t.Fatalf("want malformed, got %s", r.Violations[0])
+		}
+	}
+	// Qubit out of range and bad gate ID are also structural.
+	dev := device.MustNew(device.Boeblingen, 1)
+	c := circuit.New(3)
+	c.CNOT(0, 1)
+	c.Gates[0].Qubits = []int{0, 7}
+	s := &core.Schedule{Circ: c, Dev: dev, Start: make([]float64, 1), Duration: make([]float64, 1)}
+	if r := certify.Check(s, certify.Config{}); r.OK() || r.Violations[0].Kind != certify.Malformed {
+		t.Fatalf("out-of-range qubit not flagged: %+v", r.Violations)
+	}
+	c2 := circuit.New(3)
+	c2.CNOT(0, 1)
+	c2.Gates[0].Qubits = []int{1, 1}
+	s2 := &core.Schedule{Circ: c2, Dev: dev, Start: make([]float64, 1), Duration: make([]float64, 1)}
+	if r := certify.Check(s2, certify.Config{}); r.OK() || r.Violations[0].Kind != certify.Malformed {
+		t.Fatalf("duplicate qubit operand not flagged: %+v", r.Violations)
+	}
+}
+
+// TestReconstructASAP: the reconstruction of a barriered circuit certifies
+// clean, places measures in one right-aligned slot, and respects barriers.
+func TestReconstructASAP(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	p := pickCrosstalkPair(t, dev)
+	c := circuit.New(dev.Topo.NQubits)
+	a := c.CNOT(p.First.A, p.First.B)
+	c.Barrier(p.First.A, p.First.B, p.Second.A, p.Second.B)
+	b := c.CNOT(p.Second.A, p.Second.B)
+	m1 := c.Measure(p.First.A)
+	m2 := c.Measure(p.Second.B)
+	s := certify.ReconstructASAP(c, dev)
+	if s.Scheduler != "asap-reconstructed" {
+		t.Fatalf("scheduler tag %q", s.Scheduler)
+	}
+	r := certify.Check(s, certify.Config{Omega: 0.5, CheckAlignment: true})
+	if !r.OK() {
+		t.Fatalf("reconstruction failed certification:\n%s", r.String())
+	}
+	if s.Start[b] < s.Start[a]+s.Duration[a]-1e-9 {
+		t.Fatalf("barrier not respected: b starts %v, a finishes %v", s.Start[b], s.Start[a]+s.Duration[a])
+	}
+	if s.Start[m1] != s.Start[m2] {
+		t.Fatalf("measures not in one slot: %v vs %v", s.Start[m1], s.Start[m2])
+	}
+	unitaryEnd := s.Start[b] + s.Duration[b]
+	if s.Start[m1] != unitaryEnd {
+		t.Fatalf("readout slot %v not right-aligned to unitary end %v", s.Start[m1], unitaryEnd)
+	}
+}
+
+// TestNoiseFromDeviceMatchesDetectionRule: the certifier's independent
+// re-derivation must agree with the calibration's own threshold sweep.
+func TestNoiseFromDeviceMatchesDetectionRule(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 3)
+	nm := certify.NoiseFromDevice(dev, 3)
+	want := dev.Cal.HighCrosstalkPairs(3)
+	for _, p := range want {
+		if !nm.IsHighCrosstalkPair(p.First, p.Second) {
+			t.Fatalf("pair %s missed by certifier noise model", p)
+		}
+	}
+	// And nothing below threshold sneaks in: count directed entries.
+	directed := 0
+	for gi, m := range nm.Conditional {
+		for gj, cond := range m {
+			directed++
+			if cond <= 3*dev.Cal.Gates[gi].Error {
+				t.Fatalf("below-threshold pair (%s|%s) retained", gi, gj)
+			}
+		}
+	}
+	if directed == 0 {
+		t.Fatal("no conditional entries re-derived")
+	}
+	if len(nm.Coherence) != dev.Topo.NQubits {
+		t.Fatalf("coherence vector sized %d for %d qubits", len(nm.Coherence), dev.Topo.NQubits)
+	}
+}
+
+// TestRatCostMatchesFloatCost: on clean schedules the big.Rat recomputation
+// agrees with the engine's float evaluation to float tolerance — the exact
+// sum certifies the inexact one.
+func TestRatCostMatchesFloatCost(t *testing.T) {
+	dev := device.MustNew(device.Boeblingen, 2)
+	nd := core.NoiseDataFromDevice(dev, 3)
+	c := xtalkCircuit(t, dev)
+	for _, omega := range []float64{0, 0.5, 1} {
+		s, err := (&core.HeuristicXtalkSched{Noise: nd, Omega: omega}).Schedule(c, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := certify.Check(s, certify.Config{Omega: omega})
+		want := s.Cost(nd, omega)
+		if math.Abs(r.CostFloat-want) > 1e-9+1e-6*math.Abs(want) {
+			t.Fatalf("omega=%v: rat cost %.17g vs float cost %.17g", omega, r.CostFloat, want)
+		}
+		if r.Cost == nil {
+			t.Fatal("report lacks exact cost")
+		}
+	}
+}
+
+// TestBarrierBetweenMeasuresCertifies: the QASM emitter interleaves
+// zero-width barriers between the readouts of the common slot
+// ("measure; barrier; measure"), so re-parsed served artifacts contain
+// barriers whose same-qubit predecessor is a measure. Those barriers align
+// with the readout slot's start — they must not be flagged as precedence
+// violations against the measure's 3500 ns finish.
+func TestBarrierBetweenMeasuresCertifies(t *testing.T) {
+	dev := device.MustNew(device.Boeblingen, 1)
+	c := circuit.New(4)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.Barrier(0, 1)
+	c.Measure(0)
+	c.Barrier(0, 1)
+	c.Measure(1)
+	s := certify.ReconstructASAP(c, dev)
+	rep := certify.Check(s, certify.Config{Omega: 0.5, Threshold: 3})
+	if !rep.OK() {
+		t.Fatalf("barrier-between-measures shape failed certification:\n%s", rep.String())
+	}
+}

@@ -1,0 +1,103 @@
+package certify_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCertifierIndependence enforces the certifier's trust contract at the
+// source level: the non-test files of internal/certify may import only the
+// standard library plus the repository's pure data-type packages (circuit,
+// device) and the core package — and from core, only the Schedule container
+// type. A certifier that imported the SMT solver or called engine
+// scheduling code would be checking the engines with the engines.
+func TestCertifierIndependence(t *testing.T) {
+	allowedInternal := map[string]bool{
+		"xtalk/internal/circuit": true,
+		"xtalk/internal/device":  true,
+		"xtalk/internal/core":    true,
+	}
+	// The only identifiers the certifier may reference from the core
+	// package. Schedule is the data container under certification; nothing
+	// else — no schedulers, no NoiseData, no solver stats.
+	allowedCoreIdents := map[string]bool{
+		"Schedule": true,
+	}
+
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	audited := 0
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		audited++
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		coreAlias := ""
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: import %s: %v", name, imp.Path.Value, err)
+			}
+			if path == "xtalk/internal/smt" {
+				t.Fatalf("%s imports xtalk/internal/smt — the certifier must not share solver code with the engines it checks", name)
+			}
+			if strings.HasPrefix(path, "xtalk/") && !allowedInternal[path] {
+				t.Fatalf("%s imports %s, outside the certifier's allowlist %v", name, path, keys(allowedInternal))
+			}
+			if path == "xtalk/internal/core" {
+				coreAlias = "core"
+				if imp.Name != nil {
+					coreAlias = imp.Name.Name
+				}
+			}
+		}
+		if coreAlias == "" {
+			continue
+		}
+		// Every reference into core must be an allowlisted data type.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || ident.Name != coreAlias || ident.Obj != nil {
+				return true
+			}
+			if !allowedCoreIdents[sel.Sel.Name] {
+				pos := fset.Position(sel.Pos())
+				t.Errorf("%s:%d references %s.%s — only %v of the core package may be used",
+					name, pos.Line, coreAlias, sel.Sel.Name, keys(allowedCoreIdents))
+			}
+			return true
+		})
+	}
+	if audited == 0 {
+		t.Fatal("audit found no non-test source files to inspect")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package certify
+
+import (
+	"xtalk/internal/circuit"
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+)
+
+// ReconstructASAP rebuilds the executable timing of a compiled circuit —
+// typically one parsed back from a served artifact's QASM — under the
+// hardware's execution semantics: every gate starts as soon as its qubits
+// are free (barriers synchronize their qubits at zero width), and all
+// measurements fire together in one right-aligned readout slot after the
+// last unitary. This is exactly how an IBMQ-style backend executes a
+// barriered program, so certifying the reconstruction certifies what the
+// artifact will actually do on hardware, independent of whichever engine
+// produced it.
+//
+// The returned schedule carries the Scheduler tag "asap-reconstructed".
+func ReconstructASAP(c *circuit.Circuit, dev *device.Device) *core.Schedule {
+	s := &core.Schedule{
+		Circ:      c,
+		Dev:       dev,
+		Start:     make([]float64, len(c.Gates)),
+		Duration:  make([]float64, len(c.Gates)),
+		Scheduler: "asap-reconstructed",
+	}
+	avail := make([]float64, c.NQubits)
+	var measures []int
+	for _, g := range c.Gates {
+		s.Duration[g.ID] = modelDuration(dev, g)
+		if g.Kind == circuit.KindMeasure {
+			measures = append(measures, g.ID)
+			continue
+		}
+		start := 0.0
+		for _, q := range g.Qubits {
+			if q >= 0 && q < c.NQubits && avail[q] > start {
+				start = avail[q]
+			}
+		}
+		s.Start[g.ID] = start
+		for _, q := range g.Qubits {
+			if q >= 0 && q < c.NQubits {
+				avail[q] = start + s.Duration[g.ID]
+			}
+		}
+	}
+	slot := 0.0
+	for _, t := range avail {
+		if t > slot {
+			slot = t
+		}
+	}
+	for _, id := range measures {
+		s.Start[id] = slot
+	}
+	return s
+}

@@ -44,6 +44,9 @@ func (SerialSched) Name() string { return "SerialSched" }
 
 // Schedule implements Scheduler.
 func (SerialSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	if err := ValidateMeasures(c); err != nil {
+		return nil, err
+	}
 	s := newSchedule(c, dev, "SerialSched")
 	t := 0.0
 	for _, g := range c.Gates {
@@ -67,6 +70,9 @@ func (ParSched) Name() string { return "ParSched" }
 
 // Schedule implements Scheduler.
 func (ParSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	if err := ValidateMeasures(c); err != nil {
+		return nil, err
+	}
 	s := newSchedule(c, dev, "ParSched")
 	// Pass 1 (ASAP) to find the minimal makespan of the unitary portion.
 	avail := make([]float64, c.NQubits)

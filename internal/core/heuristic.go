@@ -21,6 +21,9 @@ func (h *HeuristicXtalkSched) Name() string { return "HeuristicXtalkSched" }
 
 // Schedule implements Scheduler.
 func (h *HeuristicXtalkSched) Schedule(c *circuit.Circuit, dev *device.Device) (*Schedule, error) {
+	if err := ValidateMeasures(c); err != nil {
+		return nil, err
+	}
 	s := newSchedule(c, dev, h.Name())
 	ids := make([]int, len(c.Gates))
 	for i := range ids {

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"xtalk/internal/circuit"
+)
+
+// ValidateMeasures rejects circuits that cannot be scheduled under the
+// IBMQ readout model, with an error that names the offending gates. Every
+// scheduler in this package shares one hard constraint: all readouts fire
+// together in a single simultaneous slot at the end of the schedule. A
+// qubit measured twice would need to occupy that slot twice, and a gate
+// acting on a qubit after its measurement would have to run after the end
+// — both used to surface deep inside the engines as an opaque
+// "constraints unsatisfiable" (monolithic) or an invalid schedule caught
+// only by post-validation (partitioned). Checking upfront turns them into
+// actionable input errors.
+func ValidateMeasures(c *circuit.Circuit) error {
+	measured := make(map[int]int)
+	for _, g := range c.Gates {
+		switch {
+		case g.Kind == circuit.KindMeasure:
+			q := g.Qubits[0]
+			if prev, ok := measured[q]; ok {
+				return fmt.Errorf(
+					"qubit %d measured more than once (gates %d and %d): all readouts share one simultaneous end-of-schedule slot, so each qubit can be measured at most once",
+					q, prev, g.ID)
+			}
+			measured[q] = g.ID
+		case g.Kind == circuit.KindBarrier:
+			// Barriers are zero-width and may follow measures.
+		default:
+			for _, q := range g.Qubits {
+				if prev, ok := measured[q]; ok {
+					return fmt.Errorf(
+						"gate %d acts on qubit %d after its measurement (gate %d): readout ends a qubit's timeline under the simultaneous-readout model",
+						g.ID, q, prev)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xtalk/internal/circuit"
+	"xtalk/internal/device"
+)
+
+// doubleMeasureCircuit measures qubit 0 twice around an otherwise valid
+// two-qubit program — the shape that used to surface as an opaque
+// "constraints unsatisfiable" from the monolithic engine and as a
+// post-validation failure from the partitioned one.
+func doubleMeasureCircuit() *circuit.Circuit {
+	c := circuit.New(4)
+	c.H(0)
+	c.CNOT(0, 1)
+	c.Measure(0)
+	c.Measure(1)
+	c.Measure(0)
+	return c
+}
+
+// TestDoubleMeasureRejectedByAllEngines: every scheduler in the package must
+// reject a double-measured qubit upfront with an error that names the qubit
+// and the offending gates, rather than hanging in the solver or emitting an
+// invalid schedule.
+func TestDoubleMeasureRejectedByAllEngines(t *testing.T) {
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	xc := XtalkConfig{Omega: 0.5}
+	engines := []struct {
+		name  string
+		sched Scheduler
+	}{
+		{"serial", SerialSched{}},
+		{"parallel", ParSched{}},
+		{"greedy", &HeuristicXtalkSched{Noise: nd, Omega: 0.5}},
+		{"monolithic", NewXtalkSched(nd, xc)},
+		{"partitioned", NewPartitionedXtalkSched(nd, xc, PartitionOpts{})},
+		{"portfolio", NewPortfolioSched(nd, xc, PartitionOpts{})},
+	}
+	for _, e := range engines {
+		t.Run(e.name, func(t *testing.T) {
+			s, err := e.sched.Schedule(doubleMeasureCircuit(), dev)
+			if err == nil {
+				t.Fatalf("%s scheduled a double-measured qubit: %v", e.name, s.Start)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "measured more than once") || !strings.Contains(msg, "qubit 0") {
+				t.Fatalf("%s error does not diagnose the double measure: %q", e.name, msg)
+			}
+		})
+	}
+}
+
+// TestGateAfterMeasureRejected: a unitary on an already-measured qubit is the
+// sibling failure mode under the simultaneous-readout model.
+func TestGateAfterMeasureRejected(t *testing.T) {
+	c := circuit.New(3)
+	c.CNOT(0, 1)
+	c.Measure(1)
+	c.H(1)
+	dev := device.MustNew(device.Poughkeepsie, 1)
+	nd := NoiseDataFromDevice(dev, 3)
+	_, err := NewXtalkSched(nd, XtalkConfig{Omega: 0.5}).Schedule(c, dev)
+	if err == nil {
+		t.Fatal("gate after measure was scheduled")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "after its measurement") {
+		t.Fatalf("error does not diagnose gate-after-measure: %q", msg)
+	}
+}
+
+// TestValidateMeasuresAllowsBarriers: barriers are zero-width scheduling
+// markers and legitimately follow measures (the QASM emitter places them).
+func TestValidateMeasuresAllowsBarriers(t *testing.T) {
+	c := circuit.New(2)
+	c.CNOT(0, 1)
+	c.Measure(0)
+	c.Barrier()
+	c.Measure(1)
+	if err := ValidateMeasures(c); err != nil {
+		t.Fatalf("barrier after measure rejected: %v", err)
+	}
+}

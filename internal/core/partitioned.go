@@ -146,6 +146,9 @@ func (p *PartitionedXtalkSched) ScheduleContext(ctx context.Context, c *circuit.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := ValidateMeasures(c); err != nil {
+		return nil, err
+	}
 	part := PartitionCircuit(c, p.Noise, p.Opts.MaxWindowGates)
 	mono := &XtalkSched{Noise: p.Noise, Config: p.Config}
 	if part.Monolithic() {

@@ -126,6 +126,9 @@ func (x *XtalkSched) ScheduleContext(ctx context.Context, c *circuit.Circuit, de
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := ValidateMeasures(c); err != nil {
+		return nil, err
+	}
 	sched := newSchedule(c, dev, x.Name())
 	st, err := x.solveGates(ctx, c, sched, nil, x.Config.Timeout, nil)
 	if err != nil {

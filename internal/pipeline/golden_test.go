@@ -1,0 +1,232 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xtalk/internal/core"
+	"xtalk/internal/device"
+)
+
+// goldenFile pins the full observable outcome of six small fixed compiles:
+// content-address fingerprint, realized Eq. 17 cost, makespan and scheduler
+// tag. Any engine, encoding, canonicalization or fingerprint-recipe change
+// that moves these numbers must be a conscious decision, not an accident.
+const goldenFile = "testdata/golden.json"
+
+type goldenRecord struct {
+	Name        string  `json:"name"`
+	Fingerprint string  `json:"fingerprint"`
+	Scheduler   string  `json:"scheduler"`
+	Cost        float64 `json:"cost"`
+	Makespan    float64 `json:"makespan_ns"`
+}
+
+// goldenCase is one fixed (circuit, device, seed, engine) compile. Sources
+// are OpenQASM so the cases also pin the parse + canonicalize + route front
+// end, not just the scheduler.
+type goldenCase struct {
+	name   string
+	device string
+	seed   int64
+	source string
+	cfg    Config
+	// sched optionally overrides the request scheduler (nil = the cfg's
+	// default engine).
+	sched func(dev *device.Device, nd *core.NoiseData) core.Scheduler
+}
+
+const goldenQASMPoughkeepsie = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[20];
+creg c[2];
+h q[5];
+cx q[5],q[10];
+cx q[11],q[12];
+cx q[5],q[10];
+measure q[10] -> c[0];
+measure q[12] -> c[1];
+`
+
+const goldenQASMRing = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+cx q[2],q[3];
+cx q[4],q[0];
+barrier q[0],q[1],q[2],q[3],q[4];
+cx q[1],q[2];
+measure q[1] -> c[0];
+measure q[2] -> c[1];
+measure q[3] -> c[2];
+`
+
+const goldenQASMGrid = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[2];
+u1(0.3) q[0];
+cx q[0],q[1];
+cx q[4],q[5];
+cx q[2],q[3];
+measure q[1] -> c[0];
+measure q[4] -> c[1];
+`
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{
+			name:   "poughkeepsie-monolithic",
+			device: "poughkeepsie", seed: 1,
+			source: goldenQASMPoughkeepsie,
+			cfg:    Config{Omega: 0.5},
+		},
+		{
+			name:   "poughkeepsie-partitioned",
+			device: "poughkeepsie", seed: 1,
+			source: goldenQASMPoughkeepsie,
+			cfg:    Config{Omega: 0.5, Partition: true},
+		},
+		{
+			name:   "poughkeepsie-portfolio",
+			device: "poughkeepsie", seed: 1,
+			source: goldenQASMPoughkeepsie,
+			cfg:    Config{Omega: 0.5, Portfolio: true},
+		},
+		{
+			name:   "ring5-monolithic-omega25",
+			device: "ring:5", seed: 3,
+			source: goldenQASMRing,
+			cfg:    Config{Omega: 0.25},
+		},
+		{
+			name:   "grid2x3-greedy",
+			device: "grid:2x3", seed: 2,
+			source: goldenQASMGrid,
+			cfg:    Config{Omega: 0.75},
+			sched: func(dev *device.Device, nd *core.NoiseData) core.Scheduler {
+				return &core.HeuristicXtalkSched{Noise: nd, Omega: 0.75}
+			},
+		},
+		{
+			name:   "linear6-partitioned-window2",
+			device: "linear:6", seed: 5,
+			source: `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[2];
+cx q[0],q[1];
+cx q[2],q[3];
+cx q[4],q[5];
+cx q[1],q[2];
+measure q[0] -> c[0];
+measure q[3] -> c[1];
+`,
+			cfg: Config{Omega: 1, Partition: true, WindowGates: 2},
+		},
+	}
+}
+
+// compileGolden runs one case and reduces the artifact to its pinned record.
+func compileGolden(t *testing.T, gc goldenCase) goldenRecord {
+	t.Helper()
+	dev, err := device.NewFromSpec(gc.device, gc.seed)
+	if err != nil {
+		t.Fatalf("%s: device: %v", gc.name, err)
+	}
+	p := New(dev, gc.cfg)
+	req := Request{Tag: gc.name, Source: gc.source}
+	if gc.sched != nil {
+		req.Scheduler = gc.sched(dev, GroundTruthNoise(dev, 3))
+	}
+	art, err := p.Artifact(context.Background(), req)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", gc.name, err)
+	}
+	return goldenRecord{
+		Name:        gc.name,
+		Fingerprint: art.Fingerprint,
+		Scheduler:   art.Scheduler,
+		Cost:        art.Cost,
+		Makespan:    art.Makespan,
+	}
+}
+
+// TestGoldenSchedules replays the six pinned compiles and compares against
+// testdata/golden.json. On an intentional change, re-bless the file with
+//
+//	GOLDEN_UPDATE=1 go test ./internal/pipeline -run TestGoldenSchedules
+//
+// and commit the diff alongside the change that caused it.
+func TestGoldenSchedules(t *testing.T) {
+	cases := goldenCases()
+	got := make([]goldenRecord, 0, len(cases))
+	for _, gc := range cases {
+		got = append(got, compileGolden(t, gc))
+	}
+
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("re-blessed %s with %d records", goldenFile, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("reading golden file: %v\n(first run? bless it with GOLDEN_UPDATE=1 go test ./internal/pipeline -run TestGoldenSchedules)", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	wantByName := make(map[string]goldenRecord, len(want))
+	for _, r := range want {
+		wantByName[r.Name] = r
+	}
+	if len(want) != len(cases) {
+		t.Errorf("golden file has %d records, test has %d cases%s", len(want), len(cases), reblessHint)
+	}
+	for _, g := range got {
+		w, ok := wantByName[g.Name]
+		if !ok {
+			t.Errorf("case %s has no golden record%s", g.Name, reblessHint)
+			continue
+		}
+		if g.Fingerprint != w.Fingerprint {
+			t.Errorf("%s: fingerprint drifted\n  golden %s\n  got    %s%s", g.Name, w.Fingerprint, g.Fingerprint, reblessHint)
+		}
+		if g.Scheduler != w.Scheduler {
+			t.Errorf("%s: scheduler tag drifted: golden %q, got %q%s", g.Name, w.Scheduler, g.Scheduler, reblessHint)
+		}
+		if !goldenClose(g.Cost, w.Cost) {
+			t.Errorf("%s: cost drifted: golden %.12g, got %.12g%s", g.Name, w.Cost, g.Cost, reblessHint)
+		}
+		if !goldenClose(g.Makespan, w.Makespan) {
+			t.Errorf("%s: makespan drifted: golden %.12g, got %.12g%s", g.Name, w.Makespan, g.Makespan, reblessHint)
+		}
+	}
+}
+
+const reblessHint = "\n  if this change is intentional, re-bless with: GOLDEN_UPDATE=1 go test ./internal/pipeline -run TestGoldenSchedules"
+
+// goldenClose tolerates only round-trip-through-JSON float noise: the
+// schedules themselves are deterministic, so real drift is always far
+// larger.
+func goldenClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9+1e-12*math.Max(math.Abs(a), math.Abs(b))
+}

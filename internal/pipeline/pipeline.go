@@ -158,6 +158,14 @@ type Config struct {
 	// Mitigate applies readout-error mitigation to executed results (the
 	// paper applies it to all reported numbers).
 	Mitigate bool
+	// Certify runs the independent schedule certifier (internal/certify)
+	// as a post-check of every schedule stage: precedence, exclusivity,
+	// readout alignment and the objective cost are re-derived from the raw
+	// device model, and any violation fails the compile. Always on under
+	// `go test`; flag-gated (-certify) in the CLIs. Deliberately excluded
+	// from artifact fingerprints — certification verifies an artifact, it
+	// never changes one.
+	Certify bool
 	// Workers bounds batch concurrency (default GOMAXPROCS).
 	Workers int
 	// Stages replaces the default stage stack entirely. The stack is run

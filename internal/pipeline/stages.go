@@ -120,6 +120,11 @@ func (ScheduleStage) Run(ctx context.Context, c *Compiler, res *Result) error {
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("invalid schedule: %w", err)
 	}
+	if c.certifyEnabled() {
+		if rep := c.certifyCheck(s); !rep.OK() {
+			return fmt.Errorf("schedule rejected by certifier: %w", rep.Err())
+		}
+	}
 	res.Schedule = s
 	res.Solve = s.Stats
 	return nil

@@ -291,3 +291,62 @@ func TestBadDeviceSpecIs400(t *testing.T) {
 		t.Fatalf("want badRequestError, got %v", err)
 	}
 }
+
+// testQASMDoubleMeasure measures q[10] twice: unschedulable under the
+// simultaneous-readout model every engine in the repo shares.
+const testQASMDoubleMeasure = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[20];
+creg c[2];
+h q[5];
+cx q[5],q[10];
+measure q[10] -> c[0];
+measure q[10] -> c[1];
+`
+
+// TestDoubleMeasureIs500WithDiagnostic: a double-measured qubit must fail
+// the compile with HTTP 500 and a JSON body that carries the scheduler's
+// diagnostic — not a hang, not a silently bad schedule, and not a cache
+// entry that would replay the failure as a success.
+func TestDoubleMeasureIs500WithDiagnostic(t *testing.T) {
+	s := newTestServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	b, _ := json.Marshal(CompileRequest{Source: testQASMDoubleMeasure})
+	resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("double measure returned HTTP %d, want 500", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if !strings.Contains(e.Error, "measured more than once") || !strings.Contains(e.Error, "qubit 10") {
+		t.Fatalf("diagnostic body does not explain the double measure: %q", e.Error)
+	}
+
+	// The failure must not poison the artifact cache for valid programs.
+	okResp, err := http.Post(ts.URL+"/compile", "application/json",
+		bytes.NewReader(mustJSON(t, CompileRequest{Source: testQASM})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okResp.Body.Close()
+	if okResp.StatusCode != http.StatusOK {
+		t.Fatalf("valid compile after rejected one returned HTTP %d", okResp.StatusCode)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Coverage report over the short suite: per-package statement coverage plus
+# per-function detail for the certifier, with a hard gate — the independent
+# schedule certifier (internal/certify) is the last line of defense against
+# engine bugs, so its own coverage must stay >= CERTIFY_FLOOR percent.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CERTIFY_FLOOR="${CERTIFY_FLOOR:-90}"
+PROFILE="$(mktemp)"
+trap 'rm -f "$PROFILE"' EXIT
+
+go test -short -coverprofile="$PROFILE" ./...
+
+echo
+echo "== per-package statement coverage (short suite) =="
+awk '
+  NR > 1 {
+    split($1, loc, ":")
+    pkg = loc[1]
+    sub(/\/[^\/]*$/, "", pkg)
+    stmts[pkg] += $2
+    if ($3 > 0) covered[pkg] += $2
+  }
+  END {
+    for (p in stmts)
+      printf "%-38s %6.1f%%  (%d/%d statements)\n", p, 100 * covered[p] / stmts[p], covered[p], stmts[p]
+  }
+' "$PROFILE" | sort
+
+echo
+echo "== function coverage: internal/certify =="
+go tool cover -func="$PROFILE" | grep -E '^xtalk/internal/certify/|^total:'
+
+CERTIFY_PCT="$(awk '
+  NR > 1 && $1 ~ /^xtalk\/internal\/certify\// {
+    stmts += $2
+    if ($3 > 0) covered += $2
+  }
+  END { if (stmts == 0) print "0"; else printf "%.1f", 100 * covered / stmts }
+' "$PROFILE")"
+
+echo
+if ! awk -v pct="$CERTIFY_PCT" -v floor="$CERTIFY_FLOOR" 'BEGIN { exit !(pct >= floor) }'; then
+  echo "coverage gate FAILED: internal/certify at ${CERTIFY_PCT}% < ${CERTIFY_FLOOR}% floor" >&2
+  exit 1
+fi
+echo "coverage gate OK: internal/certify at ${CERTIFY_PCT}% (floor ${CERTIFY_FLOOR}%)"

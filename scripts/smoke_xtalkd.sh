@@ -12,8 +12,11 @@ trap 'rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/xtalkd" ./cmd/xtalkd
 go build -o "$TMP/xtalksched" ./cmd/xtalksched
+go build -o "$TMP/xtalkcert" ./cmd/xtalkcert
 
-"$TMP/xtalkd" -addr "$ADDR" -device heavyhex:27 -partition -budget 2s \
+# -certify: every compile the daemon serves must also pass the independent
+# schedule certifier before it leaves the pipeline.
+"$TMP/xtalkd" -addr "$ADDR" -device heavyhex:27 -partition -budget 2s -certify \
   >"$TMP/xtalkd.log" 2>&1 &
 XTALKD_PID=$!
 
@@ -49,6 +52,13 @@ FIRST="$(curl -fsS -X POST --data-binary @"$TMP/circ.qasm" "http://$ADDR/compile
   || fail "first compile failed"
 echo "$FIRST" | grep -q '"cached":false' || fail "first compile unexpectedly cached: $FIRST"
 echo "$FIRST" | grep -q '"qasm":"OPENQASM' || fail "first compile returned no QASM: $FIRST"
+
+# The served artifact must certify clean offline: xtalkcert reconstructs
+# the compiled QASM's timing and re-checks it against the device model
+# without trusting the daemon.
+echo "$FIRST" | "$TMP/xtalkcert" >"$TMP/cert.log" 2>&1 \
+  || { cat "$TMP/cert.log" >&2; fail "served artifact failed independent certification"; }
+grep -q 'certified' "$TMP/cert.log" || fail "xtalkcert produced no certification verdict: $(cat "$TMP/cert.log")"
 
 # Second compile through the xtalksched client: must be a cache hit.
 SECOND="$("$TMP/xtalksched" -serve "http://$ADDR" -device heavyhex:27 -in "$TMP/circ.qasm")" \
