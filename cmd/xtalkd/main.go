@@ -5,15 +5,26 @@
 // deduplicated: the first pays the SMT solve, the rest are cache hits, and
 // concurrent identical requests collapse onto a single in-flight solve.
 //
+// With -store the cache gains a persistent disk tier: artifacts spill to
+// checksummed files, and a restarted daemon serves previously compiled
+// fingerprints without invoking the solver. With -peers several daemons
+// form a fleet: fingerprints are routed over a consistent-hash ring and
+// non-owners proxy to the owner (falling back to local compute if the
+// owner is unreachable).
+//
 // Usage:
 //
 //	xtalkd -addr :8077 -device heavyhex:27 -partition -budget 2s
+//	xtalkd -addr :8077 -store /var/lib/xtalkd -store-mb 512
+//	xtalkd -addr :8077 -self hostA:8077 -peers hostB:8077,hostC:8077 -store /var/lib/xtalkd
 //
 // API (see internal/serve):
 //
 //	POST /compile   {"source": "<OpenQASM or gate-list>", "device": "...", "day": N}
 //	                (a non-JSON body is treated as the raw source)
-//	GET  /stats     cache + pipeline statistics
+//	GET  /epoch     current calibration epoch {device, seed, day}
+//	POST /epoch     flip the epoch, e.g. {"day": 2} on calibration rollover
+//	GET  /stats     cache + tier + pipeline statistics
 //	GET  /healthz   liveness
 package main
 
@@ -26,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,13 +59,32 @@ func main() {
 		portfolio = flag.Bool("portfolio", false, "race the SMT engine against the greedy heuristic under -budget")
 		route     = flag.Bool("route", false, "route circuits onto the device topology before scheduling")
 		decompose = flag.Bool("decompose", true, "decompose SWAP gates into CNOTs before scheduling")
-		cacheMB   = flag.Int64("cache-mb", 64, "artifact cache size bound in MiB")
+		cacheMB   = flag.Int64("cache-mb", 64, "in-memory artifact cache size bound in MiB")
+		cacheKB   = flag.Int64("cache-kb", 0, "in-memory cache bound in KiB (overrides -cache-mb; testing/bench knob)")
+		store     = flag.String("store", "", "persistent artifact store directory (empty = memory-only)")
+		storeMB   = flag.Int64("store-mb", 512, "disk store size bound in MiB")
+		self      = flag.String("self", "", "this daemon's advertised host:port ring identity (required with -peers)")
+		peers     = flag.String("peers", "", "comma-separated peer daemon host:port list (enables consistent-hash routing)")
+		maxBodyMB = flag.Int64("max-body-mb", 16, "max /compile request body size in MiB")
+		readTO    = flag.Duration("read-timeout", time.Minute, "HTTP read timeout")
+		writeTO   = flag.Duration("write-timeout", 10*time.Minute, "HTTP write timeout (bounds one cold compile + response)")
+		idleTO    = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
 		queue     = flag.Int("queue", 0, "max concurrent cold compilations (0 = GOMAXPROCS)")
 		workers   = flag.Int("workers", 0, "SMT solve pool width per device pipeline (0 = GOMAXPROCS)")
 		doCertify = flag.Bool("certify", false, "run the independent schedule certifier on every compile (violations fail the request)")
 	)
 	flag.Parse()
-	if err := run(*addr, serve.Config{
+	cacheBytes := *cacheMB << 20
+	if *cacheKB > 0 {
+		cacheBytes = *cacheKB << 10
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if err := run(*addr, httpTimeouts{read: *readTO, write: *writeTO, idle: *idleTO}, serve.Config{
 		Spec: *devSpec,
 		Seed: *seed,
 		Day:  *day,
@@ -68,7 +99,12 @@ func main() {
 			Workers:        *workers,
 			Certify:        *doCertify,
 		},
-		CacheBytes:    *cacheMB << 20,
+		CacheBytes:    cacheBytes,
+		StoreDir:      *store,
+		StoreBytes:    *storeMB << 20,
+		Self:          *self,
+		Peers:         peerList,
+		MaxBodyBytes:  *maxBodyMB << 20,
 		MaxConcurrent: *queue,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkd:", err)
@@ -85,13 +121,27 @@ func cliOmega(omega float64) float64 {
 	return omega
 }
 
-func run(addr string, cfg serve.Config) error {
+// httpTimeouts carries the http.Server deadlines: a daemon exposed to a
+// fleet must not let a stalled or trickling client pin a connection (and
+// its goroutine) forever.
+type httpTimeouts struct {
+	read, write, idle time.Duration
+}
+
+func run(addr string, to httpTimeouts, cfg serve.Config) error {
 	s, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
-	httpSrv := &http.Server{Addr: addr, Handler: logRequests(s.Handler())}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           logRequests(s.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       to.read,
+		WriteTimeout:      to.write,
+		IdleTimeout:       to.idle,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

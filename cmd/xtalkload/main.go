@@ -1,0 +1,450 @@
+// Command xtalkload is the trace-replay load generator for xtalkd: it
+// builds a zoo of workload circuits (SWAP / QAOA / Hidden Shift /
+// supremacy-style, sized to each target device), replays Zipf-repeated
+// submissions against a running daemon with configurable concurrency and
+// day churn, and reports the serving-latency distribution split by hit
+// tier (mem / disk / peer / cold) together with hit rate, collapse counts
+// and solver-queue saturation sampled from /stats.
+//
+// Usage:
+//
+//	xtalkload -addr 127.0.0.1:8077 -duration 10s -c 8 -out BENCH_serve.json
+//	xtalkload -addr 127.0.0.1:8077 -n 50 -devices heavyhex:27 -days 2 -zipf 1.3
+//
+// The output JSON (BENCH_serve.json by convention) carries per-tier
+// p50/p95/p99, so a cold SMT solve and a disk hit on the same fingerprint
+// are never averaged into one meaningless number.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xtalk/internal/device"
+	"xtalk/internal/qasm"
+	"xtalk/internal/serve"
+	"xtalk/internal/workloads"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8077", "daemon address (host:port)")
+		devices  = flag.String("devices", "poughkeepsie", "comma-separated device specs to spread the trace over")
+		seed     = flag.Int64("seed", 1, "device calibration seed (also seeds the trace RNG)")
+		days     = flag.Int("days", 1, "calibration-day churn: jobs spread over days 0..days-1")
+		mix      = flag.String("mix", "swap,qaoa,hs", "workload mix: any of swap,qaoa,hs,sup")
+		jobs     = flag.Int("jobs", 24, "distinct trace jobs (circuit x device x day) in the zoo")
+		zipfS    = flag.Float64("zipf", 1.2, "Zipf exponent for repeated submissions (>1; larger = hotter head)")
+		conc     = flag.Int("c", 8, "concurrent clients")
+		n        = flag.Int("n", 0, "total requests (0 = run for -duration)")
+		duration = flag.Duration("duration", 10*time.Second, "run length when -n is 0")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+		out      = flag.String("out", "BENCH_serve.json", "result JSON path (- for stdout)")
+	)
+	flag.Parse()
+	if err := run(*addr, *devices, *mix, *seed, *days, *jobs, *zipfS, *conc, *n, *duration, *timeout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "xtalkload:", err)
+		os.Exit(1)
+	}
+}
+
+// job is one entry of the trace zoo: a source program pinned to an explicit
+// device/seed/day triple (explicit so the daemon's default epoch cannot
+// skew the trace).
+type job struct {
+	kind string
+	req  serve.CompileRequest
+}
+
+// buildZoo generates count jobs round-robined over devices, workload kinds
+// and days. Generation is deterministic in (seed, devices, mix, days,
+// count): two xtalkload runs replay the same trace.
+func buildZoo(devSpecs, kinds []string, seed int64, days, count int) ([]job, error) {
+	type devEntry struct {
+		spec string
+		dev  *device.Device
+	}
+	devs := make([]devEntry, 0, len(devSpecs))
+	for _, spec := range devSpecs {
+		d, err := device.NewFromSpecForDay(spec, seed, 0)
+		if err != nil {
+			return nil, fmt.Errorf("device %q: %w", spec, err)
+		}
+		devs = append(devs, devEntry{spec, d})
+	}
+	zoo := make([]job, 0, count)
+	for i := 0; len(zoo) < count; i++ {
+		de := devs[i%len(devs)]
+		kind := kinds[(i/len(devs))%len(kinds)]
+		day := (i / (len(devs) * len(kinds))) % days
+		topo := de.dev.Topo
+		var (
+			circSrc string
+			err     error
+		)
+		switch kind {
+		case "swap":
+			// Stretch the SWAP distance with the variant index for distinct
+			// fingerprints.
+			b := 1 + (i/2)%(topo.NQubits-1)
+			c, e := workloads.SwapCircuit(topo, 0, b)
+			if e != nil {
+				err = e
+			} else {
+				circSrc = qasm.Dump(c)
+			}
+		case "qaoa":
+			c, _, e := workloads.QAOAChainCircuit(topo, 4, seed+int64(i))
+			if e != nil {
+				err = e
+			} else {
+				circSrc = qasm.Dump(c)
+			}
+		case "hs":
+			chain, e := workloads.Chain(topo, 4)
+			if e != nil {
+				err = e
+				break
+			}
+			c, _, e := workloads.HiddenShiftCircuit(topo, chain, uint(i%16), i%2 == 1)
+			if e != nil {
+				err = e
+			} else {
+				circSrc = qasm.Dump(c)
+			}
+		case "sup":
+			nq := topo.NQubits
+			if nq > 12 {
+				nq = 12
+			}
+			c, e := workloads.SupremacyCircuit(topo, nq, 40, seed+int64(i))
+			if e != nil {
+				err = e
+			} else {
+				circSrc = qasm.Dump(c)
+			}
+		default:
+			return nil, fmt.Errorf("unknown workload kind %q (want swap,qaoa,hs,sup)", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", kind, de.spec, err)
+		}
+		s, d := seed, day
+		zoo = append(zoo, job{kind: kind, req: serve.CompileRequest{
+			Source: circSrc,
+			Device: de.spec,
+			Seed:   &s,
+			Day:    &d,
+		}})
+	}
+	return zoo, nil
+}
+
+// sample is one completed request.
+type sample struct {
+	tier      string
+	peerTier  string
+	latency   time.Duration
+	collapsed bool
+}
+
+// TierReport is the latency distribution of one hit tier.
+type TierReport struct {
+	Count  int     `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// SaturationReport summarizes the solver admission queue over the run,
+// sampled from GET /stats: MeanInflight near MaxConcurrent means the
+// daemon ran solver-bound; SaturatedFrac is the fraction of samples with
+// every solver slot busy.
+type SaturationReport struct {
+	Samples       int     `json:"samples"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	MeanInflight  float64 `json:"mean_inflight"`
+	MaxInflight   int64   `json:"max_inflight"`
+	SaturatedFrac float64 `json:"saturated_frac"`
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	Addr       string  `json:"addr"`
+	Devices    string  `json:"devices"`
+	Mix        string  `json:"mix"`
+	Jobs       int     `json:"jobs"`
+	Days       int     `json:"days"`
+	Zipf       float64 `json:"zipf"`
+	Clients    int     `json:"clients"`
+	DurationS  float64 `json:"duration_s"`
+	Requests   int     `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Throughput float64 `json:"requests_per_s"`
+	// HitRate counts requests served without any solver work anywhere in
+	// the fleet: mem and disk hits locally, plus peer responses the owner
+	// itself served from a cache tier.
+	HitRate   float64               `json:"hit_rate"`
+	Collapsed int                   `json:"collapsed"`
+	Tiers     map[string]TierReport `json:"tiers"`
+	// PeerServedBy splits peer-tier requests by the tier the owning daemon
+	// served from.
+	PeerServedBy map[string]int   `json:"peer_served_by,omitempty"`
+	Saturation   SaturationReport `json:"saturation"`
+	// DaemonStats is the target daemon's /stats snapshot at the end of the
+	// run (counters include any traffic before the run).
+	DaemonStats *serve.Stats `json:"daemon_stats,omitempty"`
+}
+
+func run(addr, devCSV, mixCSV string, seed int64, days, jobCount int, zipfS float64, conc, n int, duration, timeout time.Duration, out string) error {
+	if days < 1 {
+		days = 1
+	}
+	devSpecs := splitCSV(devCSV)
+	kinds := splitCSV(mixCSV)
+	if len(devSpecs) == 0 || len(kinds) == 0 {
+		return fmt.Errorf("need at least one device and one workload kind")
+	}
+	zoo, err := buildZoo(devSpecs, kinds, seed, days, jobCount)
+	if err != nil {
+		return err
+	}
+	base := "http://" + strings.TrimPrefix(addr, "http://")
+	client := &http.Client{Timeout: timeout}
+
+	// The Zipf stream is drawn up front under one RNG so the trace is
+	// deterministic regardless of worker interleaving.
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(zoo)-1))
+	deadline := time.Now().Add(duration)
+	next := make(chan int, conc)
+	go func() {
+		defer close(next)
+		for i := 0; n == 0 || i < n; i++ {
+			if n == 0 && time.Now().After(deadline) {
+				return
+			}
+			next <- int(zipf.Uint64())
+		}
+	}()
+
+	// Saturation sampler: poll /stats while the trace runs.
+	satStop := make(chan struct{})
+	var satMu sync.Mutex
+	var satSamples []serve.Stats
+	go func() {
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-satStop:
+				return
+			case <-tick.C:
+				if st, err := fetchStats(client, base); err == nil {
+					satMu.Lock()
+					satSamples = append(satSamples, *st)
+					satMu.Unlock()
+				}
+			}
+		}
+	}()
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		errs    atomic.Int64
+		wg      sync.WaitGroup
+	)
+	t0 := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				s, err := submit(client, base, zoo[idx].req)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(satStop)
+
+	rep := buildReport(samples, satSamples, elapsed)
+	rep.Addr = addr
+	rep.Devices = devCSV
+	rep.Mix = mixCSV
+	rep.Jobs = len(zoo)
+	rep.Days = days
+	rep.Zipf = zipfS
+	rep.Clients = conc
+	rep.Errors = errs.Load()
+	if st, err := fetchStats(client, base); err == nil {
+		st.Text = "" // the human rendering has no place in a bench artifact
+		rep.DaemonStats = st
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("xtalkload: %d requests in %.1fs (%.1f req/s), hit rate %.2f, %d errors -> %s\n",
+		rep.Requests, rep.DurationS, rep.Throughput, rep.HitRate, rep.Errors, out)
+	for _, tier := range []string{serve.TierMem, serve.TierDisk, serve.TierPeer, serve.TierCold} {
+		if tr, ok := rep.Tiers[tier]; ok {
+			fmt.Printf("  %-4s n=%-5d p50=%.2fms p95=%.2fms p99=%.2fms\n", tier, tr.Count, tr.P50MS, tr.P95MS, tr.P99MS)
+		}
+	}
+	return nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func submit(client *http.Client, base string, req serve.CompileRequest) (sample, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return sample{}, err
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{}, err
+	}
+	defer resp.Body.Close()
+	var cr serve.CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return sample{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sample{}, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return sample{tier: cr.Tier, peerTier: cr.PeerTier, latency: time.Since(t0), collapsed: cr.Collapsed}, nil
+}
+
+func fetchStats(client *http.Client, base string) (*serve.Stats, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func buildReport(samples []sample, satSamples []serve.Stats, elapsed time.Duration) *Report {
+	rep := &Report{
+		DurationS:    elapsed.Seconds(),
+		Requests:     len(samples),
+		Tiers:        map[string]TierReport{},
+		PeerServedBy: map[string]int{},
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(samples)) / elapsed.Seconds()
+	}
+	byTier := map[string][]time.Duration{}
+	hits := 0
+	for _, s := range samples {
+		byTier[s.tier] = append(byTier[s.tier], s.latency)
+		if s.collapsed {
+			rep.Collapsed++
+		}
+		switch s.tier {
+		case serve.TierMem, serve.TierDisk:
+			hits++
+		case serve.TierPeer:
+			rep.PeerServedBy[s.peerTier]++
+			if s.peerTier != serve.TierCold {
+				hits++
+			}
+		}
+	}
+	if len(samples) > 0 {
+		rep.HitRate = float64(hits) / float64(len(samples))
+	}
+	for tier, lats := range byTier {
+		rep.Tiers[tier] = tierReport(lats)
+	}
+	sat := SaturationReport{Samples: len(satSamples)}
+	saturated := 0
+	var sum float64
+	for _, st := range satSamples {
+		sat.MaxConcurrent = st.MaxConcurrent
+		sum += float64(st.Inflight)
+		if st.Inflight > sat.MaxInflight {
+			sat.MaxInflight = st.Inflight
+		}
+		if st.MaxConcurrent > 0 && st.Inflight >= int64(st.MaxConcurrent) {
+			saturated++
+		}
+	}
+	if len(satSamples) > 0 {
+		sat.MeanInflight = sum / float64(len(satSamples))
+		sat.SaturatedFrac = float64(saturated) / float64(len(satSamples))
+	}
+	rep.Saturation = sat
+	return rep
+}
+
+func tierReport(lats []time.Duration) TierReport {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return ms(lats[i])
+	}
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	tr := TierReport{
+		Count: len(lats),
+		P50MS: pct(0.50),
+		P95MS: pct(0.95),
+		P99MS: pct(0.99),
+		MaxMS: ms(lats[len(lats)-1]),
+	}
+	if len(lats) > 0 {
+		tr.MeanMS = ms(sum) / float64(len(lats))
+	}
+	return tr
+}

@@ -229,6 +229,15 @@ func runRemote(baseURL, in, spec, workload string, seed int64, opts runOpts) err
 	}
 	status := "cold compile"
 	switch {
+	case cr.Tier == serve.TierMem:
+		status = "cache hit (memory)"
+	case cr.Tier == serve.TierDisk:
+		status = "cache hit (disk)"
+	case cr.Tier == serve.TierPeer:
+		status = "served by peer"
+		if cr.PeerTier != "" {
+			status = fmt.Sprintf("served by peer (%s)", cr.PeerTier)
+		}
 	case cr.Cached:
 		status = "cache hit"
 	case cr.Collapsed:

@@ -1,0 +1,206 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"xtalk/internal/core"
+)
+
+// Binary artifact format — the disk representation of a CompiledArtifact in
+// the serving layer's persistent store (internal/serve.Store). The encoding
+// is deliberately self-verifying: a torn write, a truncated file or a
+// flipped bit must decode to an error, never to a plausible artifact, so a
+// restarted daemon can quarantine damage instead of serving it.
+//
+// Layout (all integers big-endian):
+//
+//	offset  size  field
+//	0       4     magic "XTKA"
+//	4       4     format version (currently 1)
+//	8       8     payload length in bytes
+//	16      n     payload (field-by-field encoding, see below)
+//	16+n    32    SHA-256 of the payload
+//
+// The payload encodes every CompiledArtifact field in a fixed order:
+// strings as u64 length + bytes, integers as fixed-width big-endian words,
+// floats as IEEE-754 bit patterns. Because the order is fixed and the
+// checksum covers the whole payload, encoding is deterministic: equal
+// artifacts encode to equal bytes, which the crash-restart tests rely on
+// when they assert bit-identical disk round-trips.
+
+const (
+	artifactMagic   = "XTKA"
+	artifactVersion = 1
+	headerLen       = 16
+	checksumLen     = sha256.Size
+)
+
+// Decode error classes. Store distinguishes "this file is damaged"
+// (quarantine it) from programmer errors, so every path through
+// DecodeArtifact returns an error wrapping ErrCorruptArtifact.
+var ErrCorruptArtifact = errors.New("corrupt artifact")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptArtifact, fmt.Sprintf(format, args...))
+}
+
+// EncodeBinary serializes the artifact into the versioned, checksummed disk
+// format. The inverse is DecodeArtifact.
+func (a *CompiledArtifact) EncodeBinary() []byte {
+	var p payloadWriter
+	p.str(a.Fingerprint)
+	p.str(a.Device)
+	p.i64(a.Seed)
+	p.i64(int64(a.Day))
+	p.str(a.Scheduler)
+	p.i64(int64(a.NQubits))
+	p.i64(int64(a.Gates))
+	p.f64(a.Makespan)
+	p.f64(a.Cost)
+	p.f64(a.SolverObjective)
+	p.i64(int64(a.CompileTime))
+	p.str(a.QASM)
+	// Solver effort, field by field (see core.SolveStats).
+	p.i64(int64(a.Solve.Components))
+	p.i64(int64(a.Solve.Windows))
+	p.i64(int64(a.Solve.Fallbacks))
+	p.i64(a.Solve.Decisions)
+	p.i64(a.Solve.Conflicts)
+	p.i64(a.Solve.DiffAtoms)
+	p.i64(a.Solve.LinAtoms)
+	p.i64(a.Solve.DiffConflicts)
+	p.i64(int64(a.Solve.SimplexTime))
+	p.i64(a.Solve.Pivots)
+	p.i64(a.Solve.Promotions)
+	p.i64(int64(a.Solve.PeakRatBits))
+	for _, v := range a.Solve.RatBitsHist {
+		p.i64(v)
+	}
+
+	payload := p.buf
+	out := make([]byte, 0, headerLen+len(payload)+checksumLen)
+	out = append(out, artifactMagic...)
+	out = binary.BigEndian.AppendUint32(out, artifactVersion)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	sum := sha256.Sum256(payload)
+	return append(out, sum[:]...)
+}
+
+// DecodeArtifact parses the versioned disk format back into an artifact.
+// Any structural damage — short buffer, bad magic, unknown version, length
+// mismatch, checksum mismatch, malformed payload, trailing garbage —
+// returns an error wrapping ErrCorruptArtifact.
+func DecodeArtifact(b []byte) (*CompiledArtifact, error) {
+	if len(b) < headerLen+checksumLen {
+		return nil, corruptf("truncated header: %d bytes", len(b))
+	}
+	if string(b[:4]) != artifactMagic {
+		return nil, corruptf("bad magic %q", b[:4])
+	}
+	if v := binary.BigEndian.Uint32(b[4:8]); v != artifactVersion {
+		return nil, corruptf("unsupported format version %d", v)
+	}
+	n := binary.BigEndian.Uint64(b[8:16])
+	if uint64(len(b)) != headerLen+n+checksumLen {
+		return nil, corruptf("length mismatch: header claims %d payload bytes, file has %d",
+			n, len(b)-headerLen-checksumLen)
+	}
+	payload := b[headerLen : headerLen+n]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(b[headerLen+n:]) {
+		return nil, corruptf("checksum mismatch")
+	}
+
+	p := payloadReader{buf: payload}
+	a := &CompiledArtifact{}
+	a.Fingerprint = p.str()
+	a.Device = p.str()
+	a.Seed = p.i64()
+	a.Day = int(p.i64())
+	a.Scheduler = p.str()
+	a.NQubits = int(p.i64())
+	a.Gates = int(p.i64())
+	a.Makespan = p.f64()
+	a.Cost = p.f64()
+	a.SolverObjective = p.f64()
+	a.CompileTime = time.Duration(p.i64())
+	a.QASM = p.str()
+	var s core.SolveStats
+	s.Components = int(p.i64())
+	s.Windows = int(p.i64())
+	s.Fallbacks = int(p.i64())
+	s.Decisions = p.i64()
+	s.Conflicts = p.i64()
+	s.DiffAtoms = p.i64()
+	s.LinAtoms = p.i64()
+	s.DiffConflicts = p.i64()
+	s.SimplexTime = time.Duration(p.i64())
+	s.Pivots = p.i64()
+	s.Promotions = p.i64()
+	s.PeakRatBits = int(p.i64())
+	for i := range s.RatBitsHist {
+		s.RatBitsHist[i] = p.i64()
+	}
+	a.Solve = s
+	if p.err != nil {
+		return nil, p.err
+	}
+	if len(p.buf) != 0 {
+		return nil, corruptf("%d trailing payload bytes", len(p.buf))
+	}
+	return a, nil
+}
+
+type payloadWriter struct{ buf []byte }
+
+func (p *payloadWriter) str(s string) {
+	p.buf = binary.BigEndian.AppendUint64(p.buf, uint64(len(s)))
+	p.buf = append(p.buf, s...)
+}
+func (p *payloadWriter) i64(v int64) { p.buf = binary.BigEndian.AppendUint64(p.buf, uint64(v)) }
+func (p *payloadWriter) f64(v float64) {
+	p.buf = binary.BigEndian.AppendUint64(p.buf, math.Float64bits(v))
+}
+
+// payloadReader consumes the payload front to back; the first structural
+// failure latches err and subsequent reads return zero values, so decode
+// call sites stay linear.
+type payloadReader struct {
+	buf []byte
+	err error
+}
+
+func (p *payloadReader) i64() int64 {
+	if p.err != nil {
+		return 0
+	}
+	if len(p.buf) < 8 {
+		p.err = corruptf("payload underrun reading int")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(p.buf[:8])
+	p.buf = p.buf[8:]
+	return int64(v)
+}
+
+func (p *payloadReader) f64() float64 { return math.Float64frombits(uint64(p.i64())) }
+
+func (p *payloadReader) str() string {
+	n := p.i64()
+	if p.err != nil {
+		return ""
+	}
+	if n < 0 || uint64(n) > uint64(len(p.buf)) {
+		p.err = corruptf("payload underrun reading %d-byte string (have %d)", n, len(p.buf))
+		return ""
+	}
+	s := string(p.buf[:n])
+	p.buf = p.buf[n:]
+	return s
+}

@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"xtalk/internal/core"
+)
+
+func testArtifact() *CompiledArtifact {
+	return &CompiledArtifact{
+		Fingerprint:     "f00dfeed",
+		Device:          "heavyhex:27",
+		Seed:            42,
+		Day:             3,
+		Scheduler:       "XtalkSched(partitioned)",
+		NQubits:         27,
+		Gates:           19,
+		Makespan:        12345.5,
+		Cost:            0.123456789,
+		SolverObjective: 0.12,
+		CompileTime:     371 * time.Millisecond,
+		QASM:            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[27];\nh q[0];\n",
+		Solve: core.SolveStats{
+			Components: 2, Windows: 3, Fallbacks: 1,
+			Decisions: 1000, Conflicts: 50,
+			DiffAtoms: 200, LinAtoms: 30, DiffConflicts: 7,
+			SimplexTime: 17 * time.Millisecond,
+			Pivots:      812, Promotions: 4, PeakRatBits: 96,
+			RatBitsHist: [6]int64{1, 2, 0, 0, 0, 1},
+		},
+	}
+}
+
+// TestArtifactCodecRoundTrip: decode(encode(a)) must reproduce every field,
+// and encoding must be deterministic (equal artifacts, equal bytes).
+func TestArtifactCodecRoundTrip(t *testing.T) {
+	a := testArtifact()
+	b := a.EncodeBinary()
+	got, err := DecodeArtifact(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip diverged:\nin  %+v\nout %+v", a, got)
+	}
+	if string(b) != string(a.EncodeBinary()) {
+		t.Fatal("encoding is not deterministic")
+	}
+
+	// Zero-value artifact round-trips too (empty strings, zero stats).
+	zero := &CompiledArtifact{}
+	got, err = DecodeArtifact(zero.EncodeBinary())
+	if err != nil {
+		t.Fatalf("zero decode: %v", err)
+	}
+	if !reflect.DeepEqual(zero, got) {
+		t.Fatalf("zero round trip diverged: %+v", got)
+	}
+}
+
+// TestArtifactCodecRejectsDamage: every class of structural damage must
+// decode to an ErrCorruptArtifact — never to a plausible artifact.
+func TestArtifactCodecRejectsDamage(t *testing.T) {
+	good := testArtifact().EncodeBinary()
+	cases := map[string]func() []byte{
+		"empty":     func() []byte { return nil },
+		"shortHdr":  func() []byte { return good[:10] },
+		"badMagic":  func() []byte { b := append([]byte(nil), good...); b[0] = 'Z'; return b },
+		"badVer":    func() []byte { b := append([]byte(nil), good...); b[7] = 99; return b },
+		"truncated": func() []byte { return good[:len(good)-40] },
+		"flippedPayloadBit": func() []byte {
+			b := append([]byte(nil), good...)
+			b[headerLen+20] ^= 0x40
+			return b
+		},
+		"flippedChecksumBit": func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-1] ^= 0x01
+			return b
+		},
+		"trailingGarbage": func() []byte { return append(append([]byte(nil), good...), 0xAB) },
+	}
+	for name, mk := range cases {
+		if _, err := DecodeArtifact(mk()); !errors.Is(err, ErrCorruptArtifact) {
+			t.Errorf("%s: want ErrCorruptArtifact, got %v", name, err)
+		}
+	}
+}
+
+// TestArtifactCodecUnderrunPayload: a payload whose declared string length
+// overruns the buffer (with a recomputed checksum, so only the payload
+// grammar is wrong) must fail cleanly rather than panic.
+func TestArtifactCodecUnderrunPayload(t *testing.T) {
+	var p payloadWriter
+	p.i64(1 << 60) // fingerprint "length" far beyond the payload
+	b := make([]byte, 0, headerLen+len(p.buf)+checksumLen)
+	b = append(b, artifactMagic...)
+	b = binary.BigEndian.AppendUint32(b, artifactVersion)
+	b = binary.BigEndian.AppendUint64(b, uint64(len(p.buf)))
+	b = append(b, p.buf...)
+	sum := sha256.Sum256(p.buf)
+	b = append(b, sum[:]...)
+	if _, err := DecodeArtifact(b); !errors.Is(err, ErrCorruptArtifact) {
+		t.Fatalf("want ErrCorruptArtifact, got %v", err)
+	}
+}

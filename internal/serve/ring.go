@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ringReplicas is the number of virtual nodes each daemon projects onto the
+// hash circle. More replicas smooth the key distribution (stddev shrinks
+// roughly with 1/sqrt(replicas)); 128 keeps the per-node share within a few
+// percent of 1/N for small fleets while the whole ring stays a few KB.
+const ringReplicas = 128
+
+// Ring is a consistent-hash ring over daemon addresses: every fingerprint
+// has exactly one owner, all peers agree on who it is (they build the same
+// ring from the same membership list), and membership changes move only
+// ~1/N of the keyspace. A daemon that does not own a fingerprint proxies
+// the request to the owner instead of solving, so N daemons behave as one
+// sharded cache with ~1/N duplicate solve work. Immutable after New.
+type Ring struct {
+	self  string
+	nodes []string // sorted, deduplicated membership
+	// points are the virtual-node hashes sorted ascending; owners[i] is the
+	// node that owns the arc ending at points[i].
+	points []uint64
+	owners []string
+}
+
+// NewRing builds the ring over self plus its peers. Order and duplicates in
+// peers are irrelevant: membership is sorted and deduplicated, so every
+// member constructs an identical ring.
+func NewRing(self string, peers []string) *Ring {
+	seen := map[string]bool{self: true}
+	nodes := []string{self}
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		nodes = append(nodes, p)
+	}
+	sort.Strings(nodes)
+	r := &Ring{
+		self:   self,
+		nodes:  nodes,
+		points: make([]uint64, 0, len(nodes)*ringReplicas),
+		owners: make([]string, 0, len(nodes)*ringReplicas),
+	}
+	type vnode struct {
+		h    uint64
+		node string
+	}
+	vs := make([]vnode, 0, len(nodes)*ringReplicas)
+	for _, n := range nodes {
+		for i := 0; i < ringReplicas; i++ {
+			vs = append(vs, vnode{ringHash(fmt.Sprintf("%s#%d", n, i)), n})
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].h != vs[j].h {
+			return vs[i].h < vs[j].h
+		}
+		return vs[i].node < vs[j].node // deterministic on (astronomically rare) collisions
+	})
+	for _, v := range vs {
+		r.points = append(r.points, v.h)
+		r.owners = append(r.owners, v.node)
+	}
+	return r
+}
+
+// ringHash maps a string to a point on the circle: the first 8 bytes of its
+// SHA-256, matching the quality (and dependency-freeness) of the
+// fingerprints being placed.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node that owns fingerprint fp: the first virtual node
+// clockwise of the fingerprint's hash.
+func (r *Ring) Owner(fp string) string {
+	h := ringHash(fp)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.owners[i]
+}
+
+// Owns reports whether this daemon owns fp.
+func (r *Ring) Owns(fp string) bool { return r.Owner(fp) == r.self }
+
+// Self returns this daemon's own ring identity.
+func (r *Ring) Self() string { return r.self }
+
+// Nodes returns the sorted membership list.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// fingerprints generates n realistic keys: hex SHA-256 strings, exactly
+// what the serving layer hands the ring.
+func fingerprints(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		out[i] = hex.EncodeToString(sum[:])
+	}
+	return out
+}
+
+// TestRingAgreementAcrossMembers: every member must compute the same owner
+// for every key, regardless of peer-list order or duplicates.
+func TestRingAgreementAcrossMembers(t *testing.T) {
+	a := NewRing("hostA:1", []string{"hostB:2", "hostC:3"})
+	b := NewRing("hostB:2", []string{"hostC:3", "hostA:1", "hostA:1"})
+	c := NewRing("hostC:3", []string{"hostA:1", "hostB:2"})
+	for _, fp := range fingerprints(500) {
+		oa, ob, oc := a.Owner(fp), b.Owner(fp), c.Owner(fp)
+		if oa != ob || ob != oc {
+			t.Fatalf("members disagree on owner of %s: %s %s %s", fp[:12], oa, ob, oc)
+		}
+	}
+	if got := a.Nodes(); len(got) != 3 {
+		t.Fatalf("membership %v, want 3 nodes", got)
+	}
+}
+
+// TestRingBalance: with 3 nodes each should own roughly a third of the
+// keyspace (within a generous tolerance — 128 virtual nodes bound the skew).
+func TestRingBalance(t *testing.T) {
+	r := NewRing("hostA:1", []string{"hostB:2", "hostC:3"})
+	counts := map[string]int{}
+	keys := fingerprints(6000)
+	for _, fp := range keys {
+		counts[r.Owner(fp)]++
+	}
+	want := len(keys) / 3
+	for node, got := range counts {
+		if got < want/2 || got > want*2 {
+			t.Fatalf("node %s owns %d of %d keys, want within [%d, %d]: %v",
+				node, got, len(keys), want/2, want*2, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderMembershipChange: adding a fourth node must move
+// only ~1/4 of the keys, and every moved key must move TO the new node.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	before := NewRing("hostA:1", []string{"hostB:2", "hostC:3"})
+	after := NewRing("hostA:1", []string{"hostB:2", "hostC:3", "hostD:4"})
+	keys := fingerprints(6000)
+	moved := 0
+	for _, fp := range keys {
+		ob, oa := before.Owner(fp), after.Owner(fp)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "hostD:4" {
+			t.Fatalf("key %s moved %s -> %s, but only the new node may gain keys", fp[:12], ob, oa)
+		}
+	}
+	// Expect ~25%; fail beyond 40% (consistent hashing's whole point).
+	if moved > len(keys)*2/5 {
+		t.Fatalf("%d of %d keys moved on one join, want ~1/4", moved, len(keys))
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new node")
+	}
+}
+
+// TestRingSingleNodeOwnsEverything: a peerless ring routes nothing away.
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r := NewRing("only:1", nil)
+	for _, fp := range fingerprints(64) {
+		if !r.Owns(fp) {
+			t.Fatalf("single-node ring does not own %s", fp[:12])
+		}
+	}
+}

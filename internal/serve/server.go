@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -23,7 +24,8 @@ import (
 // Config shapes a compilation server.
 type Config struct {
 	// Spec, Seed and Day select the default device (any device.ParseSpec
-	// string); requests may override all three per call.
+	// string); requests may override all three per call. Together they form
+	// the server's initial calibration epoch (see Epoch / AdvanceEpoch).
 	Spec string
 	Seed int64
 	Day  int
@@ -32,13 +34,50 @@ type Config struct {
 	// compile-only, so Shots/Mitigate are forced off and Noise is left to
 	// the per-device ground truth.
 	Pipeline pipeline.Config
-	// CacheBytes bounds the artifact cache (DefaultCacheBytes when 0).
+	// CacheBytes bounds the in-memory artifact cache (DefaultCacheBytes
+	// when 0).
 	CacheBytes int64
+	// StoreDir, when non-empty, enables the persistent disk tier below the
+	// memory cache: artifacts spill to one checksummed file each, so a
+	// restarted daemon serves warm hits without re-solving. StoreBytes
+	// bounds it (DefaultStoreBytes when 0).
+	StoreDir   string
+	StoreBytes int64
+	// Self and Peers enable multi-node mode: Self is this daemon's
+	// advertised host:port ring identity, Peers the other members.
+	// Fingerprints are routed over a consistent-hash ring; a daemon that
+	// does not own a fingerprint proxies /compile to the owner (with a
+	// local-compute fallback on peer failure). Self is required when Peers
+	// is non-empty.
+	Self  string
+	Peers []string
+	// MaxBodyBytes caps /compile request bodies (DefaultMaxBodyBytes
+	// when 0); oversized bodies get a clean 413.
+	MaxBodyBytes int64
 	// MaxConcurrent bounds concurrently running cold compilations — the
 	// admission queue width. Requests beyond it queue on the shared
 	// core.SolvePool. Default GOMAXPROCS.
 	MaxConcurrent int
 }
+
+// DefaultMaxBodyBytes caps /compile request bodies when the configuration
+// does not (16 MiB — far beyond any device-sized circuit).
+const DefaultMaxBodyBytes = 16 << 20
+
+// peerHeader marks a proxied /compile request with the sender's ring
+// identity. Its presence suppresses re-proxying, so a membership
+// disagreement between daemons degrades to a local compute instead of a
+// forwarding loop.
+const peerHeader = "X-Xtalk-Peer"
+
+// Hit-tier labels, from fastest to slowest: the in-memory LRU, the on-disk
+// store, a peer daemon's cache (or solve), and a local cold solve.
+const (
+	TierMem  = "mem"
+	TierDisk = "disk"
+	TierPeer = "peer"
+	TierCold = "cold"
+)
 
 // CompileRequest is the /compile JSON body. Source holds the program
 // (OpenQASM 2.0 or the library's gate-list format); the optional device
@@ -52,11 +91,16 @@ type CompileRequest struct {
 }
 
 // CompileResponse is the /compile JSON reply: the artifact plus cache
-// provenance. Cached reports a cache hit; Collapsed reports that the
-// request joined an identical in-flight compilation instead of solving.
+// provenance. Tier names the layer that served the artifact (mem, disk,
+// peer, cold); Cached reports a local cache hit (mem or disk); Collapsed
+// reports that the request joined an identical in-flight compilation
+// instead of solving; PeerTier, on proxied requests, is the tier the owning
+// daemon served from.
 type CompileResponse struct {
 	Fingerprint     string  `json:"fingerprint"`
 	Cached          bool    `json:"cached"`
+	Tier            string  `json:"tier"`
+	PeerTier        string  `json:"peer_tier,omitempty"`
 	Collapsed       bool    `json:"collapsed,omitempty"`
 	Tag             string  `json:"tag,omitempty"`
 	Device          string  `json:"device"`
@@ -75,6 +119,21 @@ type CompileResponse struct {
 	QASM      string  `json:"qasm"`
 }
 
+// EpochRequest is the POST /epoch JSON body: any subset of the triple;
+// omitted fields keep their current value. The canonical rollover is
+// {"day": N+1} once a day's calibration lands.
+type EpochRequest struct {
+	Device *string `json:"device,omitempty"`
+	Seed   *int64  `json:"seed,omitempty"`
+	Day    *int    `json:"day,omitempty"`
+}
+
+// EpochResponse is the /epoch JSON reply.
+type EpochResponse struct {
+	Epoch   Epoch `json:"epoch"`
+	Flipped bool  `json:"flipped"`
+}
+
 // ErrorResponse is the JSON error body. Line carries the 1-based source
 // line for parse failures, so clients get actionable 400s.
 type ErrorResponse struct {
@@ -84,26 +143,54 @@ type ErrorResponse struct {
 
 // Stats is the /stats JSON reply.
 type Stats struct {
-	UptimeS   float64    `json:"uptime_s"`
-	Requests  int64      `json:"requests"`
-	Errors    int64      `json:"errors"`
-	Inflight  int64      `json:"inflight"`
-	Collapsed int64      `json:"collapsed"`
-	Solves    int64      `json:"solves"`
-	Cache     CacheStats `json:"cache"`
-	Devices   []string   `json:"devices"`
-	// Text is the human-readable rendering (pipeline stage table + cache
-	// counters), the same string StatsString returns.
+	UptimeS  float64 `json:"uptime_s"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Inflight int64   `json:"inflight"`
+	// MaxConcurrent is the admission-queue width: Inflight at MaxConcurrent
+	// means the solver queue is saturated and further cold compiles wait.
+	MaxConcurrent int   `json:"max_concurrent"`
+	Collapsed     int64 `json:"collapsed"`
+	Solves        int64 `json:"solves"`
+	// Hit-tier split: memory LRU, disk store, served-by-peer, plus peer
+	// fallbacks (owner unreachable, computed locally) and proxied-in
+	// requests (this daemon answered as the ring owner for a peer).
+	MemHits       int64 `json:"mem_hits"`
+	DiskHits      int64 `json:"disk_hits"`
+	PeerHits      int64 `json:"peer_hits"`
+	PeerFallbacks int64 `json:"peer_fallbacks"`
+	ProxiedIn     int64 `json:"proxied_in"`
+	StoreErrors   int64 `json:"store_errors,omitempty"`
+	// Epoch is the current calibration epoch; EpochFlips counts rollovers
+	// since start.
+	Epoch      Epoch `json:"epoch"`
+	EpochFlips int64 `json:"epoch_flips"`
+	// Ring lists the consistent-hash membership (nil in single-node mode);
+	// Self is this daemon's ring identity.
+	Self string   `json:"self,omitempty"`
+	Ring []string `json:"ring,omitempty"`
+	// Cache describes the memory tier; Store the disk tier (nil when the
+	// daemon runs memory-only).
+	Cache   CacheStats  `json:"cache"`
+	Store   *StoreStats `json:"store,omitempty"`
+	Devices []string    `json:"devices"`
+	// Text is the human-readable rendering (pipeline stage table + tier and
+	// cache counters), the same string StatsString returns.
 	Text string `json:"text"`
 }
 
-// Server is the compilation service: a content-addressed artifact cache in
-// front of per-device compilation pipelines, with singleflight collapse of
-// concurrent identical requests and a SolvePool-backed admission queue for
-// cold compiles. All methods are safe for concurrent use.
+// Server is the compilation service: a two-tier content-addressed artifact
+// cache (memory LRU over a persistent disk store) in front of per-device
+// compilation pipelines, with consistent-hash routing across peer daemons,
+// singleflight collapse of concurrent identical requests and a
+// SolvePool-backed admission queue for cold compiles. All methods are safe
+// for concurrent use.
 type Server struct {
 	cfg     Config
 	cache   *Cache
+	store   *Store // nil when Config.StoreDir is empty
+	ring    *Ring  // nil in single-node mode
+	client  *http.Client
 	flight  flightGroup
 	admit   *core.SolvePool
 	started time.Time
@@ -115,15 +202,23 @@ type Server struct {
 	cancel context.CancelFunc
 
 	mu        sync.Mutex
+	cur       Epoch                         // current calibration epoch (canonical device name)
 	engines   map[string]*pipeline.Pipeline // keyed by spec|seed|day
 	engineLRU []string                      // engine keys, least recently used first
-	defKey    string                        // default device key, never evicted
+	defKey    string                        // current-epoch device key, never evicted
 
-	requests  atomic.Int64
-	errors    atomic.Int64
-	inflight  atomic.Int64 // cold compiles currently running or queued
-	collapsed atomic.Int64 // requests that joined an in-flight compile
-	solves    atomic.Int64 // underlying cold compiles actually executed
+	requests      atomic.Int64
+	errors        atomic.Int64
+	inflight      atomic.Int64 // cold compiles currently running or queued
+	collapsed     atomic.Int64 // requests that joined an in-flight compile
+	solves        atomic.Int64 // underlying cold compiles actually executed
+	memHits       atomic.Int64
+	diskHits      atomic.Int64
+	peerHits      atomic.Int64 // requests served by proxying to the ring owner
+	peerFallbacks atomic.Int64 // proxy failures that fell back to local compute
+	proxiedIn     atomic.Int64 // requests this daemon answered for a peer
+	storeErrors   atomic.Int64 // disk-tier write failures (artifact still served)
+	epochFlips    atomic.Int64
 
 	// solveHook, when set (tests), runs at the start of every underlying
 	// cold compile, before the solver is invoked.
@@ -136,14 +231,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Spec == "" {
 		return nil, errors.New("serve: Config.Spec is required")
 	}
+	if len(cfg.Peers) > 0 && cfg.Self == "" {
+		return nil, errors.New("serve: Config.Self is required in multi-node mode (peers set)")
+	}
 	cfg.Pipeline = sanitize(cfg.Pipeline)
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheBytes),
+		client:  &http.Client{},
 		admit:   core.NewSolvePool(cfg.MaxConcurrent),
 		started: time.Now(),
 		ctx:     ctx,
@@ -151,9 +253,29 @@ func New(cfg Config) (*Server, error) {
 		engines: map[string]*pipeline.Pipeline{},
 	}
 	s.defKey = engineKey(cfg.Spec, cfg.Seed, cfg.Day)
-	if _, err := s.engine(cfg.Spec, cfg.Seed, cfg.Day); err != nil {
+	eng, err := s.engine(cfg.Spec, cfg.Seed, cfg.Day)
+	if err != nil {
 		cancel()
 		return nil, err
+	}
+	// The epoch records the canonical device name, so disk-tier epoch
+	// directories and /stats agree regardless of which spec alias the
+	// configuration used.
+	s.cur = Epoch{Device: string(eng.Dev.Name), Seed: cfg.Seed, Day: cfg.Day}
+	if cfg.StoreDir != "" {
+		store, err := NewStore(cfg.StoreDir, cfg.StoreBytes)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		if err := store.SetEpoch(s.cur); err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = store
+	}
+	if len(cfg.Peers) > 0 {
+		s.ring = NewRing(cfg.Self, cfg.Peers)
 	}
 	return s, nil
 }
@@ -162,7 +284,7 @@ func New(cfg Config) (*Server, error) {
 // arbitrary device/seed/day triples, and each engine pins a device model
 // plus its ground-truth noise data, so the map must not grow with
 // untrusted input. Least-recently-used engines (and their aggregated
-// stats) are dropped beyond the bound; the default device is pinned.
+// stats) are dropped beyond the bound; the current-epoch device is pinned.
 const maxEngines = 32
 
 func engineKey(spec string, seed int64, day int) string {
@@ -183,6 +305,46 @@ func sanitize(cfg pipeline.Config) pipeline.Config {
 // artifact is still produced; run-to-optimality solves fail with the
 // cancellation error).
 func (s *Server) Close() { s.cancel() }
+
+// CurrentEpoch returns the calibration epoch requests default to.
+func (s *Server) CurrentEpoch() Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// AdvanceEpoch flips the server's default calibration epoch — the
+// day-rollover path. The new epoch's engine is built (and validated) up
+// front, the disk tier's epoch pointer follows, and old-epoch entries stay
+// servable but age out of the disk tier lazily. Nothing is recompiled
+// eagerly: refills happen admit-on-miss, collapsed by the singleflight, so
+// a rollover never stampedes the solver.
+func (s *Server) AdvanceEpoch(e Epoch) (Epoch, bool, error) {
+	cur := s.CurrentEpoch()
+	if e.Device == "" {
+		e.Device = cur.Device
+	}
+	eng, err := s.engine(e.Device, e.Seed, e.Day)
+	if err != nil {
+		return cur, false, &badRequestError{err}
+	}
+	e.Device = string(eng.Dev.Name)
+	s.mu.Lock()
+	if s.cur == e {
+		s.mu.Unlock()
+		return e, false, nil
+	}
+	s.cur = e
+	s.defKey = engineKey(e.Device, e.Seed, e.Day)
+	s.mu.Unlock()
+	s.epochFlips.Add(1)
+	if s.store != nil {
+		if err := s.store.SetEpoch(e); err != nil {
+			return e, true, err
+		}
+	}
+	return e, true, nil
+}
 
 // engine returns (building on demand) the pipeline for one device triple.
 // Construction happens outside the lock — building a large device
@@ -239,20 +401,30 @@ func (s *Server) touchEngine(key string) {
 	}
 }
 
-// Compile resolves one request through cache → singleflight → admission →
-// cold compile. It is the transport-independent core of the /compile
-// handler.
+// Compile resolves one request through memory cache → disk store → peer
+// ring → singleflight → admission → cold compile. It is the
+// transport-independent core of the /compile handler.
 func (s *Server) Compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+	return s.serve(ctx, req, false)
+}
+
+// serve is Compile plus the forwarded flag: proxied requests (forwarded ==
+// true) must not re-proxy, whatever this daemon thinks the ring looks like.
+func (s *Server) serve(ctx context.Context, req CompileRequest, forwarded bool) (*CompileResponse, error) {
 	s.requests.Add(1)
-	resp, err := s.compile(ctx, req)
+	if forwarded {
+		s.proxiedIn.Add(1)
+	}
+	resp, err := s.compile(ctx, req, forwarded)
 	if err != nil {
 		s.errors.Add(1)
 	}
 	return resp, err
 }
 
-func (s *Server) compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
-	spec, seed, day := s.cfg.Spec, s.cfg.Seed, s.cfg.Day
+func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool) (*CompileResponse, error) {
+	def := s.CurrentEpoch()
+	spec, seed, day := def.Device, def.Seed, def.Day
 	if req.Device != "" {
 		spec = req.Device
 	}
@@ -277,7 +449,29 @@ func (s *Server) compile(ctx context.Context, req CompileRequest) (*CompileRespo
 	// again inside Artifact, but the hot path pays for exactly one pass.
 	fp := eng.Fingerprint(circ)
 	if art, ok := s.cache.Get(fp); ok {
-		return s.response(req, art, true, false), nil
+		s.memHits.Add(1)
+		return s.response(req, art, TierMem, false), nil
+	}
+	if s.store != nil {
+		if art, ok := s.store.Get(fp); ok {
+			s.diskHits.Add(1)
+			// Promote into the memory tier: repeated hits on a restarted
+			// daemon pay the decode exactly once.
+			s.cache.Put(fp, art)
+			return s.response(req, art, TierDisk, false), nil
+		}
+	}
+	if s.ring != nil && !forwarded {
+		if owner := s.ring.Owner(fp); owner != s.ring.Self() {
+			if resp, perr := s.proxyCompile(ctx, owner, req, spec, seed, day); perr == nil {
+				s.peerHits.Add(1)
+				return resp, nil
+			}
+			// Owner unreachable (or failing): compute locally rather than
+			// failing the request. The artifact is admitted to the local
+			// tiers, so a dead peer degrades throughput, not correctness.
+			s.peerFallbacks.Add(1)
+		}
 	}
 	art, shared, err := s.flight.do(ctx, fp,
 		func() { s.collapsed.Add(1) },
@@ -285,11 +479,53 @@ func (s *Server) compile(ctx context.Context, req CompileRequest) (*CompileRespo
 	if err != nil {
 		return nil, err
 	}
-	return s.response(req, art, false, shared), nil
+	return s.response(req, art, TierCold, shared), nil
+}
+
+// proxyCompile forwards one request to the ring owner of its fingerprint.
+// The effective device triple is made explicit first: the owner's default
+// epoch may differ from ours, and the fingerprint must not change in
+// transit.
+func (s *Server) proxyCompile(ctx context.Context, owner string, req CompileRequest, spec string, seed int64, day int) (*CompileResponse, error) {
+	req.Device, req.Seed, req.Day = spec, &seed, &day
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, peerURL(owner)+"/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(peerHeader, s.ring.Self())
+	httpResp, err := s.client.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return nil, fmt.Errorf("peer %s: HTTP %d: %s", owner, httpResp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var resp CompileResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("peer %s: %w", owner, err)
+	}
+	resp.PeerTier, resp.Tier = resp.Tier, TierPeer
+	resp.Cached = false
+	return &resp, nil
+}
+
+// peerURL turns a ring identity (host:port) into a base URL.
+func peerURL(node string) string {
+	if strings.Contains(node, "://") {
+		return strings.TrimSuffix(node, "/")
+	}
+	return "http://" + node
 }
 
 // coldCompile runs one admission-queued compilation under the server's
-// lifecycle context and publishes the artifact.
+// lifecycle context and publishes the artifact to both cache tiers.
 func (s *Server) coldCompile(circ *circuit.Circuit, fp string, eng *pipeline.Pipeline) (*pipeline.CompiledArtifact, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -311,13 +547,21 @@ func (s *Server) coldCompile(circ *circuit.Circuit, fp string, eng *pipeline.Pip
 		return nil, fmt.Errorf("serve: fingerprint drift: %s vs %s", art.Fingerprint, fp)
 	}
 	s.cache.Put(fp, art)
+	if s.store != nil {
+		// Best-effort spill: a full disk must not fail the compile the
+		// solver just paid for. Failures are counted, not hidden.
+		if err := s.store.Put(fp, art); err != nil {
+			s.storeErrors.Add(1)
+		}
+	}
 	return art, nil
 }
 
-func (s *Server) response(req CompileRequest, art *pipeline.CompiledArtifact, cached, collapsed bool) *CompileResponse {
+func (s *Server) response(req CompileRequest, art *pipeline.CompiledArtifact, tier string, collapsed bool) *CompileResponse {
 	resp := &CompileResponse{
 		Fingerprint:     art.Fingerprint,
-		Cached:          cached,
+		Cached:          tier == TierMem || tier == TierDisk,
+		Tier:            tier,
 		Collapsed:       collapsed,
 		Tag:             req.Tag,
 		Device:          art.Device,
@@ -352,24 +596,44 @@ func (s *Server) Stats() Stats {
 	for k := range s.engines {
 		devices = append(devices, k)
 	}
+	epoch := s.cur
 	s.mu.Unlock()
 	sort.Strings(devices)
-	return Stats{
-		UptimeS:   time.Since(s.started).Seconds(),
-		Requests:  s.requests.Load(),
-		Errors:    s.errors.Load(),
-		Inflight:  s.inflight.Load(),
-		Collapsed: s.collapsed.Load(),
-		Solves:    s.solves.Load(),
-		Cache:     s.cache.Stats(),
-		Devices:   devices,
-		Text:      s.StatsString(),
+	st := Stats{
+		UptimeS:       time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		Inflight:      s.inflight.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		Collapsed:     s.collapsed.Load(),
+		Solves:        s.solves.Load(),
+		MemHits:       s.memHits.Load(),
+		DiskHits:      s.diskHits.Load(),
+		PeerHits:      s.peerHits.Load(),
+		PeerFallbacks: s.peerFallbacks.Load(),
+		ProxiedIn:     s.proxiedIn.Load(),
+		StoreErrors:   s.storeErrors.Load(),
+		Epoch:         epoch,
+		EpochFlips:    s.epochFlips.Load(),
+		Cache:         s.cache.Stats(),
+		Devices:       devices,
+		Text:          s.StatsString(),
 	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
+	}
+	if s.ring != nil {
+		st.Self = s.ring.Self()
+		st.Ring = s.ring.Nodes()
+	}
+	return st
 }
 
 // StatsString renders the service statistics: the per-device pipeline stage
-// tables (cold compiles only — hits never touch a stage) with the cache
-// hit/miss/inflight counters threaded in at the end.
+// tables (cold compiles only — hits never touch a stage), the cache and
+// hit-tier counters, and — when configured — the disk tier, epoch and ring
+// membership.
 func (s *Server) StatsString() string {
 	s.mu.Lock()
 	keys := make([]string, 0, len(s.engines))
@@ -381,6 +645,7 @@ func (s *Server) StatsString() string {
 	for i, k := range keys {
 		engines[i] = s.engines[k]
 	}
+	epoch := s.cur
 	s.mu.Unlock()
 	var sb strings.Builder
 	for i, k := range keys {
@@ -391,14 +656,27 @@ func (s *Server) StatsString() string {
 	fmt.Fprintf(&sb, "cache: %d hits  %d misses  %d collapsed  %d inflight  %d solves  %d entries  %d/%d bytes  %d evictions\n",
 		cs.Hits, cs.Misses, s.collapsed.Load(), s.inflight.Load(), s.solves.Load(),
 		cs.Entries, cs.Bytes, cs.MaxBytes, cs.Evictions)
+	fmt.Fprintf(&sb, "tiers: %d mem  %d disk  %d peer  %d cold solves  (%d peer fallbacks, %d proxied in)\n",
+		s.memHits.Load(), s.diskHits.Load(), s.peerHits.Load(), s.solves.Load(),
+		s.peerFallbacks.Load(), s.proxiedIn.Load())
+	if s.store != nil {
+		ss := s.store.Stats()
+		fmt.Fprintf(&sb, "store: %d entries  %d/%d bytes  %d hits  %d misses  %d writes  %d evictions  %d quarantined  (%s)\n",
+			ss.Entries, ss.Bytes, ss.MaxBytes, ss.Hits, ss.Misses, ss.Writes, ss.Evictions, ss.Quarantined, ss.Dir)
+	}
+	fmt.Fprintf(&sb, "epoch: %s  (%d flips)\n", epoch, s.epochFlips.Load())
+	if s.ring != nil {
+		fmt.Fprintf(&sb, "ring: self=%s  nodes=%s\n", s.ring.Self(), strings.Join(s.ring.Nodes(), " "))
+	}
 	return sb.String()
 }
 
-// Handler returns the HTTP surface: POST /compile, GET /stats, GET
-// /healthz.
+// Handler returns the HTTP surface: POST /compile, GET|POST /epoch, GET
+// /stats, GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/epoch", s.handleEpoch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -410,8 +688,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// MaxBytesReader errors past the limit instead of silently truncating:
-	// an oversized circuit must be rejected, never compiled as its prefix.
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	// an oversized circuit must be rejected (413), never compiled as its
+	// prefix and never allowed to stall a worker on an unbounded read.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
@@ -431,7 +710,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// Raw program body (curl-friendly): the whole payload is the source.
 		req.Source = string(body)
 	}
-	resp, err := s.Compile(r.Context(), req)
+	resp, err := s.serve(r.Context(), req, r.Header.Get(peerHeader) != "")
 	if err != nil {
 		status := http.StatusInternalServerError
 		var bad *badRequestError
@@ -447,6 +726,51 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEpoch reads (GET) or flips (POST) the calibration epoch. A day
+// rollover is one POST {"day": N}: the epoch pointer moves, the disk tier
+// starts preferring old-epoch entries for eviction, and the working set
+// refills admit-on-miss under singleflight — no solver stampede.
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, EpochResponse{Epoch: s.CurrentEpoch()})
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		var req EpochRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad JSON: " + err.Error()})
+			return
+		}
+		next := s.CurrentEpoch()
+		if req.Device != nil {
+			next.Device = *req.Device
+		}
+		if req.Seed != nil {
+			next.Seed = *req.Seed
+		}
+		if req.Day != nil {
+			next.Day = *req.Day
+		}
+		e, flipped, err := s.AdvanceEpoch(next)
+		if err != nil {
+			status := http.StatusInternalServerError
+			var bad *badRequestError
+			if errors.As(err, &bad) {
+				status = http.StatusBadRequest
+			}
+			writeJSON(w, status, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, EpochResponse{Epoch: e, Flipped: flipped})
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET or POST required"})
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xtalk/internal/pipeline"
+)
+
+// DefaultStoreBytes bounds the disk tier when the configuration does not
+// set one (512 MiB — roughly 10^5 large-device artifacts).
+const DefaultStoreBytes = 512 << 20
+
+// Epoch identifies one calibration generation: a device spec, its
+// calibration seed, and the calibration day. Artifact fingerprints already
+// hash all three, so epochs never alias; the epoch's job is coarser — it
+// groups disk-tier entries so a calibration-day rollover can flip a pointer
+// and let the previous generation age out lazily instead of being deleted
+// (or worse, stampeding the solver for the whole working set at once).
+type Epoch struct {
+	Device string `json:"device"`
+	Seed   int64  `json:"seed"`
+	Day    int    `json:"day"`
+}
+
+// String renders the epoch in the same spec|seed|day shape engine keys use.
+func (e Epoch) String() string { return fmt.Sprintf("%s|%d|%d", e.Device, e.Seed, e.Day) }
+
+// dirName returns the epoch's filesystem-safe directory name: the sanitized
+// triple plus a short hash of the exact string, so distinct epochs whose
+// sanitized forms collide still get distinct directories.
+func (e Epoch) dirName() string {
+	s := e.String()
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+	sum := sha256.Sum256([]byte(s))
+	return sanitized + "-" + hex.EncodeToString(sum[:4])
+}
+
+// StoreStats is a snapshot of the disk tier's counters.
+type StoreStats struct {
+	// Dir is the store root; Epoch is the current-epoch pointer.
+	Dir   string `json:"dir"`
+	Epoch string `json:"epoch"`
+	// Entries and Bytes describe current occupancy; MaxBytes is the bound.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	// Hits/Misses count Get outcomes; Writes counts successful Puts;
+	// Evictions counts artifacts dropped to respect the size bound.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	// Quarantined counts damaged entries renamed aside (.bad) instead of
+	// served: truncated or bit-flipped files, checksum failures, fingerprint
+	// mismatches, and torn .tmp writes found at startup.
+	Quarantined int64 `json:"quarantined"`
+}
+
+// storeEntry is the in-memory index record for one on-disk artifact.
+type storeEntry struct {
+	path  string
+	epoch string // epoch directory name the entry lives under
+	size  int64
+	mtime time.Time
+}
+
+// Store is the persistent tier of the artifact cache: one file per
+// artifact, named by its content fingerprint, grouped into per-epoch
+// directories, written atomically (tmp + rename) in the self-verifying
+// binary format of pipeline.EncodeBinary. The size bound is enforced by
+// LRU-by-mtime eviction that prefers entries outside the current epoch, so
+// a calibration rollover drains the old generation first while its still-hot
+// tail keeps serving. Damaged entries are quarantined (renamed to .bad and
+// counted), never served. All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	max   int64
+	epoch string // current epoch directory name ("" until SetEpoch)
+	bytes int64
+	index map[string]*storeEntry // fingerprint -> entry
+
+	hits, misses, writes, evicted, quarantined int64
+	epochStr                                   string
+}
+
+const (
+	artSuffix  = ".art"
+	badSuffix  = ".bad"
+	tmpSuffix  = ".tmp"
+	epochFile  = "CURRENT"
+	storePerm  = 0o644
+	storeDirPm = 0o755
+)
+
+// NewStore opens (creating if needed) a disk store rooted at dir, bounded
+// to maxBytes of artifact payload (DefaultStoreBytes when maxBytes <= 0).
+// The existing contents are indexed by a directory walk; torn .tmp files
+// from a crashed writer are renamed aside and counted as quarantined.
+func NewStore(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultStoreBytes
+	}
+	if err := os.MkdirAll(dir, storeDirPm); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, max: maxBytes, index: map[string]*storeEntry{}}
+	if b, err := os.ReadFile(filepath.Join(dir, epochFile)); err == nil {
+		s.epochStr = strings.TrimSpace(string(b))
+	}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// A writer died between create and rename: the entry was never
+			// visible, but the torn bytes must not linger as live storage.
+			if renameErr := os.Rename(path, path+badSuffix); renameErr == nil {
+				s.quarantined++
+			}
+		case strings.HasSuffix(name, artSuffix):
+			info, statErr := d.Info()
+			if statErr != nil {
+				return nil
+			}
+			fp := strings.TrimSuffix(name, artSuffix)
+			s.index[fp] = &storeEntry{
+				path:  path,
+				epoch: filepath.Base(filepath.Dir(path)),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			}
+			s.bytes += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scan %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// SetEpoch flips the current-epoch pointer. Entries of other epochs stay on
+// disk and keep serving hits, but become the preferred eviction victims.
+// The pointer is persisted (atomically) so a restarted daemon resumes with
+// the same notion of "current".
+func (s *Store) SetEpoch(e Epoch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch = e.dirName()
+	s.epochStr = e.String()
+	tmp := filepath.Join(s.dir, epochFile+tmpSuffix)
+	if err := os.WriteFile(tmp, []byte(e.String()+"\n"), storePerm); err != nil {
+		return fmt.Errorf("store: epoch pointer: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, epochFile)); err != nil {
+		return fmt.Errorf("store: epoch pointer: %w", err)
+	}
+	return nil
+}
+
+// Get returns the artifact stored under fingerprint fp, or (nil, false) on
+// a miss. A structurally damaged entry — truncated, bit-flipped, checksum
+// or fingerprint mismatch — is quarantined (renamed to .bad, counted) and
+// reported as a miss, so the caller recompiles instead of serving damage.
+// A hit refreshes the entry's mtime: recency survives restarts because the
+// eviction order is mtime on disk, not in-memory bookkeeping.
+func (s *Store) Get(fp string) (*pipeline.CompiledArtifact, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[fp]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	b, err := os.ReadFile(e.path)
+	if err != nil {
+		// The file vanished under us (external cleanup): drop the entry.
+		s.dropLocked(fp, e, false)
+		s.misses++
+		return nil, false
+	}
+	art, err := pipeline.DecodeArtifact(b)
+	if err == nil && art.Fingerprint != fp {
+		err = fmt.Errorf("%w: fingerprint mismatch: file %s holds %s", pipeline.ErrCorruptArtifact, fp, art.Fingerprint)
+	}
+	if err != nil {
+		s.quarantineLocked(fp, e)
+		s.misses++
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(e.path, now, now)
+	e.mtime = now
+	s.hits++
+	return art, true
+}
+
+// Put persists art under fingerprint fp with an atomic tmp+rename write,
+// then evicts least-recently-used entries (old epochs first) until the size
+// bound holds again. Like the memory tier, the bound is an invariant: an
+// artifact larger than the whole bound is written and immediately evicted.
+func (s *Store) Put(fp string, art *pipeline.CompiledArtifact) error {
+	b := art.EncodeBinary()
+	ep := Epoch{Device: art.Device, Seed: art.Seed, Day: art.Day}.dirName()
+	epDir := filepath.Join(s.dir, ep)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(epDir, storeDirPm); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(epDir, fp+artSuffix)
+	tmp := path + tmpSuffix
+	if err := os.WriteFile(tmp, b, storePerm); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if old, ok := s.index[fp]; ok {
+		s.bytes -= old.size
+		if old.path != path {
+			os.Remove(old.path)
+		}
+	}
+	s.index[fp] = &storeEntry{path: path, epoch: ep, size: int64(len(b)), mtime: time.Now()}
+	s.bytes += int64(len(b))
+	s.writes++
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked removes entries until bytes <= max: victims are ordered
+// old-epoch-first, then oldest mtime. Caller holds s.mu.
+func (s *Store) evictLocked() {
+	if s.bytes <= s.max {
+		return
+	}
+	type victim struct {
+		fp string
+		e  *storeEntry
+	}
+	victims := make([]victim, 0, len(s.index))
+	for fp, e := range s.index {
+		victims = append(victims, victim{fp, e})
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		ci, cj := victims[i].e.epoch == s.epoch, victims[j].e.epoch == s.epoch
+		if ci != cj {
+			return !ci // non-current epoch evicts first
+		}
+		return victims[i].e.mtime.Before(victims[j].e.mtime)
+	})
+	for _, v := range victims {
+		if s.bytes <= s.max {
+			break
+		}
+		s.dropLocked(v.fp, v.e, true)
+		s.evicted++
+	}
+}
+
+// dropLocked removes one entry from the index (and, when remove is set, the
+// file from disk). Caller holds s.mu.
+func (s *Store) dropLocked(fp string, e *storeEntry, remove bool) {
+	if remove {
+		os.Remove(e.path)
+	}
+	delete(s.index, fp)
+	s.bytes -= e.size
+}
+
+// quarantineLocked renames a damaged entry aside (.bad) so it is preserved
+// for post-mortems but can never be served again. Caller holds s.mu.
+func (s *Store) quarantineLocked(fp string, e *storeEntry) {
+	if err := os.Rename(e.path, e.path+badSuffix); err != nil {
+		// Rename failed (e.g. the file vanished): fall back to removal so a
+		// damaged entry cannot be re-read either way.
+		os.Remove(e.path)
+	}
+	delete(s.index, fp)
+	s.bytes -= e.size
+	s.quarantined++
+}
+
+// Len returns the number of live (non-quarantined) artifacts on disk.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of the disk-tier counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Dir:         s.dir,
+		Epoch:       s.epochStr,
+		Entries:     len(s.index),
+		Bytes:       s.bytes,
+		MaxBytes:    s.max,
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Writes:      s.writes,
+		Evictions:   s.evicted,
+		Quarantined: s.quarantined,
+	}
+}

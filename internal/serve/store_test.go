@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xtalk/internal/pipeline"
+)
+
+// storeArtifact builds a synthetic artifact for store-level tests (server
+// tests cover real compiled artifacts).
+func storeArtifact(fp, dev string, day int, payload string) *pipeline.CompiledArtifact {
+	return &pipeline.CompiledArtifact{
+		Fingerprint: fp,
+		Device:      dev,
+		Seed:        1,
+		Day:         day,
+		Scheduler:   "XtalkSched",
+		QASM:        payload,
+		Makespan:    100,
+		Cost:        0.5,
+		CompileTime: 3 * time.Millisecond,
+	}
+}
+
+func mustNewStore(t *testing.T, dir string, max int64) *Store {
+	t.Helper()
+	s, err := NewStore(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreRoundTripAndRestart: a Put survives into a fresh Store over the
+// same directory and decodes field-identically.
+func TestStoreRoundTripAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNewStore(t, dir, 0)
+	art := storeArtifact("aa11", "heavyhex:27", 0, "OPENQASM 2.0;\nqreg q[27];\n")
+	if err := s.Put("aa11", art); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("aa11")
+	if !ok || !reflect.DeepEqual(art, got) {
+		t.Fatalf("same-store get diverged: ok=%v %+v", ok, got)
+	}
+
+	// Restart: a brand-new Store must index and serve the entry.
+	s2 := mustNewStore(t, dir, 0)
+	got2, ok := s2.Get("aa11")
+	if !ok || !reflect.DeepEqual(art, got2) {
+		t.Fatalf("restarted store get diverged: ok=%v %+v", ok, got2)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Hits != 1 || st.Bytes <= 0 {
+		t.Fatalf("restarted store stats off: %+v", st)
+	}
+
+	if _, ok := s2.Get("nosuch"); ok {
+		t.Fatal("missing key reported a hit")
+	}
+}
+
+// TestStoreQuarantinesDamage: truncated bytes, flipped bits and
+// wrong-fingerprint files must be renamed aside (.bad), counted, and
+// reported as misses — never served.
+func TestStoreQuarantinesDamage(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNewStore(t, dir, 0)
+	for _, fp := range []string{"t1", "t2", "t3"} {
+		if err := s.Put(fp, storeArtifact(fp, "heavyhex:27", 0, strings.Repeat("x", 200))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := func(fp string) string {
+		e, ok := s.index[fp]
+		if !ok {
+			t.Fatalf("no index entry for %s", fp)
+		}
+		return e.path
+	}
+	// t1: truncate mid-payload (a torn write that still got renamed).
+	b, err := os.ReadFile(path("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path("t1"), b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// t2: flip one payload bit.
+	b2, err := os.ReadFile(path("t2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2[40] ^= 0x10
+	if err := os.WriteFile(path("t2"), b2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// t3: structurally valid artifact stored under the wrong fingerprint.
+	wrong := storeArtifact("other", "heavyhex:27", 0, "y").EncodeBinary()
+	if err := os.WriteFile(path("t3"), wrong, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fp := range []string{"t1", "t2", "t3"} {
+		if _, ok := s.Get(fp); ok {
+			t.Fatalf("%s: damaged entry was served", fp)
+		}
+		// Damage is sticky: a second Get is a plain miss, not a double count.
+		if _, ok := s.Get(fp); ok {
+			t.Fatalf("%s: quarantined entry resurrected", fp)
+		}
+	}
+	st := s.Stats()
+	if st.Quarantined != 3 {
+		t.Fatalf("quarantined %d entries, want 3: %+v", st.Quarantined, st)
+	}
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("damaged entries still counted live: %+v", st)
+	}
+	bad, err := filepath.Glob(filepath.Join(dir, "*", "*"+badSuffix))
+	if err != nil || len(bad) != 3 {
+		t.Fatalf("want 3 .bad files renamed aside, got %v (%v)", bad, err)
+	}
+}
+
+// TestStoreScanQuarantinesTornTmp: a .tmp left by a writer killed before
+// rename must be renamed aside at startup and counted.
+func TestStoreScanQuarantinesTornTmp(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNewStore(t, dir, 0)
+	if err := s.Put("live", storeArtifact("live", "heavyhex:27", 0, "z")); err != nil {
+		t.Fatal(err)
+	}
+	epDir := filepath.Dir(s.index["live"].path)
+	torn := filepath.Join(epDir, "torn"+artSuffix+tmpSuffix)
+	if err := os.WriteFile(torn, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNewStore(t, dir, 0)
+	if st := s2.Stats(); st.Quarantined != 1 || st.Entries != 1 {
+		t.Fatalf("startup scan stats %+v, want 1 quarantined / 1 live", st)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn tmp still present: %v", err)
+	}
+	if _, err := os.Stat(torn + badSuffix); err != nil {
+		t.Fatalf("torn tmp not renamed aside: %v", err)
+	}
+	if _, ok := s2.Get("live"); !ok {
+		t.Fatal("live entry lost during scan")
+	}
+}
+
+// TestStoreEvictionPrefersOldEpochs: over the byte bound, entries outside
+// the current epoch evict first, then LRU-by-mtime within the epoch.
+func TestStoreEvictionPrefersOldEpochs(t *testing.T) {
+	dir := t.TempDir()
+	payload := strings.Repeat("q", 300)
+	one := storeArtifact("probe", "heavyhex:27", 0, payload).EncodeBinary()
+	// Bound: four entries fit, a fifth forces one eviction.
+	s := mustNewStore(t, dir, int64(len(one))*4+10)
+
+	// Two entries in the day-0 epoch, then flip to day 1.
+	for _, fp := range []string{"old-a", "old-b"} {
+		if err := s.Put(fp, storeArtifact(fp, "heavyhex:27", 0, payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetEpoch(Epoch{Device: "heavyhex:27", Seed: 1, Day: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// old-b is the most recently used old-epoch entry...
+	if _, ok := s.Get("old-b"); !ok {
+		t.Fatal("old-b missing")
+	}
+	for _, fp := range []string{"new-a", "new-b", "new-c"} {
+		if err := s.Put(fp, storeArtifact(fp, "heavyhex:27", 1, payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...but eviction still prefers the old epoch: old-a goes first.
+	if _, ok := s.Get("old-a"); ok {
+		t.Fatal("expected old-a (old epoch, least recent) to be evicted")
+	}
+	for _, fp := range []string{"old-b", "new-a", "new-b", "new-c"} {
+		if _, ok := s.Get(fp); !ok {
+			t.Fatalf("%s unexpectedly evicted", fp)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Bytes > st.MaxBytes {
+		t.Fatalf("eviction accounting off: %+v", st)
+	}
+
+	// One more new-epoch put: old-b (last old-epoch entry) goes before any
+	// current-epoch entry, despite being recently touched.
+	if err := s.Put("new-d", storeArtifact("new-d", "heavyhex:27", 1, payload)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("old-b"); ok {
+		t.Fatal("expected old-b to be evicted before current-epoch entries")
+	}
+}
+
+// TestStoreEpochPointerPersists: SetEpoch survives a restart via the
+// CURRENT file.
+func TestStoreEpochPointerPersists(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNewStore(t, dir, 0)
+	e := Epoch{Device: "grid:5x8", Seed: 7, Day: 3}
+	if err := s.SetEpoch(e); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustNewStore(t, dir, 0)
+	if got := s2.Stats().Epoch; got != e.String() {
+		t.Fatalf("restarted epoch pointer %q, want %q", got, e.String())
+	}
+}
+
+// TestStoreOversizedArtifactNeverExceedsBound: like the memory tier, the
+// byte bound is an invariant even for artifacts larger than the bound.
+func TestStoreOversizedArtifactNeverExceedsBound(t *testing.T) {
+	s := mustNewStore(t, t.TempDir(), 128)
+	art := storeArtifact("big", "heavyhex:27", 0, strings.Repeat("w", 4096))
+	if err := s.Put("big", art); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bound violated: %+v", st)
+	}
+	if _, ok := s.Get("big"); ok {
+		t.Fatal("oversized artifact should have been evicted immediately")
+	}
+}

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Fleet-serving latency benchmark: start a two-daemon xtalkd fleet with
+# persistent stores, seed it with one xtalkload pass (cold solves populate
+# both disk tiers), restart both daemons (memory cold, disks warm), then
+# replay a larger trace with day churn. The measured pass exercises every
+# hit tier — mem (Zipf-hot repeats), disk (restart warm hits), peer
+# (fingerprints owned by the other daemon) and cold (new day / new jobs) —
+# and writes the per-tier latency split to BENCH_serve.json.
+#
+# Tunables (env): OUT, DEVICE, DUR, JOBS, CLIENTS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${OUT:-BENCH_serve.json}"
+DEVICE="${DEVICE:-poughkeepsie}"
+DUR="${DUR:-10s}"
+JOBS="${JOBS:-24}"
+CLIENTS="${CLIENTS:-8}"
+ADDR_A="127.0.0.1:${BENCH_PORT_A:-18081}"
+ADDR_B="127.0.0.1:${BENCH_PORT_B:-18082}"
+TMP="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "bench_serve: $1" >&2
+  tail -20 "$TMP"/*.log >&2 || true
+  exit 1
+}
+
+go build -o "$TMP/xtalkd" ./cmd/xtalkd
+go build -o "$TMP/xtalkload" ./cmd/xtalkload
+
+# start_daemon <addr> <peer-addr> <store-dir> <log>
+# The tiny -cache-kb keeps the memory tier small enough that the disk tier
+# stays in play even within one pass.
+start_daemon() {
+  "$TMP/xtalkd" -addr "$1" -self "$1" -peers "$2" -device "$DEVICE" \
+    -partition -budget 2s -store "$3" -cache-kb 256 >>"$4" 2>&1 &
+  PIDS+=("$!")
+}
+
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  fail "daemon $1 never became healthy"
+}
+
+stop_all() {
+  for pid in "${PIDS[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+  PIDS=()
+}
+
+echo "== phase 1: seed the fleet (cold solves populate both disk stores)"
+start_daemon "$ADDR_A" "$ADDR_B" "$TMP/storeA" "$TMP/daemonA.log"
+start_daemon "$ADDR_B" "$ADDR_A" "$TMP/storeB" "$TMP/daemonB.log"
+wait_healthy "$ADDR_A"
+wait_healthy "$ADDR_B"
+"$TMP/xtalkload" -addr "$ADDR_A" -devices "$DEVICE" -jobs "$JOBS" -days 1 \
+  -c "$CLIENTS" -duration "$DUR" -out "$TMP/seed.json" || fail "seed pass failed"
+
+echo "== phase 2: restart both daemons (memory cold, disks warm)"
+stop_all
+start_daemon "$ADDR_A" "$ADDR_B" "$TMP/storeA" "$TMP/daemonA.log"
+start_daemon "$ADDR_B" "$ADDR_A" "$TMP/storeB" "$TMP/daemonB.log"
+wait_healthy "$ADDR_A"
+wait_healthy "$ADDR_B"
+
+echo "== phase 3: measured pass (Zipf repeats + restart warm hits + day churn)"
+"$TMP/xtalkload" -addr "$ADDR_A" -devices "$DEVICE" -jobs "$((JOBS * 2))" -days 2 \
+  -c "$CLIENTS" -duration "$DUR" -out "$OUT" || fail "measured pass failed"
+
+# Sanity: the artifact must carry a latency split for the disk tier (the
+# whole point of the restart) and a nonzero hit rate.
+python3 - "$OUT" <<'EOF' || fail "benchmark artifact failed sanity checks"
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["requests"] > 0 and d["errors"] == 0, d
+assert "disk" in d["tiers"], f"no disk-tier samples: {list(d['tiers'])}"
+assert d["hit_rate"] > 0, d["hit_rate"]
+print("bench_serve: tiers " + ", ".join(
+    f"{k}: n={v['count']} p50={v['p50_ms']:.2f}ms p99={v['p99_ms']:.2f}ms"
+    for k, v in sorted(d["tiers"].items())))
+print(f"bench_serve: hit rate {d['hit_rate']:.2f}, "
+      f"saturation mean inflight {d['saturation']['mean_inflight']:.2f}/"
+      f"{d['saturation']['max_concurrent']}")
+EOF
+
+stop_all
+echo "bench_serve: OK -> $OUT"

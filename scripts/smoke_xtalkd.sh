@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # Smoke test for the xtalkd compilation daemon: start it on heavyhex:27,
 # compile the same circuit twice (second response must be a cache hit —
-# via the xtalksched -serve client to exercise that path too), then shut
-# down cleanly with SIGTERM. CI runs this after the unit suite.
+# via the xtalksched -serve client to exercise that path too), shut down
+# cleanly with SIGTERM, then restart over the same disk store and assert
+# the warm hit is served from disk with zero solver invocations. A final
+# phase checks two-daemon consistent-hash peer routing and runs a short
+# xtalkload trace. CI runs this after the unit suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 ADDR="127.0.0.1:${XTALKD_PORT:-18077}"
+ADDR_B="127.0.0.1:${XTALKD_PORT_B:-18078}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/xtalkd" ./cmd/xtalkd
 go build -o "$TMP/xtalksched" ./cmd/xtalksched
 go build -o "$TMP/xtalkcert" ./cmd/xtalkcert
+go build -o "$TMP/xtalkload" ./cmd/xtalkload
 
 # -certify: every compile the daemon serves must also pass the independent
-# schedule certifier before it leaves the pipeline.
+# schedule certifier before it leaves the pipeline. -store enables the
+# persistent tier the restart phase below depends on.
 "$TMP/xtalkd" -addr "$ADDR" -device heavyhex:27 -partition -budget 2s -certify \
-  >"$TMP/xtalkd.log" 2>&1 &
+  -store "$TMP/store" >"$TMP/xtalkd.log" 2>&1 &
 XTALKD_PID=$!
 
 fail() {
@@ -81,4 +87,71 @@ fi
 wait "$XTALKD_PID" || fail "daemon exited non-zero"
 grep -q "bye" "$TMP/xtalkd.log" || fail "daemon did not log a clean shutdown"
 
-echo "smoke_xtalkd: OK (cold compile + client cache hit + clean shutdown)"
+# --- restart over the same store: the previously compiled fingerprint must
+# be served from the disk tier with zero solver invocations.
+"$TMP/xtalkd" -addr "$ADDR" -device heavyhex:27 -partition -budget 2s \
+  -store "$TMP/store" >"$TMP/xtalkd2.log" 2>&1 &
+XTALKD_PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  kill -0 "$XTALKD_PID" 2>/dev/null || { cat "$TMP/xtalkd2.log" >&2; fail "restarted daemon died during startup"; }
+  sleep 0.2
+done
+WARM="$(curl -fsS -X POST --data-binary @"$TMP/circ.qasm" "http://$ADDR/compile")" \
+  || fail "post-restart compile failed"
+echo "$WARM" | grep -q '"tier":"disk"' || fail "restart compile not served from disk: $WARM"
+echo "$WARM" | grep -q '"cached":true' || fail "restart compile not reported cached: $WARM"
+WARM_FP="$(echo "$WARM" | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p')"
+FIRST_FP="$(echo "$FIRST" | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p')"
+[ -n "$WARM_FP" ] && [ "$WARM_FP" = "$FIRST_FP" ] || fail "restart fingerprint drifted: $WARM_FP vs $FIRST_FP"
+STATS="$(curl -fsS "http://$ADDR/stats")"
+echo "$STATS" | grep -q '"solves":0' || fail "restarted daemon invoked the solver: $STATS"
+echo "$STATS" | grep -q '"disk_hits":1' || fail "restart hit not attributed to the disk tier: $STATS"
+kill -TERM "$XTALKD_PID"
+wait "$XTALKD_PID" || fail "restarted daemon exited non-zero"
+
+# --- two-daemon fleet: both daemons build the same consistent-hash ring,
+# the non-owner proxies to the owner, and the fleet solves each
+# fingerprint exactly once.
+"$TMP/xtalkd" -addr "$ADDR" -self "$ADDR" -peers "$ADDR_B" -device heavyhex:27 \
+  -partition -budget 2s >"$TMP/fleetA.log" 2>&1 &
+PID_A=$!
+"$TMP/xtalkd" -addr "$ADDR_B" -self "$ADDR_B" -peers "$ADDR" -device heavyhex:27 \
+  -partition -budget 2s >"$TMP/fleetB.log" 2>&1 &
+PID_B=$!
+fleet_fail() {
+  echo "smoke_xtalkd: $1" >&2
+  tail -20 "$TMP/fleetA.log" "$TMP/fleetB.log" >&2 || true
+  kill "$PID_A" "$PID_B" 2>/dev/null || true
+  exit 1
+}
+for d in "$ADDR" "$ADDR_B"; do
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$d/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fsS "http://$d/healthz" >/dev/null || fleet_fail "fleet daemon $d never became healthy"
+done
+RA="$(curl -fsS -X POST --data-binary @"$TMP/circ.qasm" "http://$ADDR/compile")" \
+  || fleet_fail "fleet compile via A failed"
+RB="$(curl -fsS -X POST --data-binary @"$TMP/circ.qasm" "http://$ADDR_B/compile")" \
+  || fleet_fail "fleet compile via B failed"
+echo "$RA$RB" | grep -q '"tier":"peer"' || fleet_fail "no request was proxied to the ring owner: $RA / $RB"
+SA="$(curl -fsS "http://$ADDR/stats")"
+SB="$(curl -fsS "http://$ADDR_B/stats")"
+SOLVES_A="$(echo "$SA" | sed -n 's/.*"solves":\([0-9]*\).*/\1/p')"
+SOLVES_B="$(echo "$SB" | sed -n 's/.*"solves":\([0-9]*\).*/\1/p')"
+[ "$((SOLVES_A + SOLVES_B))" = "1" ] \
+  || fleet_fail "fleet solved $SOLVES_A+$SOLVES_B times for one fingerprint, want exactly 1"
+
+# --- short xtalkload trace against the fleet.
+"$TMP/xtalkload" -addr "$ADDR" -devices heavyhex:27 -n 10 -jobs 4 -c 2 \
+  -out "$TMP/load.json" >"$TMP/load.log" 2>&1 || fleet_fail "xtalkload smoke failed: $(cat "$TMP/load.log")"
+grep -q '"errors": 0' "$TMP/load.json" || fleet_fail "xtalkload reported errors: $(cat "$TMP/load.json")"
+grep -q '"requests": 10' "$TMP/load.json" || fleet_fail "xtalkload request count off: $(cat "$TMP/load.json")"
+
+kill -TERM "$PID_A" "$PID_B"
+wait "$PID_A" || fleet_fail "fleet daemon A exited non-zero"
+wait "$PID_B" || fleet_fail "fleet daemon B exited non-zero"
+
+echo "smoke_xtalkd: OK (cold compile + client cache hit + restart disk hit with 0 solves + peer routing + xtalkload)"

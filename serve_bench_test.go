@@ -32,10 +32,17 @@ func heavyhexQAOASource(tb testing.TB) string {
 }
 
 func newServeBenchServer(tb testing.TB) *serve.Server {
+	return newServeBenchServerWithStore(tb, "")
+}
+
+// newServeBenchServerWithStore optionally attaches the persistent disk tier
+// rooted at dir (empty = memory-only).
+func newServeBenchServerWithStore(tb testing.TB, dir string) *serve.Server {
 	tb.Helper()
 	s, err := serve.New(serve.Config{
-		Spec: "heavyhex:27",
-		Seed: 1,
+		Spec:     "heavyhex:27",
+		Seed:     1,
+		StoreDir: dir,
 		Pipeline: pipeline.Config{
 			Budget:         2 * time.Second,
 			Partition:      true,
@@ -124,5 +131,56 @@ func TestCompileCachedSpeedup(t *testing.T) {
 	if speedup < 100 {
 		t.Fatalf("cache hit only %.1fx faster than cold compile (%v vs %v), want >= 100x",
 			speedup, hitTime, coldTime)
+	}
+}
+
+// TestDiskWarmHitSpeedup is the persistence acceptance gate: a *restarted*
+// daemon over a warm disk store must serve a previously compiled
+// fingerprint at least 100x faster than the cold heavyhex:27 solve — and
+// with zero solver invocations. The disk path pays a file read, a checksum
+// and a binary decode, all sub-millisecond against a multi-hundred-ms SMT
+// solve.
+func TestDiskWarmHitSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold heavyhex:27 solve in -short mode")
+	}
+	dir := t.TempDir()
+	src := heavyhexQAOASource(t)
+
+	s1 := newServeBenchServerWithStore(t, dir)
+	t0 := time.Now()
+	cold, err := s1.Compile(context.Background(), serve.CompileRequest{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTime := time.Since(t0)
+	if cold.Tier != serve.TierCold {
+		t.Fatalf("first compile tier %q, want cold", cold.Tier)
+	}
+	s1.Close()
+
+	// Restart: new server state, empty memory tier, warm disk.
+	s2 := newServeBenchServerWithStore(t, dir)
+	t0 = time.Now()
+	warm, err := s2.Compile(context.Background(), serve.CompileRequest{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTime := time.Since(t0)
+	if warm.Tier != serve.TierDisk || warm.Fingerprint != cold.Fingerprint || warm.QASM != cold.QASM {
+		t.Fatalf("restart compile tier %q fp match %v, want bit-identical disk hit",
+			warm.Tier, warm.Fingerprint == cold.Fingerprint)
+	}
+	if st := s2.Stats(); st.Solves != 0 {
+		t.Fatalf("restarted daemon ran %d solves for a stored fingerprint, want 0", st.Solves)
+	}
+	if warmTime == 0 {
+		warmTime = time.Nanosecond
+	}
+	speedup := float64(coldTime) / float64(warmTime)
+	t.Logf("cold %v, disk warm hit %v, speedup %.0fx", coldTime, warmTime, speedup)
+	if speedup < 100 {
+		t.Fatalf("disk warm hit only %.1fx faster than cold solve (%v vs %v), want >= 100x",
+			speedup, warmTime, coldTime)
 	}
 }
