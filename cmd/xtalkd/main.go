@@ -18,14 +18,23 @@
 //	xtalkd -addr :8077 -store /var/lib/xtalkd -store-mb 512
 //	xtalkd -addr :8077 -self hostA:8077 -peers hostB:8077,hostC:8077 -store /var/lib/xtalkd
 //
+// Failure domains are first-class: peer proxying runs behind per-peer
+// circuit breakers with bounded retries, client deadlines (deadline_ms)
+// propagate into the solver budget, a bounded admission queue sheds load
+// with 429/503 + Retry-After instead of queueing unboundedly, and SIGTERM
+// triggers a graceful drain (stop admitting, finish in-flight, flush the
+// store). -faults installs the deterministic fault-injection rig
+// (internal/faultinject) for chaos testing.
+//
 // API (see internal/serve):
 //
 //	POST /compile   {"source": "<OpenQASM or gate-list>", "device": "...", "day": N}
 //	                (a non-JSON body is treated as the raw source)
 //	GET  /epoch     current calibration epoch {device, seed, day}
 //	POST /epoch     flip the epoch, e.g. {"day": 2} on calibration rollover
-//	GET  /stats     cache + tier + pipeline statistics
-//	GET  /healthz   liveness
+//	GET  /stats     cache + tier + pipeline + breaker statistics
+//	GET  /healthz   liveness (stays green through a drain)
+//	GET  /readyz    readiness (503 once draining starts)
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"time"
 
 	"xtalk/internal/device"
+	"xtalk/internal/faultinject"
 	"xtalk/internal/pipeline"
 	"xtalk/internal/serve"
 )
@@ -70,8 +80,15 @@ func main() {
 		writeTO   = flag.Duration("write-timeout", 10*time.Minute, "HTTP write timeout (bounds one cold compile + response)")
 		idleTO    = flag.Duration("idle-timeout", 2*time.Minute, "HTTP idle connection timeout")
 		queue     = flag.Int("queue", 0, "max concurrent cold compilations (0 = GOMAXPROCS)")
+		shedQueue = flag.Int("shed-queue", 0, "max cold compilations waiting behind the -queue slots before load is shed with 429 (0 = 4x -queue, negative = no waiting room)")
 		workers   = flag.Int("workers", 0, "SMT solve pool width per device pipeline (0 = GOMAXPROCS)")
 		doCertify = flag.Bool("certify", false, "run the independent schedule certifier on every compile (violations fail the request)")
+		peerTO    = flag.Duration("peer-timeout", serve.DefaultPeerTimeout, "per-attempt peer proxy timeout (dial/headers/body)")
+		peerRetry = flag.Int("peer-retries", 1, "extra peer proxy attempts after a retryable failure, with jittered backoff (0 = none)")
+		brkFails  = flag.Int("breaker-failures", serve.DefaultBreakerFailures, "consecutive peer failures before the circuit breaker trips open")
+		brkCool   = flag.Duration("breaker-cooldown", serve.DefaultBreakerCooldown, "breaker open interval before the first half-open probe (doubles while the peer stays down)")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM: max wait for in-flight requests before forcing shutdown")
+		faults    = flag.String("faults", "", "deterministic fault-injection plan, e.g. seed=7,solve.delay=200ms,peer.blackhole=1 (see internal/faultinject)")
 	)
 	flag.Parse()
 	cacheBytes := *cacheMB << 20
@@ -84,7 +101,13 @@ func main() {
 			peerList = append(peerList, p)
 		}
 	}
-	if err := run(*addr, httpTimeouts{read: *readTO, write: *writeTO, idle: *idleTO}, serve.Config{
+	// CLI convention: -peer-retries 0 means none; the Config convention
+	// reserves 0 for the default and negative for none.
+	cfgRetries := *peerRetry
+	if cfgRetries <= 0 {
+		cfgRetries = -1
+	}
+	cfg := serve.Config{
 		Spec: *devSpec,
 		Seed: *seed,
 		Day:  *day,
@@ -99,14 +122,31 @@ func main() {
 			Workers:        *workers,
 			Certify:        *doCertify,
 		},
-		CacheBytes:    cacheBytes,
-		StoreDir:      *store,
-		StoreBytes:    *storeMB << 20,
-		Self:          *self,
-		Peers:         peerList,
-		MaxBodyBytes:  *maxBodyMB << 20,
-		MaxConcurrent: *queue,
-	}); err != nil {
+		CacheBytes:      cacheBytes,
+		StoreDir:        *store,
+		StoreBytes:      *storeMB << 20,
+		Self:            *self,
+		Peers:           peerList,
+		MaxBodyBytes:    *maxBodyMB << 20,
+		MaxConcurrent:   *queue,
+		MaxQueue:        *shedQueue,
+		PeerTimeout:     *peerTO,
+		PeerRetries:     cfgRetries,
+		BreakerFailures: *brkFails,
+		BreakerCooldown: *brkCool,
+	}
+	var injector *faultinject.Injector
+	if *faults != "" {
+		plan, err := faultinject.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xtalkd:", err)
+			os.Exit(1)
+		}
+		injector = faultinject.New(plan)
+		injector.Apply(&cfg)
+		log.Printf("xtalkd: fault injection armed: %s", *faults)
+	}
+	if err := run(*addr, httpTimeouts{read: *readTO, write: *writeTO, idle: *idleTO, drain: *drainTO}, cfg, injector); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkd:", err)
 		os.Exit(1)
 	}
@@ -123,12 +163,12 @@ func cliOmega(omega float64) float64 {
 
 // httpTimeouts carries the http.Server deadlines: a daemon exposed to a
 // fleet must not let a stalled or trickling client pin a connection (and
-// its goroutine) forever.
+// its goroutine) forever. drain bounds the SIGTERM graceful drain.
 type httpTimeouts struct {
-	read, write, idle time.Duration
+	read, write, idle, drain time.Duration
 }
 
-func run(addr string, to httpTimeouts, cfg serve.Config) error {
+func run(addr string, to httpTimeouts, cfg serve.Config, injector *faultinject.Injector) error {
 	s, err := serve.New(cfg)
 	if err != nil {
 		return err
@@ -154,15 +194,30 @@ func run(addr string, to httpTimeouts, cfg serve.Config) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("xtalkd: shutting down")
-	s.Close() // cancel in-flight cold compiles (anytime solvers keep incumbents)
+	// Graceful drain, in order: stop admitting (/readyz flips to 503, new
+	// compiles shed), let every in-flight request finish and the store sync,
+	// then close the listener, and only then cancel the lifecycle context —
+	// a solve that was admitted before the signal always completes.
+	log.Printf("xtalkd: draining (bound %v)", to.drain)
+	s.BeginDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), to.drain)
+	defer cancelDrain()
+	if err := s.Drain(drainCtx); err != nil {
+		log.Printf("xtalkd: drain incomplete: %v", err)
+	} else {
+		log.Printf("xtalkd: drain complete: zero in-flight requests, store flushed")
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
+	s.Close()
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if injector != nil {
+		log.Printf("xtalkd: injected faults: %s", injector.Stats())
 	}
 	log.Printf("xtalkd: bye")
 	return nil

@@ -10,21 +10,32 @@
 //
 //	xtalkload -addr 127.0.0.1:8077 -duration 10s -c 8 -out BENCH_serve.json
 //	xtalkload -addr 127.0.0.1:8077 -n 50 -devices heavyhex:27 -days 2 -zipf 1.3
+//	xtalkload -addr 127.0.0.1:8077 -n 40 -chaos -require-avail 1.0
 //
 // The output JSON (BENCH_serve.json by convention) carries per-tier
 // p50/p95/p99, so a cold SMT solve and a disk hit on the same fingerprint
-// are never averaged into one meaningless number.
+// are never averaged into one meaningless number. Errors are split by class
+// (4xx / 5xx / transport) so chaos runs are measurable.
+//
+// -chaos turns the generator into an availability prober for fault-injected
+// fleets: retryable failures (429/503/5xx/transport) are retried with
+// backoff honoring Retry-After, the report gains retry/availability fields,
+// and -require-avail N fails the run (exit 1) when the fraction of trace
+// items that eventually succeeded falls below N.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,12 +61,36 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "run length when -n is 0")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 		out      = flag.String("out", "BENCH_serve.json", "result JSON path (- for stdout)")
+		chaos    = flag.Bool("chaos", false, "availability-probe mode: retry retryable failures (429/503/5xx/transport) with backoff, honoring Retry-After")
+		retries  = flag.Int("chaos-retries", 8, "max retries per trace item in -chaos mode")
+		reqAvail = flag.Float64("require-avail", 0, "minimum availability (eventually-succeeded fraction); below it the run exits 1")
 	)
 	flag.Parse()
-	if err := run(*addr, *devices, *mix, *seed, *days, *jobs, *zipfS, *conc, *n, *duration, *timeout, *out); err != nil {
+	opts := loadOpts{
+		devCSV: *devices, mixCSV: *mix, seed: *seed, days: *days,
+		jobCount: *jobs, zipfS: *zipfS, conc: *conc, n: *n,
+		duration: *duration, timeout: *timeout, out: *out,
+		chaos: *chaos, chaosRetries: *retries, requireAvail: *reqAvail,
+	}
+	if err := run(*addr, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkload:", err)
 		os.Exit(1)
 	}
+}
+
+// loadOpts bundles the CLI knobs run consumes.
+type loadOpts struct {
+	devCSV, mixCSV string
+	seed           int64
+	days, jobCount int
+	zipfS          float64
+	conc, n        int
+	duration       time.Duration
+	timeout        time.Duration
+	out            string
+	chaos          bool
+	chaosRetries   int
+	requireAvail   float64
 }
 
 // job is one entry of the trace zoo: a source program pinned to an explicit
@@ -156,6 +191,7 @@ type sample struct {
 	peerTier  string
 	latency   time.Duration
 	collapsed bool
+	degraded  bool
 }
 
 // TierReport is the latency distribution of one hit tier.
@@ -182,16 +218,35 @@ type SaturationReport struct {
 
 // Report is the BENCH_serve.json document.
 type Report struct {
-	Addr       string  `json:"addr"`
-	Devices    string  `json:"devices"`
-	Mix        string  `json:"mix"`
-	Jobs       int     `json:"jobs"`
-	Days       int     `json:"days"`
-	Zipf       float64 `json:"zipf"`
-	Clients    int     `json:"clients"`
-	DurationS  float64 `json:"duration_s"`
-	Requests   int     `json:"requests"`
-	Errors     int64   `json:"errors"`
+	Addr      string  `json:"addr"`
+	Devices   string  `json:"devices"`
+	Mix       string  `json:"mix"`
+	Jobs      int     `json:"jobs"`
+	Days      int     `json:"days"`
+	Zipf      float64 `json:"zipf"`
+	Clients   int     `json:"clients"`
+	DurationS float64 `json:"duration_s"`
+	Requests  int     `json:"requests"`
+	// Errors is the total error occurrences across all attempts, split by
+	// class below: client-side rejections (4xx, includes shed 429s),
+	// server-side failures (5xx, includes draining 503s), and transport
+	// errors (connect/timeout/reset — the daemon never answered).
+	Errors          int64 `json:"errors"`
+	Errors4xx       int64 `json:"errors_4xx"`
+	Errors5xx       int64 `json:"errors_5xx"`
+	ErrorsTransport int64 `json:"errors_transport"`
+	// ErrorRate is the fraction of trace items that never produced a
+	// successful response (after retries in -chaos mode); Availability is
+	// its complement — the chaos gate.
+	ErrorRate    float64 `json:"error_rate"`
+	Availability float64 `json:"availability"`
+	// Chaos mode provenance: whether retries were on, how many fired, how
+	// many items ultimately failed, and how many responses carried the
+	// degraded (deadline-capped solve) flag.
+	Chaos      bool    `json:"chaos,omitempty"`
+	Retries    int64   `json:"retries,omitempty"`
+	Failed     int64   `json:"failed"`
+	Degraded   int     `json:"degraded"`
 	Throughput float64 `json:"requests_per_s"`
 	// HitRate counts requests served without any solver work anywhere in
 	// the fleet: mem and disk hits locally, plus peer responses the owner
@@ -208,32 +263,32 @@ type Report struct {
 	DaemonStats *serve.Stats `json:"daemon_stats,omitempty"`
 }
 
-func run(addr, devCSV, mixCSV string, seed int64, days, jobCount int, zipfS float64, conc, n int, duration, timeout time.Duration, out string) error {
-	if days < 1 {
-		days = 1
+func run(addr string, o loadOpts) error {
+	if o.days < 1 {
+		o.days = 1
 	}
-	devSpecs := splitCSV(devCSV)
-	kinds := splitCSV(mixCSV)
+	devSpecs := splitCSV(o.devCSV)
+	kinds := splitCSV(o.mixCSV)
 	if len(devSpecs) == 0 || len(kinds) == 0 {
 		return fmt.Errorf("need at least one device and one workload kind")
 	}
-	zoo, err := buildZoo(devSpecs, kinds, seed, days, jobCount)
+	zoo, err := buildZoo(devSpecs, kinds, o.seed, o.days, o.jobCount)
 	if err != nil {
 		return err
 	}
 	base := "http://" + strings.TrimPrefix(addr, "http://")
-	client := &http.Client{Timeout: timeout}
+	client := &http.Client{Timeout: o.timeout}
 
 	// The Zipf stream is drawn up front under one RNG so the trace is
 	// deterministic regardless of worker interleaving.
-	rng := rand.New(rand.NewSource(seed))
-	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(zoo)-1))
-	deadline := time.Now().Add(duration)
-	next := make(chan int, conc)
+	rng := rand.New(rand.NewSource(o.seed))
+	zipf := rand.NewZipf(rng, o.zipfS, 1, uint64(len(zoo)-1))
+	deadline := time.Now().Add(o.duration)
+	next := make(chan int, o.conc)
 	go func() {
 		defer close(next)
-		for i := 0; n == 0 || i < n; i++ {
-			if n == 0 && time.Now().After(deadline) {
+		for i := 0; o.n == 0 || i < o.n; i++ {
+			if o.n == 0 && time.Now().After(deadline) {
 				return
 			}
 			next <- int(zipf.Uint64())
@@ -262,20 +317,56 @@ func run(addr, devCSV, mixCSV string, seed int64, days, jobCount int, zipfS floa
 	}()
 
 	var (
-		mu      sync.Mutex
-		samples []sample
-		errs    atomic.Int64
-		wg      sync.WaitGroup
+		mu       sync.Mutex
+		samples  []sample
+		errs4xx  atomic.Int64
+		errs5xx  atomic.Int64
+		errsConn atomic.Int64
+		retried  atomic.Int64
+		failed   atomic.Int64
+		wg       sync.WaitGroup
 	)
+	record := func(err error) {
+		var he *httpError
+		switch {
+		case errors.As(err, &he) && he.status >= 400 && he.status < 500:
+			errs4xx.Add(1)
+		case errors.As(err, &he):
+			errs5xx.Add(1)
+		default:
+			errsConn.Add(1)
+		}
+	}
 	t0 := time.Now()
-	for w := 0; w < conc; w++ {
+	for w := 0; w < o.conc; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				s, err := submit(client, base, zoo[idx].req)
+				attempts := 1
+				if o.chaos {
+					attempts = 1 + o.chaosRetries
+				}
+				var (
+					s   sample
+					err error
+				)
+				for a := 0; a < attempts; a++ {
+					if a > 0 {
+						retried.Add(1)
+					}
+					s, err = submit(client, base, zoo[idx].req)
+					if err == nil {
+						break
+					}
+					record(err)
+					if !o.chaos || !retryable(err) {
+						break
+					}
+					time.Sleep(retryDelay(err, a))
+				}
 				if err != nil {
-					errs.Add(1)
+					failed.Add(1)
 					continue
 				}
 				mu.Lock()
@@ -290,13 +381,23 @@ func run(addr, devCSV, mixCSV string, seed int64, days, jobCount int, zipfS floa
 
 	rep := buildReport(samples, satSamples, elapsed)
 	rep.Addr = addr
-	rep.Devices = devCSV
-	rep.Mix = mixCSV
+	rep.Devices = o.devCSV
+	rep.Mix = o.mixCSV
 	rep.Jobs = len(zoo)
-	rep.Days = days
-	rep.Zipf = zipfS
-	rep.Clients = conc
-	rep.Errors = errs.Load()
+	rep.Days = o.days
+	rep.Zipf = o.zipfS
+	rep.Clients = o.conc
+	rep.Errors4xx = errs4xx.Load()
+	rep.Errors5xx = errs5xx.Load()
+	rep.ErrorsTransport = errsConn.Load()
+	rep.Errors = rep.Errors4xx + rep.Errors5xx + rep.ErrorsTransport
+	rep.Chaos = o.chaos
+	rep.Retries = retried.Load()
+	rep.Failed = failed.Load()
+	if total := int64(rep.Requests) + rep.Failed; total > 0 {
+		rep.ErrorRate = float64(rep.Failed) / float64(total)
+		rep.Availability = 1 - rep.ErrorRate
+	}
 	if st, err := fetchStats(client, base); err == nil {
 		st.Text = "" // the human rendering has no place in a bench artifact
 		rep.DaemonStats = st
@@ -307,21 +408,68 @@ func run(addr, devCSV, mixCSV string, seed int64, days, jobCount int, zipfS floa
 		return err
 	}
 	doc = append(doc, '\n')
-	if out == "-" {
+	if o.out == "-" {
 		_, err = os.Stdout.Write(doc)
+	} else {
+		err = os.WriteFile(o.out, doc, 0o644)
+	}
+	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(out, doc, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("xtalkload: %d requests in %.1fs (%.1f req/s), hit rate %.2f, %d errors -> %s\n",
-		rep.Requests, rep.DurationS, rep.Throughput, rep.HitRate, rep.Errors, out)
-	for _, tier := range []string{serve.TierMem, serve.TierDisk, serve.TierPeer, serve.TierCold} {
-		if tr, ok := rep.Tiers[tier]; ok {
-			fmt.Printf("  %-4s n=%-5d p50=%.2fms p95=%.2fms p99=%.2fms\n", tier, tr.Count, tr.P50MS, tr.P95MS, tr.P99MS)
+	if o.out != "-" {
+		fmt.Printf("xtalkload: %d requests in %.1fs (%.1f req/s), hit rate %.2f, %d errors (%d 4xx / %d 5xx / %d transport) -> %s\n",
+			rep.Requests, rep.DurationS, rep.Throughput, rep.HitRate,
+			rep.Errors, rep.Errors4xx, rep.Errors5xx, rep.ErrorsTransport, o.out)
+		if o.chaos {
+			fmt.Printf("  chaos: availability=%.3f retries=%d failed=%d degraded=%d\n",
+				rep.Availability, rep.Retries, rep.Failed, rep.Degraded)
+		}
+		for _, tier := range []string{serve.TierMem, serve.TierDisk, serve.TierPeer, serve.TierCold} {
+			if tr, ok := rep.Tiers[tier]; ok {
+				fmt.Printf("  %-4s n=%-5d p50=%.2fms p95=%.2fms p99=%.2fms\n", tier, tr.Count, tr.P50MS, tr.P95MS, tr.P99MS)
+			}
 		}
 	}
+	if o.requireAvail > 0 && rep.Availability < o.requireAvail {
+		return fmt.Errorf("availability %.3f below required %.3f (%d/%d items failed)",
+			rep.Availability, o.requireAvail, rep.Failed, int64(rep.Requests)+rep.Failed)
+	}
 	return nil
+}
+
+// httpError is a non-200 daemon answer, preserved with its status and
+// Retry-After hint for classification and chaos-mode backoff.
+type httpError struct {
+	status     int
+	retryAfter time.Duration
+	body       string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.status, e.body) }
+
+// retryable reports whether a chaos-mode retry can help: shed (429),
+// draining/unavailable (503), other 5xx and transport errors can clear;
+// remaining 4xx are deterministic rejections.
+func retryable(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status == http.StatusTooManyRequests || he.status >= 500
+	}
+	return true // transport error
+}
+
+// retryDelay picks the wait before retry attempt+1: the server's Retry-After
+// when present, else 50ms doubling per attempt, capped at 1s.
+func retryDelay(err error, attempt int) time.Duration {
+	var he *httpError
+	if errors.As(err, &he) && he.retryAfter > 0 {
+		return he.retryAfter
+	}
+	d := 50 * time.Millisecond << attempt
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
 }
 
 func splitCSV(s string) []string {
@@ -345,14 +493,24 @@ func submit(client *http.Client, base string, req serve.CompileRequest) (sample,
 		return sample{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Status first, then body: an error reply carries an ErrorResponse,
+		// not a CompileResponse, and must never be decoded as one.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		he := &httpError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				he.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return sample{}, he
+	}
 	var cr serve.CompileResponse
 	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
 		return sample{}, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return sample{}, fmt.Errorf("HTTP %d", resp.StatusCode)
-	}
-	return sample{tier: cr.Tier, peerTier: cr.PeerTier, latency: time.Since(t0), collapsed: cr.Collapsed}, nil
+	return sample{tier: cr.Tier, peerTier: cr.PeerTier, latency: time.Since(t0),
+		collapsed: cr.Collapsed, degraded: cr.Degraded}, nil
 }
 
 func fetchStats(client *http.Client, base string) (*serve.Stats, error) {
@@ -384,6 +542,9 @@ func buildReport(samples []sample, satSamples []serve.Stats, elapsed time.Durati
 		byTier[s.tier] = append(byTier[s.tier], s.latency)
 		if s.collapsed {
 			rep.Collapsed++
+		}
+		if s.degraded {
+			rep.Degraded++
 		}
 		switch s.tier {
 		case serve.TierMem, serve.TierDisk:

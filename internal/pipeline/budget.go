@@ -1,0 +1,52 @@
+package pipeline
+
+import (
+	"time"
+
+	"xtalk/internal/core"
+)
+
+// CapBudget returns s with its anytime SMT budget capped at most budget: the
+// deadline-propagation hook the serving layer uses so a request never
+// computes past its caller's patience. The scheduler is rebuilt, never
+// mutated — engines are shared across concurrent requests and must stay
+// immutable. A budget of 0 on the scheduler means run-to-optimality, so the
+// cap always applies there; an existing budget is only ever lowered.
+// Portfolios are capped candidate by candidate. Scheduler types without an
+// anytime budget (the greedy heuristic, custom schedulers) are returned
+// unchanged — they are already fast or opaque, and capping must never turn a
+// valid scheduler into a broken one.
+func CapBudget(s core.Scheduler, budget time.Duration) core.Scheduler {
+	if budget <= 0 {
+		return s
+	}
+	switch sc := s.(type) {
+	case *core.XtalkSched:
+		cfg := sc.Config
+		cfg.Timeout = minTimeout(cfg.Timeout, budget)
+		return core.NewXtalkSched(sc.Noise, cfg)
+	case *core.PartitionedXtalkSched:
+		cfg := sc.Config
+		cfg.Timeout = minTimeout(cfg.Timeout, budget)
+		rebuilt := core.NewPartitionedXtalkSched(sc.Noise, cfg, sc.Opts)
+		rebuilt.Pool = sc.Pool
+		return rebuilt
+	case *core.PortfolioSched:
+		cands := make([]core.Scheduler, len(sc.Candidates))
+		for i, cand := range sc.Candidates {
+			cands[i] = CapBudget(cand, budget)
+		}
+		return &core.PortfolioSched{Noise: sc.Noise, Omega: sc.Omega, Candidates: cands}
+	default:
+		return s
+	}
+}
+
+// minTimeout lowers an anytime budget to cap, treating 0 (run to optimality)
+// as unbounded.
+func minTimeout(cur, cap time.Duration) time.Duration {
+	if cur <= 0 || cap < cur {
+		return cap
+	}
+	return cur
+}

@@ -58,6 +58,14 @@ type Request struct {
 	Shots int
 	// Seed seeds this item's noisy execution.
 	Seed int64
+	// Budget, when positive, caps this item's anytime SMT budget below the
+	// engine's configured one (it never raises it): the schedule stage
+	// rebuilds the scheduler with Timeout = min(engine budget, Budget).
+	// Deliberately excluded from artifact fingerprints — the serving layer
+	// uses it for deadline propagation and keeps capped (degraded) artifacts
+	// out of the caches. Ignored for scheduler types without an anytime
+	// budget.
+	Budget time.Duration
 	// DisableCrosstalk executes on the crosstalk-free version of the device
 	// (the paper's "crosstalk-free hardware region" baselines).
 	DisableCrosstalk bool

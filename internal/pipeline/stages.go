@@ -113,7 +113,15 @@ func (ScheduleStage) Name() string { return "schedule" }
 
 // Run implements Stage.
 func (ScheduleStage) Run(ctx context.Context, c *Compiler, res *Result) error {
-	s, err := core.ScheduleWithContext(ctx, c.Scheduler(&res.Req), res.Circuit, c.Dev)
+	sched := c.Scheduler(&res.Req)
+	if res.Req.Budget > 0 {
+		// Deadline propagation: cap the anytime budget rather than the
+		// context — budget expiry yields the incumbent (or heuristic
+		// fallback) as a valid schedule, where a context deadline hit before
+		// the first incumbent would fail the compile outright.
+		sched = CapBudget(sched, res.Req.Budget)
+	}
+	s, err := core.ScheduleWithContext(ctx, sched, res.Circuit, c.Dev)
 	if err != nil {
 		return err
 	}

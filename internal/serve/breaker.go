@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults: a peer is tripped after DefaultBreakerFailures
+// consecutive failures and probed again after DefaultBreakerCooldown,
+// doubling up to maxBreakerCooldown while the peer keeps failing.
+const (
+	DefaultBreakerFailures = 3
+	DefaultBreakerCooldown = 2 * time.Second
+	maxBreakerCooldown     = 30 * time.Second
+)
+
+// Breaker state labels, surfaced verbatim in /stats.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerStats is one peer breaker's /stats snapshot.
+type BreakerStats struct {
+	State string `json:"state"`
+	// ConsecutiveFailures is the current closed-state failure streak.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Opens counts closed→open (and half-open→open) trips; Probes counts
+	// half-open probe requests admitted; Closes counts successful probes
+	// that re-closed the breaker.
+	Opens  int64 `json:"opens"`
+	Probes int64 `json:"probes"`
+	Closes int64 `json:"closes"`
+	// RetryInS is the time until the next probe is allowed (open state
+	// only).
+	RetryInS float64 `json:"retry_in_s,omitempty"`
+}
+
+// Breaker is one peer's circuit breaker: closed (traffic flows) → open
+// (trip after N consecutive failures; all calls short-circuit to the local
+// fallback) → half-open (after a cooldown, exactly one probe request is let
+// through; success re-closes, failure re-opens with doubled cooldown).
+// The breaker turns a dead or hung peer from a per-request timeout tax into
+// a single periodic probe. All methods are safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	failures int           // trip threshold
+	cooldown time.Duration // base open interval
+
+	state       string
+	streak      int           // consecutive failures while closed
+	openFor     time.Duration // current open interval (doubles per re-trip)
+	openedAt    time.Time
+	probeInFlit bool
+
+	opens, probes, closes int64
+}
+
+// newBreaker builds a closed breaker (non-positive arguments select the
+// defaults).
+func newBreaker(failures int, cooldown time.Duration) *Breaker {
+	if failures <= 0 {
+		failures = DefaultBreakerFailures
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &Breaker{failures: failures, cooldown: cooldown, state: BreakerClosed}
+}
+
+// Allow reports whether a call to the peer may proceed right now. In the
+// open state it returns false until the cooldown elapses, at which point
+// the breaker moves to half-open and admits exactly one probe; further
+// calls short-circuit until that probe reports back through Report.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.openFor {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probeInFlit = true
+		b.probes++
+		return true
+	default: // half-open
+		if b.probeInFlit {
+			return false
+		}
+		b.probeInFlit = true
+		b.probes++
+		return true
+	}
+}
+
+// Report records the outcome of a call admitted by Allow. A half-open
+// probe's success re-closes the breaker; its failure re-opens it with a
+// doubled cooldown (capped). In the closed state, failures accumulate and
+// the breaker trips at the configured threshold.
+func (b *Breaker) Report(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probeInFlit = false
+		if ok {
+			b.state = BreakerClosed
+			b.streak = 0
+			b.openFor = 0
+			b.closes++
+			return
+		}
+		b.openFor *= 2
+		if b.openFor > maxBreakerCooldown {
+			b.openFor = maxBreakerCooldown
+		}
+		b.trip(now)
+	case BreakerClosed:
+		if ok {
+			b.streak = 0
+			return
+		}
+		b.streak++
+		if b.streak >= b.failures {
+			b.openFor = b.cooldown
+			b.trip(now)
+		}
+	default: // open: a straggler from before the trip; nothing to update
+	}
+}
+
+// trip moves the breaker to open with the current openFor interval. Caller
+// holds b.mu.
+func (b *Breaker) trip(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.streak = 0
+	b.opens++
+}
+
+// Snapshot returns the breaker's /stats view.
+func (b *Breaker) Snapshot(now time.Time) BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{
+		State:               b.state,
+		ConsecutiveFailures: b.streak,
+		Opens:               b.opens,
+		Probes:              b.probes,
+		Closes:              b.closes,
+	}
+	if b.state == BreakerOpen {
+		if rem := b.openFor - now.Sub(b.openedAt); rem > 0 {
+			st.RetryInS = rem.Seconds()
+		}
+	}
+	return st
+}

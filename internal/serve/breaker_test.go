@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full closed → open → half-open → open →
+// half-open → closed state machine with explicit clocks, so every transition
+// is asserted deterministically.
+func TestBreakerLifecycle(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, 2*time.Second)
+
+	// Closed: traffic flows, sub-threshold failure streaks reset on success.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(t0) {
+			t.Fatal("closed breaker refused a call")
+		}
+		b.Report(false, t0)
+	}
+	b.Report(true, t0)
+	if st := b.Snapshot(t0); st.State != BreakerClosed || st.ConsecutiveFailures != 0 {
+		t.Fatalf("success did not reset the streak: %+v", st)
+	}
+
+	// Three consecutive failures trip it open.
+	for i := 0; i < 3; i++ {
+		b.Report(false, t0)
+	}
+	if st := b.Snapshot(t0); st.State != BreakerOpen || st.Opens != 1 {
+		t.Fatalf("want open after threshold failures, got %+v", st)
+	}
+	if b.Allow(t0.Add(time.Second)) {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+
+	// Cooldown elapsed: exactly one probe is admitted.
+	t1 := t0.Add(2*time.Second + time.Millisecond)
+	if !b.Allow(t1) {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.Allow(t1) {
+		t.Fatal("second call admitted while the probe is in flight")
+	}
+	// Probe fails: re-open with a doubled cooldown.
+	b.Report(false, t1)
+	if st := b.Snapshot(t1); st.State != BreakerOpen || st.Opens != 2 {
+		t.Fatalf("failed probe must re-open: %+v", st)
+	}
+	if b.Allow(t1.Add(3 * time.Second)) {
+		t.Fatal("re-opened breaker must wait the doubled cooldown (4s), admitted at 3s")
+	}
+
+	// Doubled cooldown elapsed: the successful probe re-closes.
+	t2 := t1.Add(4*time.Second + time.Millisecond)
+	if !b.Allow(t2) {
+		t.Fatal("doubled cooldown elapsed but probe refused")
+	}
+	b.Report(true, t2)
+	st := b.Snapshot(t2)
+	if st.State != BreakerClosed || st.Closes != 1 || st.Probes != 2 {
+		t.Fatalf("successful probe must re-close: %+v", st)
+	}
+	if !b.Allow(t2) {
+		t.Fatal("re-closed breaker refused traffic")
+	}
+
+	// The re-close also reset the open interval: a fresh trip waits the base
+	// cooldown again, not the doubled one.
+	for i := 0; i < 3; i++ {
+		b.Report(false, t2)
+	}
+	if !b.Allow(t2.Add(2*time.Second + time.Millisecond)) {
+		t.Fatal("fresh trip after recovery did not reset to the base cooldown")
+	}
+}
+
+// TestBreakerCooldownCap: the open interval doubles per failed probe but
+// never exceeds maxBreakerCooldown.
+func TestBreakerCooldownCap(t *testing.T) {
+	now := time.Unix(2000, 0)
+	b := newBreaker(1, 16*time.Second)
+	b.Report(false, now) // trip at 16s
+	for i := 0; i < 3; i++ {
+		now = now.Add(maxBreakerCooldown + time.Millisecond)
+		if !b.Allow(now) {
+			t.Fatalf("probe %d refused after max cooldown", i)
+		}
+		b.Report(false, now) // doubled, capped at 30s
+	}
+	if st := b.Snapshot(now); st.RetryInS > maxBreakerCooldown.Seconds() {
+		t.Fatalf("cooldown exceeded cap: %+v", st)
+	}
+	if b.Allow(now.Add(29 * time.Second)) {
+		t.Fatal("capped cooldown ended early")
+	}
+	if !b.Allow(now.Add(maxBreakerCooldown + time.Millisecond)) {
+		t.Fatal("capped cooldown never ended")
+	}
+}
+
+// TestBreakerDefaults: non-positive constructor arguments select the
+// package defaults.
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0)
+	if b.failures != DefaultBreakerFailures || b.cooldown != DefaultBreakerCooldown {
+		t.Fatalf("defaults not applied: failures=%d cooldown=%v", b.failures, b.cooldown)
+	}
+}

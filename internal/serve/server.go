@@ -7,9 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -58,6 +61,68 @@ type Config struct {
 	// admission queue width. Requests beyond it queue on the shared
 	// core.SolvePool. Default GOMAXPROCS.
 	MaxConcurrent int
+	// MaxQueue bounds cold compilations *waiting* behind the MaxConcurrent
+	// running ones. Beyond it the server sheds load: the request is
+	// rejected immediately with a Retry-After hint (HTTP 429) instead of
+	// queueing unboundedly. 0 selects 4x MaxConcurrent; negative means no
+	// waiting room at all.
+	MaxQueue int
+	// PeerTimeout bounds one proxy attempt to a ring peer, including
+	// response headers (DefaultPeerTimeout when 0). A hung peer costs at
+	// most this long per attempt before the breaker and local fallback
+	// take over.
+	PeerTimeout time.Duration
+	// PeerRetries is the number of additional proxy attempts after the
+	// first fails retryably (transport error or peer 5xx), each preceded
+	// by exponential backoff with full jitter. 0 selects the default (1);
+	// negative disables retries.
+	PeerRetries int
+	// BreakerFailures and BreakerCooldown shape the per-peer circuit
+	// breakers: after BreakerFailures consecutive proxy failures a peer is
+	// tripped open and short-circuited to local fallback until a probe
+	// succeeds; probes start after BreakerCooldown, doubling while the
+	// peer stays down. Zero values select the package defaults.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// PeerTransport overrides the peer-proxy HTTP transport. Fault
+	// injection (internal/faultinject) wraps NewPeerTransport here; nil
+	// selects NewPeerTransport(PeerTimeout).
+	PeerTransport http.RoundTripper
+	// SolveHook, when non-nil, runs at the start of every underlying cold
+	// compile, after admission but before the solver. A returned error
+	// fails the compile. Fault injection uses it to slow down or fail the
+	// solver deterministically.
+	SolveHook func(ctx context.Context) error
+	// WrapStore, when non-nil, decorates the disk tier built from
+	// StoreDir before the server uses it (fault injection wraps latency,
+	// errors and corruption around the real store).
+	WrapStore func(ArtifactStore) ArtifactStore
+}
+
+// DefaultPeerTimeout bounds one peer-proxy attempt when the configuration
+// does not: generous enough for an owner's cold solve under the default
+// budget, small enough that a hung peer cannot pin a request for long.
+const DefaultPeerTimeout = 15 * time.Second
+
+// peerDialTimeout bounds the TCP connect to a peer. A dead host fails in
+// one round trip; only a blackholed one needs the full timeout.
+const peerDialTimeout = 2 * time.Second
+
+// NewPeerTransport returns the default peer-proxy transport: bounded dial,
+// TLS handshake and response-header waits, so a hung or dead peer is
+// detected at the transport layer instead of pinning the request until the
+// server's write timeout. headerTimeout <= 0 selects DefaultPeerTimeout.
+func NewPeerTransport(headerTimeout time.Duration) http.RoundTripper {
+	if headerTimeout <= 0 {
+		headerTimeout = DefaultPeerTimeout
+	}
+	return &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: peerDialTimeout, KeepAlive: 30 * time.Second}).DialContext,
+		TLSHandshakeTimeout:   peerDialTimeout,
+		ResponseHeaderTimeout: headerTimeout,
+		MaxIdleConnsPerHost:   16,
+		IdleConnTimeout:       90 * time.Second,
+	}
 }
 
 // DefaultMaxBodyBytes caps /compile request bodies when the configuration
@@ -88,6 +153,14 @@ type CompileRequest struct {
 	Device string `json:"device,omitempty"`
 	Seed   *int64 `json:"seed,omitempty"`
 	Day    *int   `json:"day,omitempty"`
+	// DeadlineMS is the caller's patience in milliseconds. The server
+	// propagates it everywhere work happens on the request's behalf: proxy
+	// attempts are bounded by it, queue waits count against it, and a cold
+	// compile's anytime solver budget is capped to the time remaining — a
+	// request never computes past its caller's deadline. A solve capped
+	// below the configured budget is flagged Degraded in the response and
+	// kept out of the caches. 0 means no caller deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // CompileResponse is the /compile JSON reply: the artifact plus cache
@@ -97,11 +170,17 @@ type CompileRequest struct {
 // instead of solving; PeerTier, on proxied requests, is the tier the owning
 // daemon served from.
 type CompileResponse struct {
-	Fingerprint     string  `json:"fingerprint"`
-	Cached          bool    `json:"cached"`
-	Tier            string  `json:"tier"`
-	PeerTier        string  `json:"peer_tier,omitempty"`
-	Collapsed       bool    `json:"collapsed,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+	Tier        string `json:"tier"`
+	PeerTier    string `json:"peer_tier,omitempty"`
+	Collapsed   bool   `json:"collapsed,omitempty"`
+	// Degraded reports that the artifact was produced under a solver
+	// budget capped below the configured one by the caller's deadline
+	// (anytime incumbent or heuristic fallback): valid and certified, but
+	// possibly above the optimal cost. Degraded artifacts are served, not
+	// cached.
+	Degraded        bool    `json:"degraded,omitempty"`
 	Tag             string  `json:"tag,omitempty"`
 	Device          string  `json:"device"`
 	Seed            int64   `json:"seed"`
@@ -149,9 +228,19 @@ type Stats struct {
 	Inflight int64   `json:"inflight"`
 	// MaxConcurrent is the admission-queue width: Inflight at MaxConcurrent
 	// means the solver queue is saturated and further cold compiles wait.
+	// MaxQueue is the bounded waiting room behind it; Shed counts requests
+	// rejected (429 + Retry-After) because the room was full or their
+	// deadline expired while queued.
 	MaxConcurrent int   `json:"max_concurrent"`
-	Collapsed     int64 `json:"collapsed"`
-	Solves        int64 `json:"solves"`
+	MaxQueue      int   `json:"max_queue"`
+	Shed          int64 `json:"shed"`
+	// Draining reports that the server has stopped admitting compiles
+	// (graceful shutdown in progress); Degraded counts compiles whose
+	// solver budget was capped by a caller deadline.
+	Draining  bool  `json:"draining"`
+	Degraded  int64 `json:"degraded"`
+	Collapsed int64 `json:"collapsed"`
+	Solves    int64 `json:"solves"`
 	// Hit-tier split: memory LRU, disk store, served-by-peer, plus peer
 	// fallbacks (owner unreachable, computed locally) and proxied-in
 	// requests (this daemon answered as the ring owner for a peer).
@@ -159,8 +248,15 @@ type Stats struct {
 	DiskHits      int64 `json:"disk_hits"`
 	PeerHits      int64 `json:"peer_hits"`
 	PeerFallbacks int64 `json:"peer_fallbacks"`
-	ProxiedIn     int64 `json:"proxied_in"`
-	StoreErrors   int64 `json:"store_errors,omitempty"`
+	// PeerRetries counts extra proxy attempts after a retryable failure;
+	// BreakerShorts counts requests that skipped the proxy entirely
+	// because the owner's breaker was open. Breakers is the per-peer
+	// breaker state (nil in single-node mode).
+	PeerRetries   int64                   `json:"peer_retries"`
+	BreakerShorts int64                   `json:"breaker_short_circuits"`
+	Breakers      map[string]BreakerStats `json:"breakers,omitempty"`
+	ProxiedIn     int64                   `json:"proxied_in"`
+	StoreErrors   int64                   `json:"store_errors,omitempty"`
 	// Epoch is the current calibration epoch; EpochFlips counts rollovers
 	// since start.
 	Epoch      Epoch `json:"epoch"`
@@ -188,12 +284,26 @@ type Stats struct {
 type Server struct {
 	cfg     Config
 	cache   *Cache
-	store   *Store // nil when Config.StoreDir is empty
-	ring    *Ring  // nil in single-node mode
+	store   ArtifactStore // nil when Config.StoreDir is empty
+	ring    *Ring         // nil in single-node mode
 	client  *http.Client
 	flight  flightGroup
 	admit   *core.SolvePool
 	started time.Time
+
+	// breakers holds one circuit breaker per ring peer (lazily created).
+	breakerMu sync.Mutex
+	breakers  map[string]*Breaker
+
+	// jitterMu guards jitter's unseeded source (proxy retry backoff).
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	// draining is the graceful-shutdown latch: once set, new compiles are
+	// rejected with 503 + Retry-After while in-flight ones finish. active
+	// counts /compile requests currently inside serve (any tier).
+	draining atomic.Bool
+	active   atomic.Int64
 
 	// lifecycle context: cold compiles run under it (not under individual
 	// request contexts) so a disconnecting leader cannot poison the
@@ -216,8 +326,12 @@ type Server struct {
 	diskHits      atomic.Int64
 	peerHits      atomic.Int64 // requests served by proxying to the ring owner
 	peerFallbacks atomic.Int64 // proxy failures that fell back to local compute
+	peerRetries   atomic.Int64 // extra proxy attempts after retryable failures
+	breakerShorts atomic.Int64 // proxies skipped because the owner's breaker was open
 	proxiedIn     atomic.Int64 // requests this daemon answered for a peer
 	storeErrors   atomic.Int64 // disk-tier write failures (artifact still served)
+	shed          atomic.Int64 // requests rejected by admission control
+	degraded      atomic.Int64 // compiles whose budget a caller deadline capped
 	epochFlips    atomic.Int64
 
 	// solveHook, when set (tests), runs at the start of every underlying
@@ -238,19 +352,40 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
+	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0
+	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = DefaultPeerTimeout
+	}
+	switch {
+	case cfg.PeerRetries == 0:
+		cfg.PeerRetries = 1
+	case cfg.PeerRetries < 0:
+		cfg.PeerRetries = 0
+	}
+	transport := cfg.PeerTransport
+	if transport == nil {
+		transport = NewPeerTransport(cfg.PeerTimeout)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewCache(cfg.CacheBytes),
-		client:  &http.Client{},
-		admit:   core.NewSolvePool(cfg.MaxConcurrent),
-		started: time.Now(),
-		ctx:     ctx,
-		cancel:  cancel,
-		engines: map[string]*pipeline.Pipeline{},
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheBytes),
+		client:   &http.Client{Transport: transport},
+		admit:    core.NewSolvePool(cfg.MaxConcurrent),
+		started:  time.Now(),
+		ctx:      ctx,
+		cancel:   cancel,
+		engines:  map[string]*pipeline.Pipeline{},
+		breakers: map[string]*Breaker{},
+		jitter:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	s.defKey = engineKey(cfg.Spec, cfg.Seed, cfg.Day)
 	eng, err := s.engine(cfg.Spec, cfg.Seed, cfg.Day)
@@ -268,11 +403,15 @@ func New(cfg Config) (*Server, error) {
 			cancel()
 			return nil, err
 		}
-		if err := store.SetEpoch(s.cur); err != nil {
+		var tier ArtifactStore = store
+		if cfg.WrapStore != nil {
+			tier = cfg.WrapStore(tier)
+		}
+		if err := tier.SetEpoch(s.cur); err != nil {
 			cancel()
 			return nil, err
 		}
-		s.store = store
+		s.store = tier
 	}
 	if len(cfg.Peers) > 0 {
 		s.ring = NewRing(cfg.Self, cfg.Peers)
@@ -411,15 +550,38 @@ func (s *Server) Compile(ctx context.Context, req CompileRequest) (*CompileRespo
 // serve is Compile plus the forwarded flag: proxied requests (forwarded ==
 // true) must not re-proxy, whatever this daemon thinks the ring looks like.
 func (s *Server) serve(ctx context.Context, req CompileRequest, forwarded bool) (*CompileResponse, error) {
+	// The active count is taken before the draining check: a request that
+	// passes the check is visible to Drain's in-flight accounting, so the
+	// drain can never lose a request admitted concurrently with it.
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	s.requests.Add(1)
 	if forwarded {
 		s.proxiedIn.Add(1)
+	}
+	if s.draining.Load() {
+		s.shed.Add(1)
+		return nil, &shedError{status: http.StatusServiceUnavailable, retryAfter: time.Second,
+			msg: "draining: not admitting new compiles"}
 	}
 	resp, err := s.compile(ctx, req, forwarded)
 	if err != nil {
 		s.errors.Add(1)
 	}
 	return resp, err
+}
+
+// deadlineOf resolves the request's effective deadline: the earlier of the
+// transport context's deadline and the client-declared deadline_ms budget.
+func deadlineOf(ctx context.Context, req CompileRequest) (time.Time, bool) {
+	dl, ok := ctx.Deadline()
+	if req.DeadlineMS > 0 {
+		d := time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+		if !ok || d.Before(dl) {
+			dl, ok = d, true
+		}
+	}
+	return dl, ok
 }
 
 func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool) (*CompileResponse, error) {
@@ -445,6 +607,11 @@ func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool
 	if err != nil {
 		return nil, &badRequestError{err}
 	}
+	dl, hasDL := deadlineOf(ctx, req)
+	if hasDL && time.Until(dl) <= 0 {
+		return nil, &shedError{status: http.StatusGatewayTimeout,
+			msg: "deadline exhausted before compilation started"}
+	}
 	// Fingerprint canonicalizes internally; the cold path canonicalizes
 	// again inside Artifact, but the hot path pays for exactly one pass.
 	fp := eng.Fingerprint(circ)
@@ -463,36 +630,174 @@ func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool
 	}
 	if s.ring != nil && !forwarded {
 		if owner := s.ring.Owner(fp); owner != s.ring.Self() {
-			if resp, perr := s.proxyCompile(ctx, owner, req, spec, seed, day); perr == nil {
-				s.peerHits.Add(1)
-				return resp, nil
+			br := s.breaker(owner)
+			if !br.Allow(time.Now()) {
+				// Breaker open: skip the doomed proxy and its timeout tax;
+				// the owner will be probed again after the cooldown.
+				s.breakerShorts.Add(1)
+				s.peerFallbacks.Add(1)
+			} else {
+				resp, perr := s.proxyCompile(ctx, owner, req, spec, seed, day, dl, hasDL)
+				// A peer that answers with a client-side 4xx is healthy —
+				// only transport failures and 5xx count against the breaker.
+				br.Report(perr == nil || isPeerClientError(perr), time.Now())
+				if perr == nil {
+					s.peerHits.Add(1)
+					return resp, nil
+				}
+				// Owner unreachable (or failing): compute locally rather
+				// than failing the request. The artifact is admitted to the
+				// local tiers, so a dead peer degrades throughput, not
+				// correctness.
+				s.peerFallbacks.Add(1)
 			}
-			// Owner unreachable (or failing): compute locally rather than
-			// failing the request. The artifact is admitted to the local
-			// tiers, so a dead peer degrades throughput, not correctness.
-			s.peerFallbacks.Add(1)
 		}
 	}
-	art, shared, err := s.flight.do(ctx, fp,
+	art, degraded, shared, err := s.flight.do(ctx, fp,
 		func() { s.collapsed.Add(1) },
-		func() (*pipeline.CompiledArtifact, error) { return s.coldCompile(circ, fp, eng) })
+		func() (*pipeline.CompiledArtifact, bool, error) { return s.coldCompile(circ, fp, eng, dl, hasDL) })
 	if err != nil {
 		return nil, err
 	}
-	return s.response(req, art, TierCold, shared), nil
+	resp := s.response(req, art, TierCold, shared)
+	resp.Degraded = degraded
+	return resp, nil
 }
 
-// proxyCompile forwards one request to the ring owner of its fingerprint.
-// The effective device triple is made explicit first: the owner's default
-// epoch may differ from ours, and the fingerprint must not change in
-// transit.
-func (s *Server) proxyCompile(ctx context.Context, owner string, req CompileRequest, spec string, seed int64, day int) (*CompileResponse, error) {
+// breaker returns (lazily creating) the circuit breaker for one ring peer.
+func (s *Server) breaker(owner string) *Breaker {
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	b, ok := s.breakers[owner]
+	if !ok {
+		b = newBreaker(s.cfg.BreakerFailures, s.cfg.BreakerCooldown)
+		s.breakers[owner] = b
+	}
+	return b
+}
+
+// peerStatusError is a peer's non-200 answer, preserved with its status so
+// retry and breaker logic can tell client-side rejections (our request was
+// bad — the peer is healthy, retrying is pointless) from server-side
+// failures (retryable, counts against the breaker).
+type peerStatusError struct {
+	peer   string
+	status int
+	body   string
+}
+
+func (e *peerStatusError) Error() string {
+	return fmt.Sprintf("peer %s: HTTP %d: %s", e.peer, e.status, e.body)
+}
+
+// isPeerClientError reports a peer 4xx: the peer answered, so it is healthy
+// for breaker purposes even though the proxy call failed.
+func isPeerClientError(err error) bool {
+	var pe *peerStatusError
+	return errors.As(err, &pe) && pe.status >= 400 && pe.status < 500
+}
+
+// retryablePeerError reports whether a failed proxy attempt is worth
+// repeating: transport errors and peer 5xx are; a 4xx will fail identically
+// on every attempt.
+func retryablePeerError(err error) bool {
+	return err != nil && !isPeerClientError(err)
+}
+
+// Proxy retry backoff: full jitter over an exponentially growing cap,
+// starting at peerBackoffBase and bounded by peerBackoffMax.
+const (
+	peerBackoffBase = 100 * time.Millisecond
+	peerBackoffMax  = 2 * time.Second
+)
+
+// backoff sleeps a full-jitter exponential interval before retry attempt
+// `attempt` (1-based), honoring ctx cancellation and never sleeping past the
+// request deadline.
+func (s *Server) backoff(ctx context.Context, attempt int, dl time.Time, hasDL bool) error {
+	cap := peerBackoffBase << (attempt - 1)
+	if cap > peerBackoffMax {
+		cap = peerBackoffMax
+	}
+	s.jitterMu.Lock()
+	d := time.Duration(s.jitter.Int63n(int64(cap) + 1))
+	s.jitterMu.Unlock()
+	if hasDL {
+		if rem := time.Until(dl); d > rem {
+			d = rem
+		}
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// proxyCompile forwards one request to the ring owner of its fingerprint,
+// with bounded retries (exponential backoff, full jitter) and a per-attempt
+// timeout of min(PeerTimeout, time to the request deadline). The effective
+// device triple is made explicit first: the owner's default epoch may differ
+// from ours, and the fingerprint must not change in transit. The caller's
+// remaining deadline budget is propagated in the forwarded body so the owner
+// caps its own solve the same way we would.
+func (s *Server) proxyCompile(ctx context.Context, owner string, req CompileRequest, spec string, seed int64, day int, dl time.Time, hasDL bool) (*CompileResponse, error) {
 	req.Device, req.Seed, req.Day = spec, &seed, &day
+	var lastErr error
+	attempts := 1 + s.cfg.PeerRetries
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			s.peerRetries.Add(1)
+			if err := s.backoff(ctx, attempt-1, dl, hasDL); err != nil {
+				return nil, lastErr
+			}
+		}
+		if hasDL {
+			// Refresh the propagated budget per attempt: the owner should see
+			// what patience is actually left, not the original figure.
+			rem := time.Until(dl)
+			if rem <= 0 {
+				return nil, lastErr
+			}
+			req.DeadlineMS = int64(rem / time.Millisecond)
+			if req.DeadlineMS == 0 {
+				req.DeadlineMS = 1
+			}
+		}
+		resp, err := s.proxyAttempt(ctx, owner, req, dl, hasDL)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryablePeerError(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// proxyAttempt is one bounded proxy call to the owner.
+func (s *Server) proxyAttempt(ctx context.Context, owner string, req CompileRequest, dl time.Time, hasDL bool) (*CompileResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, peerURL(owner)+"/compile", bytes.NewReader(body))
+	attemptCtx, cancel := context.WithTimeout(ctx, s.cfg.PeerTimeout)
+	defer cancel()
+	if hasDL && dl.Before(time.Now().Add(s.cfg.PeerTimeout)) {
+		// The request deadline lands before the per-attempt timeout would:
+		// tighten to it so a slow peer cannot eat the local-fallback budget.
+		cancel()
+		attemptCtx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
+	httpReq, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, peerURL(owner)+"/compile", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -505,7 +810,7 @@ func (s *Server) proxyCompile(ctx context.Context, owner string, req CompileRequ
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
-		return nil, fmt.Errorf("peer %s: HTTP %d: %s", owner, httpResp.StatusCode, bytes.TrimSpace(msg))
+		return nil, &peerStatusError{peer: owner, status: httpResp.StatusCode, body: string(bytes.TrimSpace(msg))}
 	}
 	var resp CompileResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
@@ -524,27 +829,100 @@ func peerURL(node string) string {
 	return "http://" + node
 }
 
+// Deadline-capped solves reserve solveMargin for everything around the
+// solver (canonicalize, certify, encode, respond) and never shrink the
+// budget below minSolveBudget — the anytime schedulers need a beat to place
+// their heuristic incumbent.
+const (
+	solveMargin    = 50 * time.Millisecond
+	minSolveBudget = 20 * time.Millisecond
+)
+
 // coldCompile runs one admission-queued compilation under the server's
-// lifecycle context and publishes the artifact to both cache tiers.
-func (s *Server) coldCompile(circ *circuit.Circuit, fp string, eng *pipeline.Pipeline) (*pipeline.CompiledArtifact, error) {
-	s.inflight.Add(1)
+// lifecycle context and publishes the artifact to both cache tiers. The
+// second return reports a degraded solve: the caller's deadline capped the
+// solver budget below the configured one, so the artifact is valid and
+// certified but possibly above the optimal cost — it is served, not cached.
+//
+// Admission control happens here, at the mouth of the solver queue: beyond
+// MaxConcurrent running + MaxQueue waiting compiles the request is shed with
+// 429 + Retry-After instead of queueing unboundedly, and a request whose
+// deadline expires while it waits is shed rather than solved for nobody.
+func (s *Server) coldCompile(circ *circuit.Circuit, fp string, eng *pipeline.Pipeline, dl time.Time, hasDL bool) (*pipeline.CompiledArtifact, bool, error) {
+	depth := s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	if err := s.admit.Acquire(s.ctx); err != nil {
-		return nil, err
+	if int(depth) > s.cfg.MaxConcurrent+s.cfg.MaxQueue {
+		s.shed.Add(1)
+		return nil, false, &shedError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: time.Second,
+			msg: fmt.Sprintf("solver queue full (%d running + %d waiting)",
+				s.cfg.MaxConcurrent, s.cfg.MaxQueue),
+		}
+	}
+	acquireCtx := s.ctx
+	if hasDL {
+		var cancel context.CancelFunc
+		acquireCtx, cancel = context.WithDeadline(s.ctx, dl)
+		defer cancel()
+	}
+	if err := s.admit.Acquire(acquireCtx); err != nil {
+		if hasDL && s.ctx.Err() == nil {
+			// The caller's deadline expired while queued: shed instead of
+			// solving for nobody.
+			s.shed.Add(1)
+			return nil, false, &shedError{
+				status:     http.StatusServiceUnavailable,
+				retryAfter: time.Second,
+				msg:        "deadline expired while queued for a solver slot",
+			}
+		}
+		return nil, false, err
 	}
 	defer s.admit.Release()
 	s.solves.Add(1)
+	if s.cfg.SolveHook != nil {
+		// Injected faults run under the lifecycle context, not the request
+		// deadline: a fault-slowed solver still finishes its work, and the
+		// budget cap below is what honors the caller's patience.
+		if err := s.cfg.SolveHook(s.ctx); err != nil {
+			return nil, false, err
+		}
+	}
 	if s.solveHook != nil {
 		s.solveHook()
 	}
-	art, err := eng.Artifact(s.ctx, pipeline.Request{Circuit: circ})
+	preq := pipeline.Request{Circuit: circ}
+	degraded := false
+	if hasDL {
+		rem := time.Until(dl) - solveMargin
+		if rem < minSolveBudget {
+			rem = minSolveBudget
+		}
+		if cfgBudget := eng.Config().Budget; cfgBudget <= 0 || rem < cfgBudget {
+			// Cap through the anytime solver budget, not a context deadline:
+			// budget expiry yields the incumbent (or heuristic fallback) as a
+			// valid schedule, where a context cancellation before the first
+			// incumbent would fail the request outright.
+			preq.Budget = rem
+			degraded = true
+			s.degraded.Add(1)
+		}
+	}
+	art, err := eng.Artifact(s.ctx, preq)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if art.Fingerprint != fp {
 		// Canonicalization is idempotent, so this cannot happen; guard the
 		// cache's content-addressing invariant anyway.
-		return nil, fmt.Errorf("serve: fingerprint drift: %s vs %s", art.Fingerprint, fp)
+		return nil, false, fmt.Errorf("serve: fingerprint drift: %s vs %s", art.Fingerprint, fp)
+	}
+	if degraded {
+		// A deadline-capped artifact may be worse than the budgeted one the
+		// fingerprint promises; keeping it out of the tiers means the next
+		// unhurried request computes (and caches) the real thing.
+		return art, true, nil
 	}
 	s.cache.Put(fp, art)
 	if s.store != nil {
@@ -554,7 +932,7 @@ func (s *Server) coldCompile(circ *circuit.Circuit, fp string, eng *pipeline.Pip
 			s.storeErrors.Add(1)
 		}
 	}
-	return art, nil
+	return art, false, nil
 }
 
 func (s *Server) response(req CompileRequest, art *pipeline.CompiledArtifact, tier string, collapsed bool) *CompileResponse {
@@ -589,6 +967,54 @@ type badRequestError struct{ err error }
 func (e *badRequestError) Error() string { return e.err.Error() }
 func (e *badRequestError) Unwrap() error { return e.err }
 
+// shedError marks a request rejected by admission control (queue full,
+// draining, deadline exhausted). The HTTP layer maps it to its status and —
+// when retryAfter is set — a Retry-After header, so well-behaved clients
+// back off instead of hammering a saturated daemon.
+type shedError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *shedError) Error() string { return e.msg }
+
+// BeginDrain flips the server into draining mode: new compiles are rejected
+// with 503 + Retry-After (and /readyz reports not-ready) while in-flight
+// requests keep running. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain waits for every in-flight request to finish, then flushes the disk
+// tier, bounded by ctx. Call BeginDrain first (Drain does, defensively);
+// then, once Drain returns nil, no request is in flight and the store is
+// durable — Close and process exit lose nothing.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for s.active.Load() > 0 || s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d requests still in flight: %w",
+				s.active.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+	if s.store != nil {
+		if err := s.store.Sync(); err != nil {
+			return fmt.Errorf("serve: drain: store sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Ready reports whether the server is admitting new compiles: the readiness
+// (load-balancer) signal, false once draining starts.
+func (s *Server) Ready() bool { return !s.draining.Load() }
+
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
@@ -605,12 +1031,18 @@ func (s *Server) Stats() Stats {
 		Errors:        s.errors.Load(),
 		Inflight:      s.inflight.Load(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
+		MaxQueue:      s.cfg.MaxQueue,
+		Shed:          s.shed.Load(),
+		Draining:      s.draining.Load(),
+		Degraded:      s.degraded.Load(),
 		Collapsed:     s.collapsed.Load(),
 		Solves:        s.solves.Load(),
 		MemHits:       s.memHits.Load(),
 		DiskHits:      s.diskHits.Load(),
 		PeerHits:      s.peerHits.Load(),
 		PeerFallbacks: s.peerFallbacks.Load(),
+		PeerRetries:   s.peerRetries.Load(),
+		BreakerShorts: s.breakerShorts.Load(),
 		ProxiedIn:     s.proxiedIn.Load(),
 		StoreErrors:   s.storeErrors.Load(),
 		Epoch:         epoch,
@@ -627,6 +1059,15 @@ func (s *Server) Stats() Stats {
 		st.Self = s.ring.Self()
 		st.Ring = s.ring.Nodes()
 	}
+	s.breakerMu.Lock()
+	if len(s.breakers) > 0 {
+		now := time.Now()
+		st.Breakers = make(map[string]BreakerStats, len(s.breakers))
+		for peer, b := range s.breakers {
+			st.Breakers[peer] = b.Snapshot(now)
+		}
+	}
+	s.breakerMu.Unlock()
 	return st
 }
 
@@ -672,13 +1113,14 @@ func (s *Server) StatsString() string {
 }
 
 // Handler returns the HTTP surface: POST /compile, GET|POST /epoch, GET
-// /stats, GET /healthz.
+// /stats, GET /healthz, GET /readyz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/epoch", s.handleEpoch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -716,6 +1158,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		var bad *badRequestError
 		if errors.As(err, &bad) {
 			status = http.StatusBadRequest
+		}
+		var shed *shedError
+		if errors.As(err, &shed) {
+			status = shed.status
+			if shed.retryAfter > 0 {
+				secs := int(shed.retryAfter.Round(time.Second) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
 		}
 		e := ErrorResponse{Error: err.Error()}
 		var pe *qasm.Error
@@ -782,6 +1235,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":   "ok",
 		"uptime_s": time.Since(s.started).Seconds(),
 	})
+}
+
+// handleReadyz is the load-balancer readiness signal: 200 while admitting,
+// 503 once draining starts — liveness (/healthz) stays green through a
+// drain so orchestrators don't kill a daemon that is busy finishing work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -18,18 +18,22 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	done chan struct{}
-	art  *pipeline.CompiledArtifact
-	err  error
+	done     chan struct{}
+	art      *pipeline.CompiledArtifact
+	degraded bool
+	err      error
 }
 
 // do runs fn under key, collapsing concurrent callers. shared reports
 // whether this caller joined an in-flight leader (true) or executed fn
-// itself (false). onJoin, if non-nil, fires before a joining caller starts
-// waiting — the serving layer counts collapsed requests with it (and tests
-// use the count to synchronize). A waiting caller whose ctx ends returns
-// the context error; the leader's compile is not canceled on its behalf.
-func (g *flightGroup) do(ctx context.Context, key string, onJoin func(), fn func() (*pipeline.CompiledArtifact, error)) (art *pipeline.CompiledArtifact, shared bool, err error) {
+// itself (false); degraded is the leader's report that the artifact was
+// produced under a caller-capped solver budget (followers inherit it — the
+// artifact they receive is the deadline-capped one). onJoin, if non-nil,
+// fires before a joining caller starts waiting — the serving layer counts
+// collapsed requests with it (and tests use the count to synchronize). A
+// waiting caller whose ctx ends returns the context error; the leader's
+// compile is not canceled on its behalf.
+func (g *flightGroup) do(ctx context.Context, key string, onJoin func(), fn func() (*pipeline.CompiledArtifact, bool, error)) (art *pipeline.CompiledArtifact, degraded, shared bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = map[string]*flightCall{}
@@ -41,19 +45,19 @@ func (g *flightGroup) do(ctx context.Context, key string, onJoin func(), fn func
 		}
 		select {
 		case <-c.done:
-			return c.art, true, c.err
+			return c.art, c.degraded, true, c.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return nil, false, true, ctx.Err()
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.art, c.err = fn()
+	c.art, c.degraded, c.err = fn()
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.art, false, c.err
+	return c.art, c.degraded, false, c.err
 }

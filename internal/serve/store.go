@@ -19,6 +19,19 @@ import (
 // set one (512 MiB — roughly 10^5 large-device artifacts).
 const DefaultStoreBytes = 512 << 20
 
+// ArtifactStore is the persistent tier's contract as the Server consumes
+// it. *Store is the real implementation; fault-injection wrappers
+// (internal/faultinject) decorate one to exercise the server's disk-failure
+// paths without touching the store's own logic.
+type ArtifactStore interface {
+	Get(fp string) (*pipeline.CompiledArtifact, bool)
+	Put(fp string, art *pipeline.CompiledArtifact) error
+	SetEpoch(e Epoch) error
+	// Sync makes completed writes durable (graceful drain calls it last).
+	Sync() error
+	Stats() StoreStats
+}
+
 // Epoch identifies one calibration generation: a device spec, its
 // calibration seed, and the calibration day. Artifact fingerprints already
 // hash all three, so epochs never alias; the epoch's job is coarser — it
@@ -160,6 +173,34 @@ func NewStore(dir string, maxBytes int64) (*Store, error) {
 
 // Dir returns the store root.
 func (s *Store) Dir() string { return s.dir }
+
+// EntryPath returns the on-disk path of the live entry for fp, if any. It
+// exists for tooling and fault injection (disk-corruption chaos flips bytes
+// in the returned file); serving code never needs it.
+func (s *Store) EntryPath(fp string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[fp]
+	if !ok {
+		return "", false
+	}
+	return e.path, true
+}
+
+// Sync fsyncs the store root directory, making the rename-committed entries
+// durable. Individual artifact writes are already atomic (tmp + rename);
+// Sync is the drain-time belt-and-braces for the directory metadata.
+func (s *Store) Sync() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync: %w", err)
+	}
+	return nil
+}
 
 // SetEpoch flips the current-epoch pointer. Entries of other epochs stay on
 // disk and keep serving hits, but become the preferred eviction victims.

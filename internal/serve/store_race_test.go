@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStoreConcurrentChurn hammers one Store with concurrent writers,
+// readers, and an epoch flipper while the byte bound forces eviction.
+// Invariants: no Put error, every hit decodes to exactly what was written,
+// the bound holds, and a restart over the churned directory re-indexes a
+// consistent view. Run under -race this doubles as the store's data-race
+// certificate.
+func TestStoreConcurrentChurn(t *testing.T) {
+	const bound = int64(16 << 10)
+	dir := t.TempDir()
+	s := mustNewStore(t, dir, bound)
+	if err := s.SetEpoch(Epoch{Device: "heavyhex:27", Seed: 1, Day: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := strings.Repeat("cx q[0],q[1];\n", 160) // ~2 KiB per artifact
+	var firstErr atomic.Value
+	fail := func(format string, args ...any) {
+		firstErr.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fp := fmt.Sprintf("w%dn%02d", w, i%10)
+				if err := s.Put(fp, storeArtifact(fp, "heavyhex:27", 0, payload)); err != nil {
+					fail("put %s: %v", fp, err)
+					return
+				}
+				// A miss is legal (eviction races the read); a hit must be
+				// exact — wrong payload on a valid checksum would mean
+				// fingerprint/content mixing.
+				if got, ok := s.Get(fp); ok && (got.QASM != payload || got.Fingerprint != fp) {
+					fail("get %s returned foreign artifact %s", fp, got.Fingerprint)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for d := 0; d < 10; d++ {
+			if err := s.SetEpoch(Epoch{Device: "heavyhex:27", Seed: 1, Day: d % 2}); err != nil {
+				fail("setepoch: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if msg := firstErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	st := s.Stats()
+	if st.Bytes > bound {
+		t.Fatalf("byte bound violated after churn: %d > %d", st.Bytes, bound)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("80 KiB of writes into a 16 KiB store evicted nothing: %+v", st)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the directory walk must re-index a consistent, in-bound view.
+	s2 := mustNewStore(t, dir, bound)
+	st2 := s2.Stats()
+	if st2.Bytes > bound || st2.Entries == 0 {
+		t.Fatalf("restarted store inconsistent: %+v", st2)
+	}
+	if st2.Quarantined != 0 {
+		t.Fatalf("clean churn left damaged files behind: %+v", st2)
+	}
+}
+
+// TestStoreTornWriteRacingRead races readers against a writer that keeps
+// tearing the entry file (truncated prefix) and restoring it. A reader must
+// only ever observe the exact artifact or a miss — never a decode of torn
+// bytes. The deterministic coda asserts the quarantine path: a torn file is
+// renamed aside (.bad), counted, and dropped from the index.
+func TestStoreTornWriteRacingRead(t *testing.T) {
+	dir := t.TempDir()
+	s := mustNewStore(t, dir, 0)
+	if err := s.SetEpoch(Epoch{Device: "heavyhex:27", Seed: 1, Day: 0}); err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Repeat("h q[0];\n", 200)
+
+	var firstErr atomic.Value
+	for round := 0; round < 8; round++ {
+		fp := fmt.Sprintf("torn%02d", round)
+		if err := s.Put(fp, storeArtifact(fp, "heavyhex:27", 0, payload)); err != nil {
+			t.Fatal(err)
+		}
+		path, ok := s.EntryPath(fp)
+		if !ok {
+			t.Fatalf("no entry path for %s", fp)
+		}
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if got, ok := s.Get(fp); ok && (got.QASM != payload || got.Fingerprint != fp) {
+						firstErr.CompareAndSwap(nil, fmt.Sprintf("reader decoded torn bytes for %s", fp))
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < 20; i++ {
+			// Tear, then restore. Once a reader catches the torn state the
+			// entry is quarantined and later reads just miss — also legal.
+			os.WriteFile(path, orig[:len(orig)/2], 0o644)
+			os.WriteFile(path, orig, 0o644)
+		}
+		close(stop)
+		wg.Wait()
+	}
+	if msg := firstErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	// Deterministic quarantine: tear an entry with no restore and read it.
+	before := s.Stats().Quarantined
+	const fp = "torn-final"
+	if err := s.Put(fp, storeArtifact(fp, "heavyhex:27", 0, payload)); err != nil {
+		t.Fatal(err)
+	}
+	path, ok := s.EntryPath(fp)
+	if !ok {
+		t.Fatal("no entry path for torn-final")
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, orig[:len(orig)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+	if got := s.Stats().Quarantined; got != before+1 {
+		t.Fatalf("quarantined %d, want %d", got, before+1)
+	}
+	if _, ok := s.EntryPath(fp); ok {
+		t.Fatal("quarantined entry still indexed")
+	}
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("quarantined entry resurrected")
+	}
+}

@@ -154,4 +154,101 @@ kill -TERM "$PID_A" "$PID_B"
 wait "$PID_A" || fleet_fail "fleet daemon A exited non-zero"
 wait "$PID_B" || fleet_fail "fleet daemon B exited non-zero"
 
-echo "smoke_xtalkd: OK (cold compile + client cache hit + restart disk hit with 0 solves + peer routing + xtalkload)"
+# --- chaos fleet: daemon A rides the deterministic fault-injection rig —
+# its peer link is blackholed, every disk read is corrupted, and the solver
+# is slowed — while daemon B runs clean. The fleet must still answer 100%
+# of a chaos-mode xtalkload trace (xtalkload retries shed/5xx responses),
+# the corrupted store entry must be quarantined and recompiled, and the
+# tripped breaker must be visible in /stats.
+"$TMP/xtalkd" -addr "$ADDR" -self "$ADDR" -peers "$ADDR_B" -device heavyhex:27 \
+  -partition -budget 2s -store "$TMP/store" \
+  -peer-timeout 500ms -peer-retries 0 -breaker-failures 1 \
+  -faults "seed=7,peer.blackhole=1,store.corrupt=1,solve.delay=50ms" \
+  >"$TMP/chaosA.log" 2>&1 &
+PID_A=$!
+"$TMP/xtalkd" -addr "$ADDR_B" -self "$ADDR_B" -peers "$ADDR" -device heavyhex:27 \
+  -partition -budget 2s >"$TMP/chaosB.log" 2>&1 &
+PID_B=$!
+chaos_fail() {
+  echo "smoke_xtalkd: $1" >&2
+  tail -20 "$TMP/chaosA.log" "$TMP/chaosB.log" >&2 || true
+  kill "$PID_A" "$PID_B" 2>/dev/null || true
+  exit 1
+}
+for d in "$ADDR" "$ADDR_B"; do
+  for _ in $(seq 1 50); do
+    curl -fsS "http://$d/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fsS "http://$d/healthz" >/dev/null || chaos_fail "chaos daemon $d never became healthy"
+done
+
+# The fingerprint persisted by the restart phase now reads back corrupted:
+# the daemon must quarantine it and answer with a recompile, not an error.
+CHAOS_WARM="$(curl -fsS -X POST --data-binary @"$TMP/circ.qasm" "http://$ADDR/compile")" \
+  || chaos_fail "compile over corrupted store failed"
+CHAOS_FP="$(echo "$CHAOS_WARM" | sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p')"
+[ -n "$CHAOS_FP" ] && [ "$CHAOS_FP" = "$FIRST_FP" ] || chaos_fail "chaos fingerprint drifted: $CHAOS_FP vs $FIRST_FP"
+
+"$TMP/xtalkload" -addr "$ADDR" -devices heavyhex:27 -n 20 -jobs 6 -c 4 \
+  -chaos -require-avail 1.0 -out "$TMP/chaos.json" >"$TMP/chaosload.log" 2>&1 \
+  || chaos_fail "chaos xtalkload below 100% availability: $(cat "$TMP/chaosload.log")"
+grep -q '"availability": 1' "$TMP/chaos.json" || chaos_fail "chaos availability not 1: $(cat "$TMP/chaos.json")"
+
+CS="$(curl -fsS "http://$ADDR/stats")"
+echo "$CS" | grep -q '"quarantined":[1-9]' || chaos_fail "corrupted store entry was not quarantined: $CS"
+echo "$CS" | grep -q '"state":"open"' || chaos_fail "blackholed peer did not trip the breaker: $CS"
+kill -TERM "$PID_A" "$PID_B"
+wait "$PID_A" || chaos_fail "chaos daemon A exited non-zero"
+wait "$PID_B" || chaos_fail "chaos daemon B exited non-zero"
+grep -q "injected faults" "$TMP/chaosA.log" || chaos_fail "fault injector summary missing from log"
+
+# --- saturation: one solver slot, no waiting room, slow solver. The second
+# concurrent cold compile must be shed with 429 + Retry-After, not queued.
+"$TMP/xtalkd" -addr "$ADDR" -device heavyhex:27 -partition -budget 2s \
+  -queue 1 -shed-queue -1 -faults "seed=1,solve.delay=3s" \
+  >"$TMP/shed.log" 2>&1 &
+XTALKD_PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+cat >"$TMP/circ2.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[27];
+h q[5];
+cx q[5],q[6];
+EOF
+curl -fsS -X POST --data-binary @"$TMP/circ.qasm" "http://$ADDR/compile" >/dev/null 2>&1 &
+SLOW_PID=$!
+sleep 0.5
+SHED_HDRS="$(curl -sS -D - -o /dev/null -X POST --data-binary @"$TMP/circ2.qasm" "http://$ADDR/compile")"
+echo "$SHED_HDRS" | grep -q "429" || fail "saturated daemon did not shed with 429: $SHED_HDRS"
+echo "$SHED_HDRS" | grep -qi "retry-after" || fail "shed response missing Retry-After: $SHED_HDRS"
+wait "$SLOW_PID" || fail "admitted request was harmed by shedding"
+kill -TERM "$XTALKD_PID"
+wait "$XTALKD_PID" || fail "shed-phase daemon exited non-zero"
+
+# --- drain gate: SIGTERM while a slow compile is in flight. The in-flight
+# request must complete with 200 (zero loss) and the daemon must log a
+# complete drain.
+"$TMP/xtalkd" -addr "$ADDR" -device heavyhex:27 -partition -budget 2s \
+  -faults "seed=1,solve.delay=2s" >"$TMP/drain.log" 2>&1 &
+XTALKD_PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sS -o /dev/null -w '%{http_code}' -X POST --data-binary @"$TMP/circ.qasm" \
+  "http://$ADDR/compile" >"$TMP/drain.code" 2>/dev/null &
+INFLIGHT_PID=$!
+sleep 0.5
+kill -TERM "$XTALKD_PID"
+wait "$INFLIGHT_PID" || fail "in-flight request aborted during drain"
+[ "$(cat "$TMP/drain.code")" = "200" ] || fail "in-flight request lost to drain: HTTP $(cat "$TMP/drain.code")"
+wait "$XTALKD_PID" || fail "draining daemon exited non-zero"
+grep -q "drain complete: zero in-flight" "$TMP/drain.log" \
+  || fail "daemon did not certify a complete drain: $(tail -5 "$TMP/drain.log")"
+
+echo "smoke_xtalkd: OK (cold compile + client cache hit + restart disk hit with 0 solves + peer routing + xtalkload + chaos fleet at 100% availability + 429 shed + zero-loss drain)"
