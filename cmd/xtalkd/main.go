@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -89,6 +90,11 @@ func main() {
 		brkCool   = flag.Duration("breaker-cooldown", serve.DefaultBreakerCooldown, "breaker open interval before the first half-open probe (doubles while the peer stays down)")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM: max wait for in-flight requests before forcing shutdown")
 		faults    = flag.String("faults", "", "deterministic fault-injection plan, e.g. seed=7,solve.delay=200ms,peer.blackhole=1 (see internal/faultinject)")
+		respMB    = flag.Int64("resp-cache-mb", serve.DefaultRespCacheBytes>>20, "encoded-response cache size bound in MiB (negative = disable the response tier)")
+		idleConns = flag.Int("peer-idle-conns", serve.DefaultPeerIdleConns, "kept-alive connections per ring peer in the proxy/transfer transport")
+		noPrewarm = flag.Bool("no-prewarm", false, "disable the join/epoch-flip artifact prewarm engine")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
+		quiet     = flag.Bool("quiet", false, "suppress the per-request access log (benchmark runs: formatting 6k lines/s costs real throughput)")
 	)
 	flag.Parse()
 	cacheBytes := *cacheMB << 20
@@ -134,6 +140,9 @@ func main() {
 		PeerRetries:     cfgRetries,
 		BreakerFailures: *brkFails,
 		BreakerCooldown: *brkCool,
+		RespCacheBytes:  respCacheBytes(*respMB),
+		PeerIdleConns:   *idleConns,
+		DisablePrewarm:  *noPrewarm,
 	}
 	var injector *faultinject.Injector
 	if *faults != "" {
@@ -146,10 +155,30 @@ func main() {
 		injector.Apply(&cfg)
 		log.Printf("xtalkd: fault injection armed: %s", *faults)
 	}
-	if err := run(*addr, httpTimeouts{read: *readTO, write: *writeTO, idle: *idleTO, drain: *drainTO}, cfg, injector); err != nil {
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on http.DefaultServeMux at
+		// import time; the serving mux is separate, so profiling stays off
+		// the public listener and can bind localhost-only.
+		go func() {
+			log.Printf("xtalkd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("xtalkd: pprof listener: %v", err)
+			}
+		}()
+	}
+	if err := run(*addr, httpTimeouts{read: *readTO, write: *writeTO, idle: *idleTO, drain: *drainTO}, cfg, injector, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkd:", err)
 		os.Exit(1)
 	}
+}
+
+// respCacheBytes maps the CLI convention (negative = off, 0 = default) onto
+// the Config convention (negative = off, 0 = default — but spelled in MiB).
+func respCacheBytes(mb int64) int64 {
+	if mb < 0 {
+		return -1
+	}
+	return mb << 20
 }
 
 // cliOmega maps the CLI convention (0 means omega 0) onto the pipeline
@@ -168,15 +197,19 @@ type httpTimeouts struct {
 	read, write, idle, drain time.Duration
 }
 
-func run(addr string, to httpTimeouts, cfg serve.Config, injector *faultinject.Injector) error {
+func run(addr string, to httpTimeouts, cfg serve.Config, injector *faultinject.Injector, quiet bool) error {
 	s, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
+	handler := s.Handler()
+	if !quiet {
+		handler = logRequests(handler)
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           logRequests(s.Handler()),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       to.read,
 		WriteTimeout:      to.write,

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	xtalkload -addr 127.0.0.1:8077 -duration 10s -c 8 -out BENCH_serve.json
+//	xtalkload -addr 127.0.0.1:8077 -duration 10s -warmup 2s -c 8 -out BENCH_serve.json
 //	xtalkload -addr 127.0.0.1:8077 -n 50 -devices heavyhex:27 -days 2 -zipf 1.3
 //	xtalkload -addr 127.0.0.1:8077 -n 40 -chaos -require-avail 1.0
 //
@@ -59,6 +59,7 @@ func main() {
 		conc     = flag.Int("c", 8, "concurrent clients")
 		n        = flag.Int("n", 0, "total requests (0 = run for -duration)")
 		duration = flag.Duration("duration", 10*time.Second, "run length when -n is 0")
+		warmup   = flag.Duration("warmup", 0, "ramp-up window excluded from percentile/throughput accounting (runs before -duration)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request timeout")
 		out      = flag.String("out", "BENCH_serve.json", "result JSON path (- for stdout)")
 		chaos    = flag.Bool("chaos", false, "availability-probe mode: retry retryable failures (429/503/5xx/transport) with backoff, honoring Retry-After")
@@ -69,7 +70,7 @@ func main() {
 	opts := loadOpts{
 		devCSV: *devices, mixCSV: *mix, seed: *seed, days: *days,
 		jobCount: *jobs, zipfS: *zipfS, conc: *conc, n: *n,
-		duration: *duration, timeout: *timeout, out: *out,
+		duration: *duration, warmup: *warmup, timeout: *timeout, out: *out,
 		chaos: *chaos, chaosRetries: *retries, requireAvail: *reqAvail,
 	}
 	if err := run(*addr, opts); err != nil {
@@ -86,6 +87,7 @@ type loadOpts struct {
 	zipfS          float64
 	conc, n        int
 	duration       time.Duration
+	warmup         time.Duration
 	timeout        time.Duration
 	out            string
 	chaos          bool
@@ -99,6 +101,9 @@ type loadOpts struct {
 type job struct {
 	kind string
 	req  serve.CompileRequest
+	// body is the request pre-marshaled once at zoo-build time: the hot
+	// submit loop must measure the daemon, not the generator's JSON encoder.
+	body []byte
 }
 
 // buildZoo generates count jobs round-robined over devices, workload kinds
@@ -185,11 +190,13 @@ func buildZoo(devSpecs, kinds []string, seed int64, days, count int) ([]job, err
 	return zoo, nil
 }
 
-// sample is one completed request.
+// sample is one completed request; done timestamps it so a ramp-up window
+// can be carved off after the fact.
 type sample struct {
 	tier      string
 	peerTier  string
 	latency   time.Duration
+	done      time.Time
 	collapsed bool
 	degraded  bool
 }
@@ -226,7 +233,12 @@ type Report struct {
 	Zipf      float64 `json:"zipf"`
 	Clients   int     `json:"clients"`
 	DurationS float64 `json:"duration_s"`
-	Requests  int     `json:"requests"`
+	// WarmupS/WarmupRequests record the ramp-up split: requests finishing
+	// inside the first WarmupS seconds are excluded from Requests, every
+	// percentile, and Throughput (whose clock starts after the warmup).
+	WarmupS        float64 `json:"warmup_s,omitempty"`
+	WarmupRequests int     `json:"warmup_requests,omitempty"`
+	Requests       int     `json:"requests"`
 	// Errors is the total error occurrences across all attempts, split by
 	// class below: client-side rejections (4xx, includes shed 429s),
 	// server-side failures (5xx, includes draining 503s), and transport
@@ -276,14 +288,25 @@ func run(addr string, o loadOpts) error {
 	if err != nil {
 		return err
 	}
+	for i := range zoo {
+		if zoo[i].body, err = json.Marshal(zoo[i].req); err != nil {
+			return err
+		}
+	}
 	base := "http://" + strings.TrimPrefix(addr, "http://")
-	client := &http.Client{Timeout: o.timeout}
+	// The default transport keeps only 2 idle connections per host; above
+	// that concurrency every request pays a fresh dial and the generator
+	// measures its own TCP handshakes. Size the pool to the client count.
+	client := &http.Client{Timeout: o.timeout, Transport: &http.Transport{
+		MaxIdleConns:        2 * o.conc,
+		MaxIdleConnsPerHost: o.conc + 1, // workers + the /stats sampler
+	}}
 
 	// The Zipf stream is drawn up front under one RNG so the trace is
 	// deterministic regardless of worker interleaving.
 	rng := rand.New(rand.NewSource(o.seed))
 	zipf := rand.NewZipf(rng, o.zipfS, 1, uint64(len(zoo)-1))
-	deadline := time.Now().Add(o.duration)
+	deadline := time.Now().Add(o.warmup + o.duration)
 	next := make(chan int, o.conc)
 	go func() {
 		defer close(next)
@@ -355,7 +378,7 @@ func run(addr string, o loadOpts) error {
 					if a > 0 {
 						retried.Add(1)
 					}
-					s, err = submit(client, base, zoo[idx].req)
+					s, err = submit(client, base, zoo[idx].body)
 					if err == nil {
 						break
 					}
@@ -379,7 +402,29 @@ func run(addr string, o loadOpts) error {
 	elapsed := time.Since(t0)
 	close(satStop)
 
-	rep := buildReport(samples, satSamples, elapsed)
+	// Carve the ramp-up off the front: requests that completed inside the
+	// warmup window (connection establishment, cache fill, breaker settling)
+	// are tallied but excluded from every percentile and from throughput,
+	// whose clock starts at the warmup boundary.
+	measured := samples
+	warmupCount := 0
+	if o.warmup > 0 {
+		warmEnd := t0.Add(o.warmup)
+		measured = samples[:0:0]
+		for _, s := range samples {
+			if s.done.Before(warmEnd) {
+				warmupCount++
+				continue
+			}
+			measured = append(measured, s)
+		}
+		if elapsed -= o.warmup; elapsed < 0 {
+			elapsed = 0
+		}
+	}
+	rep := buildReport(measured, satSamples, elapsed)
+	rep.WarmupS = o.warmup.Seconds()
+	rep.WarmupRequests = warmupCount
 	rep.Addr = addr
 	rep.Devices = o.devCSV
 	rep.Mix = o.mixCSV
@@ -420,6 +465,10 @@ func run(addr string, o loadOpts) error {
 		fmt.Printf("xtalkload: %d requests in %.1fs (%.1f req/s), hit rate %.2f, %d errors (%d 4xx / %d 5xx / %d transport) -> %s\n",
 			rep.Requests, rep.DurationS, rep.Throughput, rep.HitRate,
 			rep.Errors, rep.Errors4xx, rep.Errors5xx, rep.ErrorsTransport, o.out)
+		if o.warmup > 0 {
+			fmt.Printf("  warmup: %.1fs ramp-up, %d requests excluded from the accounting above\n",
+				rep.WarmupS, rep.WarmupRequests)
+		}
 		if o.chaos {
 			fmt.Printf("  chaos: availability=%.3f retries=%d failed=%d degraded=%d\n",
 				rep.Availability, rep.Retries, rep.Failed, rep.Degraded)
@@ -482,11 +531,12 @@ func splitCSV(s string) []string {
 	return out
 }
 
-func submit(client *http.Client, base string, req serve.CompileRequest) (sample, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return sample{}, err
-	}
+// bodyPool recycles response-read buffers across the submit hot loop: a
+// compile response runs to tens of KiB of QASM, and re-growing a fresh
+// buffer per request would make the generator the allocation hot spot.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func submit(client *http.Client, base string, body []byte) (sample, error) {
 	t0 := time.Now()
 	resp, err := client.Post(base+"/compile", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -505,11 +555,26 @@ func submit(client *http.Client, base string, req serve.CompileRequest) (sample,
 		}
 		return sample{}, he
 	}
-	var cr serve.CompileResponse
-	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyPool.Put(buf)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return sample{}, err
 	}
-	return sample{tier: cr.Tier, peerTier: cr.PeerTier, latency: time.Since(t0),
+	// The latency clock stops at last byte received: parsing the reply is
+	// generator overhead, not serving latency, so it runs off the clock and
+	// against a trimmed view that skips materializing the QASM payload.
+	lat, done := time.Since(t0), time.Now()
+	var cr struct {
+		Tier      string `json:"tier"`
+		PeerTier  string `json:"peer_tier"`
+		Collapsed bool   `json:"collapsed"`
+		Degraded  bool   `json:"degraded"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &cr); err != nil {
+		return sample{}, err
+	}
+	return sample{tier: cr.Tier, peerTier: cr.PeerTier, latency: lat, done: done,
 		collapsed: cr.Collapsed, degraded: cr.Degraded}, nil
 }
 

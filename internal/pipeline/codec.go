@@ -51,7 +51,13 @@ func corruptf(format string, args ...any) error {
 
 // EncodeBinary serializes the artifact into the versioned, checksummed disk
 // format. The inverse is DecodeArtifact.
-func (a *CompiledArtifact) EncodeBinary() []byte {
+func (a *CompiledArtifact) EncodeBinary() []byte { return a.AppendBinary(nil) }
+
+// AppendBinary appends the EncodeBinary form of the artifact to dst and
+// returns the extended slice. Streaming senders (the serving layer's bulk
+// artifact transfer) use it with pooled buffers so encoding a hot artifact
+// costs no steady-state allocation.
+func (a *CompiledArtifact) AppendBinary(dst []byte) []byte {
 	var p payloadWriter
 	p.str(a.Fingerprint)
 	p.str(a.Device)
@@ -83,7 +89,12 @@ func (a *CompiledArtifact) EncodeBinary() []byte {
 	}
 
 	payload := p.buf
-	out := make([]byte, 0, headerLen+len(payload)+checksumLen)
+	out := dst
+	if cap(out)-len(out) < headerLen+len(payload)+checksumLen {
+		grown := make([]byte, len(out), len(out)+headerLen+len(payload)+checksumLen)
+		copy(grown, out)
+		out = grown
+	}
 	out = append(out, artifactMagic...)
 	out = binary.BigEndian.AppendUint32(out, artifactVersion)
 	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))

@@ -105,6 +105,19 @@ func (c *Cache) Put(key string, art *pipeline.CompiledArtifact) {
 	}
 }
 
+// Keys returns the fingerprints currently cached, most recently used
+// first. The bulk artifact index uses it to advertise this daemon's
+// transferable working set.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*cacheEntry).key)
+	}
+	return keys
+}
+
 // Len returns the number of cached artifacts.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -87,7 +87,10 @@ func TestChaosBlackholedPeerAnswersLocally(t *testing.T) {
 		PeerRetries:     -1,
 		BreakerFailures: 1,
 		BreakerCooldown: time.Minute, // stays open for the whole test
-		Pipeline:        chaosPipeline(),
+		// The join-time prewarm would also ride (and consume) the injected
+		// blackhole; this test budgets faults for the serving path only.
+		DisablePrewarm: true,
+		Pipeline:       chaosPipeline(),
 	}
 	inj.Apply(&cfg)
 	s, err := serve.New(cfg)

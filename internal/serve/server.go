@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/httptrace"
 	"runtime"
 	"sort"
 	"strconv"
@@ -40,6 +41,11 @@ type Config struct {
 	// CacheBytes bounds the in-memory artifact cache (DefaultCacheBytes
 	// when 0).
 	CacheBytes int64
+	// RespCacheBytes bounds the encoded-response tier in front of the
+	// artifact cache (DefaultRespCacheBytes when 0). Negative disables the
+	// tier and the request→fingerprint memo with it — every request then
+	// pays parse + canonicalize + marshal as it did before the tier existed.
+	RespCacheBytes int64
 	// StoreDir, when non-empty, enables the persistent disk tier below the
 	// memory cache: artifacts spill to one checksummed file each, so a
 	// restarted daemon serves warm hits without re-solving. StoreBytes
@@ -84,10 +90,18 @@ type Config struct {
 	// peer stays down. Zero values select the package defaults.
 	BreakerFailures int
 	BreakerCooldown time.Duration
+	// PeerIdleConns sizes the peer transport's per-host keep-alive pool
+	// (DefaultPeerIdleConns when 0). Proxied hits are sub-millisecond once
+	// warm, so connection churn — not bandwidth — is the peer path's tax;
+	// the pool should cover the expected concurrent proxy fan-in per peer.
+	PeerIdleConns int
 	// PeerTransport overrides the peer-proxy HTTP transport. Fault
 	// injection (internal/faultinject) wraps NewPeerTransport here; nil
-	// selects NewPeerTransport(PeerTimeout).
+	// selects NewPeerTransportPool(PeerTimeout, PeerIdleConns).
 	PeerTransport http.RoundTripper
+	// DisablePrewarm turns off the join/epoch-flip prewarm engine (tests
+	// and single-purpose tooling; production fleets want it on).
+	DisablePrewarm bool
 	// SolveHook, when non-nil, runs at the start of every underlying cold
 	// compile, after admission but before the solver. A returned error
 	// fails the compile. Fault injection uses it to slow down or fail the
@@ -108,19 +122,36 @@ const DefaultPeerTimeout = 15 * time.Second
 // one round trip; only a blackholed one needs the full timeout.
 const peerDialTimeout = 2 * time.Second
 
+// DefaultPeerIdleConns sizes the peer transport's per-host keep-alive pool
+// when the configuration does not. Warm proxied hits finish in well under a
+// millisecond, so every new dial on the peer path costs more than the
+// request it carries; the pool covers a heavily concurrent proxy fan-in so
+// steady-state peer traffic reuses connections instead of churning them.
+const DefaultPeerIdleConns = 64
+
 // NewPeerTransport returns the default peer-proxy transport: bounded dial,
 // TLS handshake and response-header waits, so a hung or dead peer is
 // detected at the transport layer instead of pinning the request until the
 // server's write timeout. headerTimeout <= 0 selects DefaultPeerTimeout.
 func NewPeerTransport(headerTimeout time.Duration) http.RoundTripper {
+	return NewPeerTransportPool(headerTimeout, 0)
+}
+
+// NewPeerTransportPool is NewPeerTransport with an explicit per-host
+// keep-alive pool size (DefaultPeerIdleConns when idleConns <= 0).
+func NewPeerTransportPool(headerTimeout time.Duration, idleConns int) http.RoundTripper {
 	if headerTimeout <= 0 {
 		headerTimeout = DefaultPeerTimeout
+	}
+	if idleConns <= 0 {
+		idleConns = DefaultPeerIdleConns
 	}
 	return &http.Transport{
 		DialContext:           (&net.Dialer{Timeout: peerDialTimeout, KeepAlive: 30 * time.Second}).DialContext,
 		TLSHandshakeTimeout:   peerDialTimeout,
 		ResponseHeaderTimeout: headerTimeout,
-		MaxIdleConnsPerHost:   16,
+		MaxIdleConns:          4 * idleConns,
+		MaxIdleConnsPerHost:   idleConns,
 		IdleConnTimeout:       90 * time.Second,
 	}
 }
@@ -196,6 +227,13 @@ type CompileResponse struct {
 	CompileMS float64 `json:"compile_ms"`
 	Solve     string  `json:"solve,omitempty"`
 	QASM      string  `json:"qasm"`
+
+	// encoded, when set, is the response's exact JSON wire form (trailing
+	// newline included): the HTTP layer writes it verbatim with a
+	// Content-Length instead of re-marshalling. Responses served out of the
+	// response-bytes tier are shared between requests and must be treated
+	// as immutable by everything downstream of compile.
+	encoded []byte
 }
 
 // EpochRequest is the POST /epoch JSON body: any subset of the triple;
@@ -257,6 +295,13 @@ type Stats struct {
 	Breakers      map[string]BreakerStats `json:"breakers,omitempty"`
 	ProxiedIn     int64                   `json:"proxied_in"`
 	StoreErrors   int64                   `json:"store_errors,omitempty"`
+	// PeerConns is the per-peer connection-reuse split for proxy traffic:
+	// Dialed counts round trips that paid a fresh TCP connect, Reused those
+	// served off the keep-alive pool. A healthy warm fleet is ~all reuse.
+	PeerConns map[string]PeerConnStats `json:"peer_conns,omitempty"`
+	// Prewarm is the join/epoch-flip warm-up engine (nil in single-node
+	// mode).
+	Prewarm *PrewarmStats `json:"prewarm,omitempty"`
 	// Epoch is the current calibration epoch; EpochFlips counts rollovers
 	// since start.
 	Epoch      Epoch `json:"epoch"`
@@ -265,11 +310,13 @@ type Stats struct {
 	// Self is this daemon's ring identity.
 	Self string   `json:"self,omitempty"`
 	Ring []string `json:"ring,omitempty"`
-	// Cache describes the memory tier; Store the disk tier (nil when the
-	// daemon runs memory-only).
-	Cache   CacheStats  `json:"cache"`
-	Store   *StoreStats `json:"store,omitempty"`
-	Devices []string    `json:"devices"`
+	// Cache describes the memory tier; RespCache the encoded-response tier
+	// in front of it; Store the disk tier (nil when the daemon runs
+	// memory-only).
+	Cache     CacheStats     `json:"cache"`
+	RespCache RespCacheStats `json:"resp_cache"`
+	Store     *StoreStats    `json:"store,omitempty"`
+	Devices   []string       `json:"devices"`
 	// Text is the human-readable rendering (pipeline stage table + tier and
 	// cache counters), the same string StatsString returns.
 	Text string `json:"text"`
@@ -284,12 +331,33 @@ type Stats struct {
 type Server struct {
 	cfg     Config
 	cache   *Cache
+	resp    *respCache    // nil when Config.RespCacheBytes < 0
+	memo    *fpMemo       // nil when Config.RespCacheBytes < 0
+	heat    peerHeat      // peer-hit counts driving non-owner reply replication
 	store   ArtifactStore // nil when Config.StoreDir is empty
 	ring    *Ring         // nil in single-node mode
 	client  *http.Client
 	flight  flightGroup
 	admit   *core.SolvePool
 	started time.Time
+
+	// peerConns tracks the per-peer dialed-vs-reused connection split for
+	// proxy round trips (lazily created per peer).
+	peerConnMu sync.Mutex
+	peerConns  map[string]*peerConnCounters
+
+	// Prewarm engine state: at most one run in flight, a trigger during a
+	// run coalesces into one pending follow-up.
+	prewarmMu           sync.Mutex
+	prewarmActive       bool
+	prewarmPending      string
+	prewarmLastReason   string
+	prewarmLastMS       float64
+	prewarmRuns         atomic.Int64
+	prewarmAdmitted     atomic.Int64
+	prewarmSkipped      atomic.Int64
+	prewarmPeerErrors   atomic.Int64
+	prewarmBreakerSkips atomic.Int64
 
 	// breakers holds one circuit breaker per ring peer (lazily created).
 	breakerMu sync.Mutex
@@ -339,6 +407,31 @@ type Server struct {
 	solveHook func()
 }
 
+// PeerConnStats is the /stats rendering of one peer's connection-reuse
+// split on the proxy path.
+type PeerConnStats struct {
+	Dialed int64 `json:"dialed"`
+	Reused int64 `json:"reused"`
+}
+
+type peerConnCounters struct {
+	dialed atomic.Int64
+	reused atomic.Int64
+}
+
+// connCounters returns (lazily creating) the connection counters for one
+// ring peer.
+func (s *Server) connCounters(peer string) *peerConnCounters {
+	s.peerConnMu.Lock()
+	defer s.peerConnMu.Unlock()
+	c, ok := s.peerConns[peer]
+	if !ok {
+		c = &peerConnCounters{}
+		s.peerConns[peer] = c
+	}
+	return c
+}
+
 // New builds a Server and its default-device pipeline (so a misconfigured
 // device spec fails at startup, not on the first request).
 func New(cfg Config) (*Server, error) {
@@ -372,20 +465,25 @@ func New(cfg Config) (*Server, error) {
 	}
 	transport := cfg.PeerTransport
 	if transport == nil {
-		transport = NewPeerTransport(cfg.PeerTimeout)
+		transport = NewPeerTransportPool(cfg.PeerTimeout, cfg.PeerIdleConns)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheBytes),
-		client:   &http.Client{Transport: transport},
-		admit:    core.NewSolvePool(cfg.MaxConcurrent),
-		started:  time.Now(),
-		ctx:      ctx,
-		cancel:   cancel,
-		engines:  map[string]*pipeline.Pipeline{},
-		breakers: map[string]*Breaker{},
-		jitter:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheBytes),
+		client:    &http.Client{Transport: transport},
+		admit:     core.NewSolvePool(cfg.MaxConcurrent),
+		started:   time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		engines:   map[string]*pipeline.Pipeline{},
+		breakers:  map[string]*Breaker{},
+		peerConns: map[string]*peerConnCounters{},
+		jitter:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	if cfg.RespCacheBytes >= 0 {
+		s.resp = newRespCache(cfg.RespCacheBytes)
+		s.memo = newFpMemo(0)
 	}
 	s.defKey = engineKey(cfg.Spec, cfg.Seed, cfg.Day)
 	eng, err := s.engine(cfg.Spec, cfg.Seed, cfg.Day)
@@ -415,6 +513,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if len(cfg.Peers) > 0 {
 		s.ring = NewRing(cfg.Self, cfg.Peers)
+		// A joining node owns fingerprints it has never seen: pull them from
+		// peers' tiers in the background before traffic asks for them.
+		s.triggerPrewarm("join")
 	}
 	return s, nil
 }
@@ -482,6 +583,10 @@ func (s *Server) AdvanceEpoch(e Epoch) (Epoch, bool, error) {
 			return e, true, err
 		}
 	}
+	// The flip changes which resolved identities requests default to; the
+	// owned slices of the new working set may already exist on peers'
+	// tiers, so refill them in the background rather than admit-on-miss.
+	s.triggerPrewarm("epoch-flip")
 	return e, true, nil
 }
 
@@ -596,6 +701,39 @@ func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool
 	if req.Day != nil {
 		day = *req.Day
 	}
+	dl, hasDL := deadlineOf(ctx, req)
+
+	// Warm fast path: the request's resolved identity has been seen before,
+	// so its fingerprint — and usually its fully encoded reply — are
+	// memoized. A hit skips parse, canonicalize, hash and marshal: the
+	// request becomes a lock-brief lookup plus one Write.
+	var mkey [memoKeySize]byte
+	haveMemo := false
+	if s.memo != nil && req.Source != "" {
+		mkey = memoKey(spec, seed, day, req.Source)
+		haveMemo = true
+		if fp, ok := s.memo.get(mkey); ok {
+			if hasDL && time.Until(dl) <= 0 {
+				return nil, &shedError{status: http.StatusGatewayTimeout,
+					msg: "deadline exhausted before compilation started"}
+			}
+			if resp, ok := s.resp.get(fp, req.Tag); ok {
+				s.memHits.Add(1)
+				return resp, nil
+			}
+			if art, ok := s.cache.Get(fp); ok {
+				// Known fingerprint, artifact in memory, but no encoded reply
+				// under this tag yet: build and remember one.
+				s.memHits.Add(1)
+				resp := s.response(req, art, TierMem, false)
+				s.remember(mkey, fp, resp)
+				return resp, nil
+			}
+			// The artifact aged out of memory: fall through to the full
+			// cascade (disk → ring → solve), which re-derives everything.
+		}
+	}
+
 	eng, err := s.engine(spec, seed, day)
 	if err != nil {
 		return nil, &badRequestError{err}
@@ -607,7 +745,6 @@ func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool
 	if err != nil {
 		return nil, &badRequestError{err}
 	}
-	dl, hasDL := deadlineOf(ctx, req)
 	if hasDL && time.Until(dl) <= 0 {
 		return nil, &shedError{status: http.StatusGatewayTimeout,
 			msg: "deadline exhausted before compilation started"}
@@ -617,7 +754,11 @@ func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool
 	fp := eng.Fingerprint(circ)
 	if art, ok := s.cache.Get(fp); ok {
 		s.memHits.Add(1)
-		return s.response(req, art, TierMem, false), nil
+		resp := s.response(req, art, TierMem, false)
+		if haveMemo {
+			s.remember(mkey, fp, resp)
+		}
+		return resp, nil
 	}
 	if s.store != nil {
 		if art, ok := s.store.Get(fp); ok {
@@ -625,7 +766,13 @@ func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool
 			// Promote into the memory tier: repeated hits on a restarted
 			// daemon pay the decode exactly once.
 			s.cache.Put(fp, art)
-			return s.response(req, art, TierDisk, false), nil
+			resp := s.response(req, art, TierDisk, false)
+			if haveMemo {
+				// The reply the *next* identical request gets is a mem hit:
+				// cache that steady-state form, return the honest disk one.
+				s.remember(mkey, fp, s.response(req, art, TierMem, false))
+			}
+			return resp, nil
 		}
 	}
 	if s.ring != nil && !forwarded {
@@ -643,6 +790,7 @@ func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool
 				br.Report(perr == nil || isPeerClientError(perr), time.Now())
 				if perr == nil {
 					s.peerHits.Add(1)
+					s.rememberPeer(mkey, fp, haveMemo, req.Tag, resp)
 					return resp, nil
 				}
 				// Owner unreachable (or failing): compute locally rather
@@ -661,7 +809,55 @@ func (s *Server) compile(ctx context.Context, req CompileRequest, forwarded bool
 	}
 	resp := s.response(req, art, TierCold, shared)
 	resp.Degraded = degraded
+	if haveMemo && !degraded {
+		s.remember(mkey, fp, s.response(req, art, TierMem, false))
+	}
 	return resp, nil
+}
+
+// remember publishes a steady-state reply into the warm fast path: the
+// request identity is memoized to its fingerprint and the fully encoded
+// response is cached under (fingerprint, tag). resp must carry mem-tier
+// provenance (the tier a repeat request will actually be served from) and
+// is shared from here on — callers must not mutate it afterwards.
+func (s *Server) remember(mkey [memoKeySize]byte, fp string, resp *CompileResponse) {
+	if s.memo == nil || resp.Degraded {
+		return
+	}
+	if err := encodeResponse(resp); err != nil {
+		return
+	}
+	s.memo.put(mkey, fp)
+	s.resp.put(resp)
+}
+
+// rememberPeer handles the proxied-reply variant of remember. The identity
+// memo is always safe (content addressing is fleet-global), but replicating
+// the reply bytes on a non-owner is reserved for fingerprints that keep
+// getting peer-served (peerPromoteHits): the first hit stays a pure proxy,
+// so cold keys don't bloat the local tier and provenance stays honest, while
+// hot keys stop paying the ring hop. The cached copy is rewritten to the
+// local steady state — a mem-tier cache hit — because that is what it
+// becomes the moment it lands in the response tier.
+func (s *Server) rememberPeer(mkey [memoKeySize]byte, fp string, haveMemo bool, tag string, resp *CompileResponse) {
+	if s.memo == nil || !haveMemo || resp.Degraded || resp.Fingerprint != fp {
+		return
+	}
+	s.memo.put(mkey, fp)
+	if s.heat.bump(fp) < peerPromoteHits {
+		return
+	}
+	proto := *resp
+	proto.Tier = TierMem
+	proto.PeerTier = ""
+	proto.Cached = true
+	proto.Collapsed = false
+	proto.Tag = tag
+	proto.encoded = nil
+	if err := encodeResponse(&proto); err != nil {
+		return
+	}
+	s.resp.put(&proto)
 }
 
 // breaker returns (lazily creating) the circuit breaker for one ring peer.
@@ -797,6 +993,19 @@ func (s *Server) proxyAttempt(ctx context.Context, owner string, req CompileRequ
 		attemptCtx, cancel = context.WithDeadline(ctx, dl)
 		defer cancel()
 	}
+	// Classify this round trip as keep-alive reuse or a fresh dial: churn
+	// on the peer path costs more than the proxied request itself, so the
+	// split is first-class telemetry (/stats peer_conns).
+	conns := s.connCounters(owner)
+	attemptCtx = httptrace.WithClientTrace(attemptCtx, &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				conns.reused.Add(1)
+			} else {
+				conns.dialed.Add(1)
+			}
+		},
+	})
 	httpReq, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, peerURL(owner)+"/compile", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -1048,6 +1257,7 @@ func (s *Server) Stats() Stats {
 		Epoch:         epoch,
 		EpochFlips:    s.epochFlips.Load(),
 		Cache:         s.cache.Stats(),
+		RespCache:     s.respCacheStats(),
 		Devices:       devices,
 		Text:          s.StatsString(),
 	}
@@ -1058,7 +1268,17 @@ func (s *Server) Stats() Stats {
 	if s.ring != nil {
 		st.Self = s.ring.Self()
 		st.Ring = s.ring.Nodes()
+		pw := s.PrewarmStats()
+		st.Prewarm = &pw
 	}
+	s.peerConnMu.Lock()
+	if len(s.peerConns) > 0 {
+		st.PeerConns = make(map[string]PeerConnStats, len(s.peerConns))
+		for peer, c := range s.peerConns {
+			st.PeerConns[peer] = PeerConnStats{Dialed: c.dialed.Load(), Reused: c.reused.Load()}
+		}
+	}
+	s.peerConnMu.Unlock()
 	s.breakerMu.Lock()
 	if len(s.breakers) > 0 {
 		now := time.Now()
@@ -1068,6 +1288,19 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	s.breakerMu.Unlock()
+	return st
+}
+
+// respCacheStats snapshots the response tier (zero-valued when disabled).
+func (s *Server) respCacheStats() RespCacheStats {
+	if s.resp == nil {
+		return RespCacheStats{}
+	}
+	st := s.resp.stats()
+	st.MemoEntries = s.memo.len()
+	s.memo.mu.Lock()
+	st.MemoHits, st.MemoMisses = s.memo.hits, s.memo.misses
+	s.memo.mu.Unlock()
 	return st
 }
 
@@ -1100,6 +1333,11 @@ func (s *Server) StatsString() string {
 	fmt.Fprintf(&sb, "tiers: %d mem  %d disk  %d peer  %d cold solves  (%d peer fallbacks, %d proxied in)\n",
 		s.memHits.Load(), s.diskHits.Load(), s.peerHits.Load(), s.solves.Load(),
 		s.peerFallbacks.Load(), s.proxiedIn.Load())
+	if rc := s.respCacheStats(); s.resp != nil {
+		fmt.Fprintf(&sb, "respcache: %d entries  %d/%d bytes  %d hits  %d misses  %d evictions  (memo: %d entries  %d hits  %d misses)\n",
+			rc.Entries, rc.Bytes, rc.MaxBytes, rc.Hits, rc.Misses, rc.Evictions,
+			rc.MemoEntries, rc.MemoHits, rc.MemoMisses)
+	}
 	if s.store != nil {
 		ss := s.store.Stats()
 		fmt.Fprintf(&sb, "store: %d entries  %d/%d bytes  %d hits  %d misses  %d writes  %d evictions  %d quarantined  (%s)\n",
@@ -1108,12 +1346,16 @@ func (s *Server) StatsString() string {
 	fmt.Fprintf(&sb, "epoch: %s  (%d flips)\n", epoch, s.epochFlips.Load())
 	if s.ring != nil {
 		fmt.Fprintf(&sb, "ring: self=%s  nodes=%s\n", s.ring.Self(), strings.Join(s.ring.Nodes(), " "))
+		pw := s.PrewarmStats()
+		fmt.Fprintf(&sb, "prewarm: %d runs  %d admitted  %d skipped  %d peer errors  %d breaker skips\n",
+			pw.Runs, pw.Admitted, pw.Skipped, pw.PeerErrors, pw.BreakerSkips)
 	}
 	return sb.String()
 }
 
 // Handler returns the HTTP surface: POST /compile, GET|POST /epoch, GET
-// /stats, GET /healthz, GET /readyz.
+// /stats, GET /healthz, GET /readyz, plus the bulk artifact transfer pair
+// GET /artifacts/index and GET /artifacts?fps=... the prewarm engine rides.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
@@ -1121,6 +1363,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/artifacts", s.handleArtifacts)
+	mux.HandleFunc("/artifacts/index", s.handleArtifactIndex)
 	return mux
 }
 
@@ -1131,8 +1375,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	// MaxBytesReader errors past the limit instead of silently truncating:
 	// an oversized circuit must be rejected (413), never compiled as its
-	// prefix and never allowed to stall a worker on an unbounded read.
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	// prefix and never allowed to stall a worker on an unbounded read. The
+	// read lands in a pooled buffer: request decoding copies what it keeps,
+	// so the hot path amortizes the body allocation away.
+	bb := bodyBufPool.Get().(*bytes.Buffer)
+	bb.Reset()
+	defer bodyBufPool.Put(bb)
+	_, err := bb.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body := bb.Bytes()
 	if err != nil {
 		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
@@ -1249,8 +1499,37 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 }
 
+// jsonBufPool recycles marshal buffers for the slow writeJSON path;
+// bodyBufPool recycles /compile request-body buffers.
+var (
+	jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// writeJSON writes v as a JSON body with an explicit Content-Length — a
+// pre-encoded CompileResponse verbatim, everything else marshalled through
+// a pooled buffer — so replies (peer-proxied ones included) go out in one
+// sized frame instead of a chunked stream.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	if resp, ok := v.(*CompileResponse); ok && len(resp.encoded) > 0 {
+		writeRawJSON(w, status, resp.encoded)
+		return
+	}
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonBufPool.Put(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeRawJSON(w, status, buf.Bytes())
+	jsonBufPool.Put(buf)
+}
+
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(body)
 }

@@ -30,6 +30,11 @@ type ArtifactStore interface {
 	// Sync makes completed writes durable (graceful drain calls it last).
 	Sync() error
 	Stats() StoreStats
+	// Keys lists the fingerprints of live entries; GetRaw returns the
+	// already-encoded on-disk bytes of one entry without decoding it. The
+	// bulk artifact transfer endpoint streams peers' working sets with them.
+	Keys() []string
+	GetRaw(fp string) ([]byte, bool)
 }
 
 // Epoch identifies one calibration generation: a device spec, its
@@ -345,6 +350,41 @@ func (s *Store) quarantineLocked(fp string, e *storeEntry) {
 	delete(s.index, fp)
 	s.bytes -= e.size
 	s.quarantined++
+}
+
+// Keys returns the fingerprints of all live entries, in no particular
+// order. The artifact index endpoint serves it to prewarming peers.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index))
+	for fp := range s.index {
+		keys = append(keys, fp)
+	}
+	return keys
+}
+
+// GetRaw returns the encoded on-disk bytes of the entry for fp without
+// decoding them, for the bulk transfer endpoint: the receiver decodes and
+// verifies (DecodeArtifact is self-checking, and the fingerprint is
+// re-matched on admit), so the sender can stream files as-is. GetRaw does
+// not count as a hit or miss and does not refresh recency — prewarm reads
+// must not distort the serving tier's own telemetry or eviction order. An
+// unreadable file just drops the entry; quarantine is Get's job, where the
+// damage is actually diagnosed.
+func (s *Store) GetRaw(fp string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[fp]
+	if !ok {
+		return nil, false
+	}
+	b, err := os.ReadFile(e.path)
+	if err != nil {
+		s.dropLocked(fp, e, false)
+		return nil, false
+	}
+	return b, true
 }
 
 // Len returns the number of live (non-quarantined) artifacts on disk.

@@ -5,7 +5,12 @@ package xtalk
 // keeps the hit path honest over time.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -182,5 +187,82 @@ func TestDiskWarmHitSpeedup(t *testing.T) {
 	if speedup < 100 {
 		t.Fatalf("disk warm hit only %.1fx faster than cold solve (%v vs %v), want >= 100x",
 			speedup, warmTime, coldTime)
+	}
+}
+
+// BenchmarkServeMemHit measures the full warm-path round trip — HTTP POST,
+// fingerprint memo, encoded-response tier, single socket write — through a
+// real net/http server. This is the serving profile the response-bytes tier
+// exists for: the cold heavyhex:27 solve is paid once in setup, then every
+// iteration must be a memory hit that re-serves the same pre-encoded bytes.
+func BenchmarkServeMemHit(b *testing.B) {
+	s := newServeBenchServer(b)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	src := heavyhexQAOASource(b)
+	body, err := json.Marshal(serve.CompileRequest{Source: src})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+	post := func() *http.Response {
+		resp, err := client.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		return resp
+	}
+
+	// Setup: one cold solve, then one warm repeat decoded to prove the
+	// iterations below really exercise the memory tier.
+	for _, wantCached := range []bool{false, true} {
+		resp := post()
+		var cr serve.CompileResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if cr.Cached != wantCached {
+			b.Fatalf("setup request cached=%v, want %v", cr.Cached, wantCached)
+		}
+		if wantCached && cr.Tier != serve.TierMem {
+			b.Fatalf("warm repeat tier %q, want mem", cr.Tier)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := post()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Solves != 1 {
+		b.Fatalf("iterations leaked %d extra solves", st.Solves-1)
+	}
+}
+
+// TestServeMemHitAllocGate pins the warm path's allocation budget. The
+// measured allocs/op cover the whole loopback round trip — load-generator
+// client included — so the ceiling is far above the server's own share, but
+// low enough that an accidental per-hit re-encode of the response (tens of
+// KiB of JSON plus encoder state) blows through it immediately.
+func TestServeMemHitAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold heavyhex:27 solve in -short mode (and the gate is meaningless under -race)")
+	}
+	const maxAllocsPerOp = 120
+	res := testing.Benchmark(BenchmarkServeMemHit)
+	t.Logf("mem-hit round trip: %v/op, %d allocs/op, %d B/op",
+		time.Duration(res.NsPerOp()), res.AllocsPerOp(), res.AllocedBytesPerOp())
+	if allocs := res.AllocsPerOp(); allocs > maxAllocsPerOp {
+		t.Fatalf("warm-path round trip costs %d allocs/op, want <= %d — did a per-hit encode sneak back in?",
+			allocs, maxAllocsPerOp)
 	}
 }
